@@ -1,0 +1,183 @@
+package specsync_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/experiments"
+	"specsync/internal/scheme"
+)
+
+// The benchmarks below regenerate each table/figure of the paper at reduced
+// scale (experiments.Quick: 12 workers, small workloads), reporting
+// domain-specific metrics via b.ReportMetric. For the paper-scale runs use
+// cmd/specsync-bench. Each benchmark body is one full experiment, so run
+// them with -benchtime=1x (the default auto-scaling would repeat multi-run
+// experiments needlessly).
+
+func quickOpts() experiments.Options {
+	o := experiments.Quick()
+	o.MaxVirtual = 45 * time.Minute
+	return o
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableI(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Timeline(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig3PAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		// Report the headline number: median PAP in the first interval of
+		// the CIFAR-like workload (paper: > 6 with 40 workers).
+		if len(r.PerWorkload) > 0 && len(r.PerWorkload[0].Boxes) > 0 {
+			b.ReportMetric(r.PerWorkload[0].Boxes[0].P50, "pap-median")
+		}
+	}
+}
+
+func BenchmarkFig5NaiveWaiting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig8Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig8(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		r.Fig9View(io.Discard)
+		// Report the CIFAR-like Adaptive-vs-Original speedup.
+		for _, fw := range r.PerWorkload {
+			if fw.Workload != experiments.WorkloadCIFAR {
+				continue
+			}
+			if fw.OK[0] && fw.OK[2] && fw.Converge[2] > 0 {
+				b.ReportMetric(float64(fw.Converge[0])/float64(fw.Converge[2]), "speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Heterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig11Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig12Transfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		r.Fig13View(io.Discard)
+		if len(r.PerWorkload) > 0 && r.PerWorkload[0].TotalOriginal > 0 {
+			ratio := float64(r.PerWorkload[0].TotalAdaptive) / float64(r.PerWorkload[0].TotalOriginal)
+			b.ReportMetric(ratio, "transfer-ratio")
+		}
+	}
+}
+
+func BenchmarkTableIISearchCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableII(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkStalenessDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Staleness(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		// Report the median staleness reduction of Adaptive vs Original.
+		if len(r.Boxes) == 3 && r.Boxes[0].P50 > 0 {
+			b.ReportMetric(r.Boxes[2].P50/r.Boxes[0].P50, "staleness-ratio")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance: events
+// per second of a plain ASP run (useful when tuning the DES itself).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	wl, err := cluster.NewTiny(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var iters int64
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(cluster.Config{
+			Workload:   wl,
+			Scheme:     scheme.Config{Base: scheme.ASP},
+			Workers:    8,
+			Seed:       int64(i + 1),
+			MaxVirtual: 10 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.TotalIters
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "virtual-iters/op")
+}

@@ -1,0 +1,238 @@
+// Command specsync-node runs one SpecSync cluster node (server shard,
+// worker, or scheduler) as a standalone process over TCP — the deployment
+// shape of the paper's MXNet implementation. Every process is given the
+// same topology flags so it can derive the shard layout and peer address
+// book deterministically.
+//
+// Example 2-worker cluster on one machine (run each in its own terminal):
+//
+//	specsync-node -role server -index 0 -workers 2 -servers 1 -base-port 7000
+//	specsync-node -role scheduler        -workers 2 -servers 1 -base-port 7000
+//	specsync-node -role worker -index 0  -workers 2 -servers 1 -base-port 7000
+//	specsync-node -role worker -index 1  -workers 2 -servers 1 -base-port 7000
+//
+// Ports are assigned as base-port+0..servers-1 for servers, then workers,
+// then the scheduler. The scheduler broadcasts Start once it boots, so start
+// it after the servers and workers are listening (or restart stragglers —
+// workers also begin on the first Start they see).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/core"
+	"specsync/internal/live"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/worker"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specsync-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("specsync-node", flag.ContinueOnError)
+	var (
+		role       = fs.String("role", "", "node role: server, worker, or scheduler")
+		index      = fs.Int("index", 0, "index within the role (server/worker)")
+		workers    = fs.Int("workers", 2, "total number of workers")
+		servers    = fs.Int("servers", 1, "total number of server shards")
+		basePort   = fs.Int("base-port", 7000, "first port of the contiguous port block")
+		host       = fs.String("host", "127.0.0.1", "host all nodes share")
+		seed       = fs.Int64("seed", 1, "master seed (must match across nodes)")
+		workload   = fs.String("workload", "tiny", "workload: mf, cifar10, imagenet, tiny")
+		schemeName = fs.String("scheme", "adaptive", "scheme: asp, adaptive, cherry")
+		iterTime   = fs.Duration("iter", 500*time.Millisecond, "nominal compute time per iteration")
+		maxIters   = fs.Int64("iters", 200, "worker iterations before stopping (0 = run forever)")
+		debug      = fs.Bool("debug", false, "verbose node logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 || *servers < 1 {
+		return fmt.Errorf("need at least 1 worker and 1 server")
+	}
+
+	// Deterministic shared topology.
+	addr := func(id node.ID) string {
+		port := *basePort
+		if i := node.ServerIndex(id); i >= 0 {
+			port += i
+		} else if i := node.WorkerIndex(id); i >= 0 {
+			port += *servers + i
+		} else {
+			port += *servers + *workers // scheduler
+		}
+		return fmt.Sprintf("%s:%d", *host, port)
+	}
+	peers := map[node.ID]string{}
+	var all []node.ID
+	for i := 0; i < *servers; i++ {
+		all = append(all, node.ServerID(i))
+	}
+	for i := 0; i < *workers; i++ {
+		all = append(all, node.WorkerID(i))
+	}
+	all = append(all, node.Scheduler)
+	for _, id := range all {
+		peers[id] = addr(id)
+	}
+
+	wl, err := buildWorkload(*workload, *workers, *seed)
+	if err != nil {
+		return err
+	}
+	wl.IterTime = *iterTime
+	sc, err := buildScheme(*schemeName, wl)
+	if err != nil {
+		return err
+	}
+	ranges, err := ps.ShardRanges(wl.Model.Dim(), *servers)
+	if err != nil {
+		return err
+	}
+
+	var id node.ID
+	var handler node.Handler
+	switch *role {
+	case "server":
+		if *index < 0 || *index >= *servers {
+			return fmt.Errorf("server index %d out of range", *index)
+		}
+		id = node.ServerID(*index)
+		initRng := rand.New(rand.NewSource(*seed ^ 0x1217))
+		initVec := wl.Model.Init(initRng)
+		opt, err := optimizer.NewSGD(optimizer.SGDConfig{
+			Schedule: wl.Schedule, Momentum: wl.Momentum, Clip: wl.Clip,
+		}, ranges[*index].Len())
+		if err != nil {
+			return err
+		}
+		handler, err = ps.New(ps.Config{
+			Range:     ranges[*index],
+			Init:      initVec[ranges[*index].Lo:ranges[*index].Hi],
+			Optimizer: opt,
+		})
+		if err != nil {
+			return err
+		}
+	case "worker":
+		if *index < 0 || *index >= *workers {
+			return fmt.Errorf("worker index %d out of range", *index)
+		}
+		id = node.WorkerID(*index)
+		handler, err = worker.New(worker.Config{
+			Index:    *index,
+			Shards:   ranges,
+			Model:    wl.Model,
+			Scheme:   sc,
+			Compute:  worker.ComputeModel{Base: wl.IterTime, Speed: 1, JitterSigma: wl.JitterSigma},
+			MaxIters: *maxIters,
+		})
+		if err != nil {
+			return err
+		}
+	case "scheduler":
+		id = node.Scheduler
+		handler, err = core.NewScheduler(core.SchedulerConfig{
+			Workers:     *workers,
+			Scheme:      sc,
+			InitialSpan: wl.IterTime,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("role must be server, worker, or scheduler (got %q)", *role)
+	}
+
+	listen := peers[id]
+	delete(peers, id)
+	h, err := live.NewTCPHost(live.TCPHostConfig{
+		ID:         id,
+		Handler:    handler,
+		ListenAddr: listen,
+		Peers:      peers,
+		Registry:   msg.Registry(),
+		Seed:       *seed,
+		Debug:      *debug,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	fmt.Printf("%s listening on %s (%d workers, %d servers, scheme %s, workload %s)\n",
+		id, listen, *workers, *servers, sc.Name(), wl.Name)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// Periodic status for interactive runs.
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return nil
+		case <-ticker.C:
+			switch n := handler.(type) {
+			case *worker.Worker:
+				fmt.Printf("%s: %d iterations, %d aborts\n", id, n.IterationsDone(), n.Aborts())
+				if n.Stopped() {
+					fmt.Printf("%s: reached max iterations; exiting\n", id)
+					return nil
+				}
+			case *ps.Server:
+				pulls, pushes := n.Stats()
+				fmt.Printf("%s: version %d (%d pulls, %d pushes)\n", id, n.Version(), pulls, pushes)
+			case *core.Scheduler:
+				enabled, abortTime, _ := n.Hyperparameters()
+				fmt.Printf("%s: epoch %d, %d resyncs, spec=%v window=%v\n",
+					id, n.Epoch(), n.ReSyncsSent(), enabled, abortTime.Round(time.Millisecond))
+			}
+		}
+	}
+}
+
+func buildWorkload(name string, workers int, seed int64) (cluster.Workload, error) {
+	switch name {
+	case "mf":
+		return cluster.NewMF(cluster.SizeSmall, workers, seed)
+	case "cifar10":
+		return cluster.NewCIFAR(cluster.SizeSmall, workers, seed)
+	case "imagenet":
+		return cluster.NewImageNet(cluster.SizeSmall, workers, seed)
+	case "tiny":
+		return cluster.NewTiny(workers, seed)
+	default:
+		return cluster.Workload{}, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func buildScheme(name string, wl cluster.Workload) (scheme.Config, error) {
+	switch name {
+	case "asp":
+		return scheme.Config{Base: scheme.ASP}, nil
+	case "adaptive":
+		return scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}, nil
+	case "cherry":
+		return scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 4, AbortRate: 0.22}, nil
+	default:
+		return scheme.Config{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,207 @@
+// Command specsync-trace records and analyzes training event traces.
+//
+// Record a trace (one simulated run, events as JSONL):
+//
+//	specsync-trace record -workload cifar10 -scheme asp -workers 40 -out trace.jsonl
+//
+// Analyze the pushes-after-pull distribution (paper Sec. III-A / Fig. 3):
+//
+//	specsync-trace pap -in trace.jsonl -interval 1s -buckets 10
+//
+// Summarize a trace (event counts, per-worker activity, staleness stats):
+//
+//	specsync-trace summary -in trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/metrics"
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: specsync-trace record|pap|summary [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "pap":
+		err = pap(os.Args[2:])
+	case "summary":
+		err = summary(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specsync-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "cifar10", "workload: mf, cifar10, imagenet, tiny")
+		schemeName   = fs.String("scheme", "asp", "scheme: asp, adaptive, cherry")
+		workers      = fs.Int("workers", 40, "number of workers")
+		seed         = fs.Int64("seed", 1, "master seed")
+		maxVirtual   = fs.Duration("max", 30*time.Minute, "virtual duration to record")
+		out          = fs.String("out", "trace.jsonl", "output JSONL path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var wl cluster.Workload
+	var err error
+	switch *workloadName {
+	case "mf":
+		wl, err = cluster.NewMF(cluster.SizeFull, *workers, *seed)
+	case "cifar10":
+		wl, err = cluster.NewCIFAR(cluster.SizeFull, *workers, *seed)
+	case "imagenet":
+		wl, err = cluster.NewImageNet(cluster.SizeFull, *workers, *seed)
+	case "tiny":
+		wl, err = cluster.NewTiny(*workers, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+	if err != nil {
+		return err
+	}
+	wl.TargetLoss = 0 // record the full horizon
+
+	var sc scheme.Config
+	switch *schemeName {
+	case "asp":
+		sc = scheme.Config{Base: scheme.ASP}
+	case "adaptive":
+		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}
+	case "cherry":
+		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 8, AbortRate: 0.22}
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		Workload:   wl,
+		Scheme:     sc,
+		Workers:    *workers,
+		Seed:       *seed,
+		MaxVirtual: *maxVirtual,
+		KeepTrace:  true,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events := res.Trace.Events()
+	if err := trace.WriteJSONL(f, events); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events over %v (virtual) to %s\n", len(events), res.Elapsed, *out)
+	return nil
+}
+
+func load(path string) (*trace.Collector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+	return trace.FromEvents(events), nil
+}
+
+func pap(args []string) error {
+	fs := flag.NewFlagSet("pap", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "trace.jsonl", "input JSONL trace")
+		interval = fs.Duration("interval", time.Second, "bucket width (paper uses 1s)")
+		buckets  = fs.Int("buckets", 10, "number of intervals after each pull")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	res := c.PAP(trace.PAPConfig{Interval: *interval, Buckets: *buckets})
+	fmt.Printf("pushes-after-pull distribution (%s, interval %v)\n", *in, *interval)
+	fmt.Printf("%-16s %6s %6s %6s %6s %6s %8s\n", "interval", "p5", "p25", "p50", "p75", "p95", "samples")
+	for k, samples := range res.PerBucket {
+		b := metrics.BoxOf(samples)
+		lo := time.Duration(k) * *interval
+		fmt.Printf("%-16s %6.1f %6.1f %6.1f %6.1f %6.1f %8d\n",
+			fmt.Sprintf("%v-%v", lo, lo+*interval), b.P5, b.P25, b.P50, b.P75, b.P95, b.N)
+	}
+	return nil
+}
+
+func summary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	in := fs.String("in", "trace.jsonl", "input JSONL trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	events := c.Events()
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	kinds := []trace.Kind{trace.KindPull, trace.KindPush, trace.KindAbort, trace.KindReSync, trace.KindStaleness, trace.KindEpoch}
+	fmt.Printf("trace %s: %d events, span %v\n", *in, len(events),
+		events[len(events)-1].At.Sub(events[0].At))
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %d\n", k, c.Count(k))
+	}
+
+	var stale []float64
+	for _, ev := range events {
+		if ev.Kind == trace.KindStaleness {
+			stale = append(stale, float64(ev.Value))
+		}
+	}
+	if len(stale) > 0 {
+		b := metrics.BoxOf(stale)
+		fmt.Printf("staleness: p5=%.0f p25=%.0f median=%.0f p75=%.0f p95=%.0f\n",
+			b.P5, b.P25, b.P50, b.P75, b.P95)
+	}
+
+	byWorker := c.CountByWorker(trace.KindPush)
+	workers := make([]int, 0, len(byWorker))
+	for w := range byWorker {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	fmt.Println("pushes per worker:")
+	for _, w := range workers {
+		fmt.Printf("  worker %-3d %d\n", w, byWorker[w])
+	}
+	return nil
+}

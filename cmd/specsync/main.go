@@ -1,0 +1,132 @@
+// Command specsync runs one simulated distributed-training job and prints
+// its learning curve and summary — the quickest way to see SpecSync work:
+//
+//	specsync -workload cifar10 -scheme adaptive -workers 40
+//	specsync -workload mf -scheme asp -hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/core"
+	"specsync/internal/metrics"
+	"specsync/internal/scheme"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specsync:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("specsync", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "cifar10", "workload: mf, cifar10, imagenet, tiny")
+		schemeName   = fs.String("scheme", "adaptive", "scheme: asp, bsp, ssp, naive, cherry, adaptive")
+		workers      = fs.Int("workers", 40, "number of workers")
+		servers      = fs.Int("servers", 0, "number of parameter shards (0 = auto)")
+		seed         = fs.Int64("seed", 1, "master seed")
+		hetero       = fs.Bool("hetero", false, "heterogeneous instance mix (paper Cluster 2)")
+		maxVirtual   = fs.Duration("max", 4*time.Hour, "virtual time budget")
+		staleness    = fs.Int("staleness", 3, "SSP staleness bound")
+		naiveWait    = fs.Duration("wait", time.Second, "naive-waiting delay")
+		curvePoints  = fs.Int("curve", 15, "learning-curve rows to print")
+		verboseTune  = fs.Bool("tuning", false, "print adaptive tuning decisions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var wl cluster.Workload
+	var err error
+	switch *workloadName {
+	case "mf":
+		wl, err = cluster.NewMF(cluster.SizeFull, *workers, *seed)
+	case "cifar10":
+		wl, err = cluster.NewCIFAR(cluster.SizeFull, *workers, *seed)
+	case "imagenet":
+		wl, err = cluster.NewImageNet(cluster.SizeFull, *workers, *seed)
+	case "tiny":
+		wl, err = cluster.NewTiny(*workers, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+	if err != nil {
+		return err
+	}
+
+	var sc scheme.Config
+	switch *schemeName {
+	case "asp":
+		sc = scheme.Config{Base: scheme.ASP}
+	case "bsp":
+		sc = scheme.Config{Base: scheme.BSP}
+	case "ssp":
+		sc = scheme.Config{Base: scheme.SSP, Staleness: *staleness}
+	case "naive":
+		sc = scheme.Config{Base: scheme.ASP, NaiveWait: *naiveWait}
+	case "cherry":
+		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 4, AbortRate: 0.22}
+	case "adaptive":
+		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+
+	cfg := cluster.Config{
+		Workload:   wl,
+		Scheme:     sc,
+		Workers:    *workers,
+		Servers:    *servers,
+		Seed:       *seed,
+		MaxVirtual: *maxVirtual,
+	}
+	if *hetero {
+		cfg.Speeds = cluster.InstanceSpeeds(*workers)
+	}
+	if *verboseTune {
+		cfg.OnTune = func(epoch int, t core.Tuning) {
+			if t.Enabled {
+				fmt.Fprintf(os.Stderr, "epoch %4d: ABORT_TIME=%v mean ABORT_RATE=%.3f (F=%.2f, %d candidates)\n",
+					epoch, t.AbortTime.Round(time.Millisecond), metrics.Mean(t.Rates), t.Improvement, t.Candidates)
+			} else {
+				fmt.Fprintf(os.Stderr, "epoch %4d: speculation paused\n", epoch)
+			}
+		}
+	}
+
+	fmt.Printf("workload=%s scheme=%s workers=%d params=%d target=%.4f\n",
+		wl.Name, sc.Name(), *workers, wl.Model.Dim(), wl.TargetLoss)
+	start := time.Now()
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-12s %s\n", "virtual time", "eval loss")
+	for _, p := range res.Loss.Downsample(*curvePoints) {
+		fmt.Printf("%-12s %.4f\n", p.T.Round(time.Second), p.V)
+	}
+	fmt.Println()
+	if res.Converged {
+		fmt.Printf("converged at %v (virtual), %d cluster iterations at convergence\n",
+			res.ConvergeTime.Round(time.Second), res.ItersAtConverge)
+	} else {
+		fmt.Printf("did not reach target %.4f within %v (final loss %.4f)\n",
+			wl.TargetLoss, *maxVirtual, res.FinalLoss)
+	}
+	fmt.Printf("iterations=%d aborts=%d resyncs=%d epochs=%d\n",
+		res.TotalIters, res.Aborts, res.ReSyncs, res.Epochs)
+	data, control := res.Transfer.Split()
+	fmt.Printf("transfer: data %s, control %s (%.4f%% control)\n",
+		metrics.HumanBytes(data), metrics.HumanBytes(control),
+		100*float64(control)/float64(data+control))
+	fmt.Printf("wall time %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

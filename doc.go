@@ -1,0 +1,30 @@
+// Package specsync is a from-scratch Go reproduction of "Stay Fresh:
+// Speculative Synchronization for Fast Distributed Machine Learning"
+// (Zhang, Tian, Wang, Yan — ICDCS 2018).
+//
+// SpecSync accelerates asynchronous data-parallel SGD on a parameter-server
+// architecture: a centralized scheduler watches every worker's pushes, and
+// when enough peer updates land shortly after a worker began an iteration,
+// it tells that worker to abort, re-pull fresher parameters, and start over.
+// An adaptive tuner re-derives the speculation window (ABORT_TIME) and the
+// trigger threshold (ABORT_RATE) every epoch from the observed push history.
+//
+// The repository contains the complete system: the wire protocol and TCP
+// transport, the parameter-server shards, workers, the SpecSync scheduler
+// with the paper's Algorithms 1 and 2, the ASP/BSP/SSP/naive-waiting
+// baselines, hand-rolled ML workloads (softmax regression, MLP, matrix
+// factorization), a deterministic discrete-event cluster simulator standing
+// in for the paper's EC2 testbed, and an experiment harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - cmd/specsync: run one training job and print its learning curve
+//   - cmd/specsync-bench: regenerate the paper's tables and figures
+//   - cmd/specsync-sweep: scheme/hyperparameter sweeps (Cherrypick search)
+//   - cmd/specsync-node: run one node of a real TCP cluster
+//   - examples/: runnable programs exercising the public packages
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package specsync

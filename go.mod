@@ -1,0 +1,3 @@
+module specsync
+
+go 1.22

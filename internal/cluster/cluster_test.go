@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+)
+
+func tinyConfig(t *testing.T, sc scheme.Config, mut func(*Config)) Config {
+	t.Helper()
+	wl, err := NewTiny(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload:   wl,
+		Scheme:     sc,
+		Workers:    4,
+		Seed:       3,
+		MaxVirtual: 15 * time.Minute,
+		KeepTrace:  true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	wl, err := NewTiny(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Scheme: scheme.Config{Base: scheme.ASP}, Workers: 4, MaxVirtual: time.Hour},                                     // no workload
+		{Workload: wl, Scheme: scheme.Config{}, Workers: 4, MaxVirtual: time.Hour},                                       // bad scheme
+		{Workload: wl, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 0, MaxVirtual: time.Hour},                       // no workers
+		{Workload: wl, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 8, MaxVirtual: time.Hour},                       // more workers than shards
+		{Workload: wl, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 4},                                              // no MaxVirtual
+		{Workload: wl, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 4, MaxVirtual: time.Hour, Speeds: []float64{1}}, // bad speeds
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAllSchemesConvergeTiny(t *testing.T) {
+	schemes := []scheme.Config{
+		{Base: scheme.ASP},
+		{Base: scheme.BSP},
+		{Base: scheme.SSP, Staleness: 2},
+		{Base: scheme.ASP, NaiveWait: 100 * time.Millisecond},
+		{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: 250 * time.Millisecond, AbortRate: 0.25},
+		{Base: scheme.ASP, Spec: scheme.SpecAdaptive},
+		{Base: scheme.SSP, Staleness: 2, Spec: scheme.SpecAdaptive},
+	}
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			res, err := Run(tinyConfig(t, sc, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("did not converge: final loss %.4f", res.FinalLoss)
+			}
+			if res.TotalIters == 0 || res.Epochs == 0 {
+				t.Errorf("no progress recorded: iters=%d epochs=%d", res.TotalIters, res.Epochs)
+			}
+		})
+	}
+}
+
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(tinyConfig(t, scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ConvergeTime != b.ConvergeTime || a.TotalIters != b.TotalIters || a.Aborts != b.Aborts {
+		t.Errorf("non-deterministic: (%v,%d,%d) vs (%v,%d,%d)",
+			a.ConvergeTime, a.TotalIters, a.Aborts, b.ConvergeTime, b.TotalIters, b.Aborts)
+	}
+	if a.Transfer.TotalBytes() != b.Transfer.TotalBytes() {
+		t.Errorf("transfer differs: %d vs %d", a.Transfer.TotalBytes(), b.Transfer.TotalBytes())
+	}
+}
+
+func TestBSPLockstepInvariant(t *testing.T) {
+	res, err := Run(tinyConfig(t, scheme.Config{Base: scheme.BSP}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under BSP no worker may be more than one iteration ahead of another
+	// at any push event.
+	counts := make(map[int]int64)
+	for _, ev := range res.Trace.Events() {
+		if ev.Kind != trace.KindPush {
+			continue
+		}
+		counts[ev.Worker]++
+		min, max := counts[ev.Worker], counts[ev.Worker]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("BSP violated: push counts spread %d at %v", max-min, ev.At)
+		}
+	}
+}
+
+func TestSSPBoundInvariant(t *testing.T) {
+	const bound = 2
+	res, err := Run(tinyConfig(t, scheme.Config{Base: scheme.SSP, Staleness: bound}, func(c *Config) {
+		// Big speed skew to stress the bound.
+		c.Speeds = []float64{3, 1, 1, 0.5}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int64)
+	seen := 0
+	for _, ev := range res.Trace.Events() {
+		if ev.Kind != trace.KindPush {
+			continue
+		}
+		counts[ev.Worker]++
+		seen++
+		if len(counts) < 4 {
+			continue // until all workers appear, min is undefined
+		}
+		min := int64(1 << 60)
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+		}
+		// A worker that completed c iterations was allowed to *start* its
+		// c-th only while c-1 <= min + bound.
+		for w, c := range counts {
+			if c-min > bound+1 {
+				t.Fatalf("SSP bound violated: worker %d at %d vs min %d", w, c, min)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no pushes traced")
+	}
+}
+
+func TestStalenessLowerWithSpecSync(t *testing.T) {
+	stalenessP50 := func(sc scheme.Config) float64 {
+		res, err := Run(tinyConfig(t, sc, func(c *Config) {
+			c.MaxVirtual = 4 * time.Minute
+			// Disable convergence stopping to compare equal horizons: set
+			// an unreachable target.
+			wl := c.Workload
+			wl.TargetLoss = 0
+			c.Workload = wl
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []float64
+		for _, ev := range res.Trace.Events() {
+			if ev.Kind == trace.KindStaleness {
+				vals = append(vals, float64(ev.Value))
+			}
+		}
+		if len(vals) == 0 {
+			t.Fatal("no staleness events")
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return sum / float64(len(vals))
+	}
+	asp := stalenessP50(scheme.Config{Base: scheme.ASP})
+	spec := stalenessP50(scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: 200 * time.Millisecond, AbortRate: 0.2})
+	if spec >= asp {
+		t.Errorf("SpecSync staleness %.2f not below ASP %.2f", spec, asp)
+	}
+}
+
+func TestHeterogeneousSpeeds(t *testing.T) {
+	speeds := InstanceSpeeds(8)
+	if len(speeds) != 8 {
+		t.Fatalf("len = %d", len(speeds))
+	}
+	res, err := Run(tinyConfig(t, scheme.Config{Base: scheme.ASP}, func(c *Config) {
+		c.Workers = 4
+		c.Speeds = InstanceSpeeds(4)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faster workers must complete more iterations.
+	counts := res.Trace.CountByWorker(trace.KindPush)
+	if counts[1] <= counts[0] {
+		// speeds: worker0=0.9, worker1=1.8
+		t.Errorf("fast worker pushed %d <= slow worker %d", counts[1], counts[0])
+	}
+	if u := UniformSpeeds(3); u[0] != 1 || u[2] != 1 {
+		t.Error("UniformSpeeds wrong")
+	}
+}
+
+func TestTransferAccountedAndControlSmall(t *testing.T) {
+	res, err := Run(tinyConfig(t, scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, control := res.Transfer.Split()
+	if data == 0 {
+		t.Fatal("no data bytes recorded")
+	}
+	frac := float64(control) / float64(data+control)
+	if frac > 0.02 {
+		t.Errorf("control traffic fraction %.4f, want < 2%%", frac)
+	}
+	if res.TransferSeries.Len() == 0 {
+		t.Error("no transfer series sampled")
+	}
+	// Accumulated series must be non-decreasing.
+	prev := -1.0
+	for _, p := range res.TransferSeries.Points {
+		if p.V < prev {
+			t.Fatal("transfer series decreased")
+		}
+		prev = p.V
+	}
+}
+
+func TestWorkloadBuildersAllSizes(t *testing.T) {
+	builders := map[string]func(Size, int, int64) (Workload, error){
+		"mf": NewMF, "cifar10": NewCIFAR, "imagenet": NewImageNet,
+	}
+	for name, build := range builders {
+		for _, size := range []Size{SizeFull, SizeSmall} {
+			wl, err := build(size, 8, 1)
+			if err != nil {
+				t.Fatalf("%s size %d: %v", name, size, err)
+			}
+			if err := wl.Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			if wl.Model.NumShards() != 8 {
+				t.Errorf("%s: %d shards, want 8", name, wl.Model.NumShards())
+			}
+			if wl.DatasetSize == 0 || wl.BatchSize == 0 {
+				t.Errorf("%s: missing dataset metadata", name)
+			}
+		}
+	}
+}
+
+func TestDisableHiccups(t *testing.T) {
+	cfg := tinyConfig(t, scheme.Config{Base: scheme.ASP}, func(c *Config) {
+		c.DisableHiccups = true
+	})
+	cfg.applyDefaults()
+	if cfg.Net.Hiccups.Enabled() {
+		t.Error("hiccups should be disabled")
+	}
+	cfg2 := tinyConfig(t, scheme.Config{Base: scheme.ASP}, nil)
+	cfg2.applyDefaults()
+	if !cfg2.Net.Hiccups.Enabled() {
+		t.Error("hiccups should default on")
+	}
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"specsync/internal/core"
+	"specsync/internal/des"
+	"specsync/internal/metrics"
+	"specsync/internal/model"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/tensor"
+	"specsync/internal/trace"
+	"specsync/internal/worker"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	// Workload is the model + training profile (build with NewMF etc.).
+	Workload Workload
+	// Scheme is the synchronization scheme under test.
+	Scheme scheme.Config
+	// Workers is the cluster size m.
+	Workers int
+	// Servers is the number of parameter shards; zero means min(Workers, 8).
+	Servers int
+	// Seed drives all randomness (data order, jitter, init).
+	Seed int64
+	// Net is the simulated network; zero value means the EC2-like default
+	// (250 us latency, 1 Gbps links, 100 us jitter, and transient
+	// cluster-wide stalls scaled to the workload's iteration time).
+	Net des.NetModel
+	// DisableHiccups removes the transient-stall process from the default
+	// network model (ablation; ignored when Net is set explicitly).
+	DisableHiccups bool
+	// Speeds are per-worker compute speed factors; nil means homogeneous.
+	Speeds []float64
+	// MaxVirtual bounds the simulated duration. Required.
+	MaxVirtual time.Duration
+	// ConsecutiveBelow is the convergence streak length; zero means the
+	// paper's 5.
+	ConsecutiveBelow int
+	// RunPastConverge keeps simulating this long after convergence is
+	// detected (to extend learning curves); zero stops immediately.
+	RunPastConverge time.Duration
+	// KeepTrace retains the full event trace in the result.
+	KeepTrace bool
+	// AbortLateFrac overrides the workers' too-late-to-abort threshold
+	// (zero keeps the worker default of 0.9; 1 disables the cutoff).
+	AbortLateFrac float64
+	// MaxAbortFrac caps the adaptive speculation window as a fraction of
+	// the iteration time (zero means the default 0.125; the paper grid
+	// upper bound).
+	MaxAbortFrac float64
+	// RateMargin forwards core.SchedulerConfig.RateMargin (zero = default).
+	RateMargin float64
+	// CheckAtExpiryOnly forwards the paper-literal expiry-check mode.
+	CheckAtExpiryOnly bool
+	// RecordAccuracy also samples classification accuracy at each probe.
+	RecordAccuracy bool
+	// Debug, if non-nil, receives node logs.
+	Debug io.Writer
+	// OnTune forwards scheduler tuning decisions.
+	OnTune func(epoch int, t core.Tuning)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Servers == 0 {
+		c.Servers = c.Workers
+		if c.Servers > 8 {
+			c.Servers = 8
+		}
+	}
+	if c.ConsecutiveBelow == 0 {
+		c.ConsecutiveBelow = 5
+	}
+	zero := des.NetModel{}
+	if c.Net == zero {
+		c.Net = des.NetModel{
+			Latency:     250 * time.Microsecond,
+			BytesPerSec: 125e6, // ~1 Gbps
+			Jitter:      100 * time.Microsecond,
+		}
+		if !c.DisableHiccups {
+			// EC2-like transient stalls: roughly one per four iterations,
+			// lasting up to an iteration, so pushes queue and then land in
+			// bursts (the arrival pattern SpecSync exploits).
+			it := c.Workload.IterTime
+			c.Net.Hiccups = des.Hiccups{
+				MeanEvery: 4 * it,
+				MinDur:    it / 2,
+				MaxDur:    it * 5 / 4,
+			}
+		}
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// SchemeName is the human-readable scheme label.
+	SchemeName string
+	// Loss is the eval-loss time series.
+	Loss metrics.Series
+	// Accuracy is the eval-accuracy series (if requested and supported).
+	Accuracy metrics.Series
+	// IterSeries records total completed iterations at each probe time.
+	IterSeries metrics.Series
+	// TransferSeries records accumulated wire bytes at each probe time.
+	TransferSeries metrics.Series
+	// Converged reports whether the target was reached within MaxVirtual.
+	Converged bool
+	// ConvergeTime is the virtual time of convergence (start of the
+	// qualifying streak).
+	ConvergeTime time.Duration
+	// ItersAtConverge is the cluster-wide iteration count at convergence.
+	ItersAtConverge int64
+	// TotalIters is the cluster-wide iteration count at the end of the run.
+	TotalIters int64
+	// Aborts is the number of abort-and-restart events.
+	Aborts int64
+	// ReSyncs is the number of re-sync instructions the scheduler issued.
+	ReSyncs int64
+	// Epochs is the number of completed epochs.
+	Epochs int
+	// Elapsed is the total simulated duration.
+	Elapsed time.Duration
+	// Transfer is the per-kind byte accounting.
+	Transfer *metrics.Transfer
+	// Trace is the full event log (nil unless Config.KeepTrace).
+	Trace *trace.Collector
+	// FinalLoss is the last probed loss.
+	FinalLoss float64
+}
+
+// Run executes one simulated training job to convergence (or MaxVirtual).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 worker")
+	}
+	if cfg.Workload.Model.NumShards() < cfg.Workers {
+		return nil, fmt.Errorf("cluster: workload has %d data shards for %d workers",
+			cfg.Workload.Model.NumShards(), cfg.Workers)
+	}
+	if cfg.MaxVirtual <= 0 {
+		return nil, fmt.Errorf("cluster: MaxVirtual must be positive")
+	}
+	if cfg.Speeds != nil && len(cfg.Speeds) != cfg.Workers {
+		return nil, fmt.Errorf("cluster: %d speeds for %d workers", len(cfg.Speeds), cfg.Workers)
+	}
+	cfg.applyDefaults()
+
+	mdl := cfg.Workload.Model
+	dim := mdl.Dim()
+	ranges, err := ps.ShardRanges(dim, cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+
+	transfer := metrics.NewTransfer(msg.IsControl)
+	collector := trace.NewCollector()
+
+	sim, err := des.New(des.Config{
+		Seed:     cfg.Seed,
+		Net:      cfg.Net,
+		Registry: msg.Registry(),
+		Transfer: transfer,
+		Debug:    cfg.Debug,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Identical initial parameters for every scheme at the same seed.
+	initRng := rand.New(rand.NewSource(cfg.Seed ^ 0x1217))
+	initVec := mdl.Init(initRng)
+
+	servers := make([]*ps.Server, cfg.Servers)
+	for i, r := range ranges {
+		opt, err := optimizer.NewSGD(optimizer.SGDConfig{
+			Schedule: cfg.Workload.Schedule,
+			Momentum: cfg.Workload.Momentum,
+			Clip:     cfg.Workload.Clip,
+		}, r.Len())
+		if err != nil {
+			return nil, err
+		}
+		srv, err := ps.New(ps.Config{
+			Range:     r,
+			Init:      initVec[r.Lo:r.Hi],
+			Optimizer: opt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+		if err := sim.AddNode(node.ServerID(i), srv); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := make([]*worker.Worker, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		speed := 1.0
+		if cfg.Speeds != nil {
+			speed = cfg.Speeds[i]
+		}
+		wk, err := worker.New(worker.Config{
+			Index:  i,
+			Shards: ranges,
+			Model:  mdl,
+			Scheme: cfg.Scheme,
+			Compute: worker.ComputeModel{
+				Base:        cfg.Workload.IterTime,
+				Speed:       speed,
+				JitterSigma: cfg.Workload.JitterSigma,
+			},
+			Tracer:        collector,
+			AbortLateFrac: cfg.AbortLateFrac,
+			NumWorkers:    cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = wk
+		if err := sim.AddNode(node.WorkerID(i), wk); err != nil {
+			return nil, err
+		}
+	}
+
+	maxAbortFrac := cfg.MaxAbortFrac
+	if maxAbortFrac == 0 {
+		maxAbortFrac = 0.125
+	}
+	sched, err := core.NewScheduler(core.SchedulerConfig{
+		Workers:           cfg.Workers,
+		Scheme:            cfg.Scheme,
+		InitialSpan:       cfg.Workload.IterTime,
+		Tracer:            collector,
+		OnTune:            cfg.OnTune,
+		RateMargin:        cfg.RateMargin,
+		CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
+		Tuner: core.TunerConfig{
+			MinAbort: 4 * cfg.Net.Latency,
+			// With the eager threshold check, an abort costs only the time
+			// elapsed when the push rate crosses the threshold, so windows
+			// up to the paper's grid bound (half an iteration) are usable.
+			MaxAbort:      time.Duration(maxAbortFrac * float64(cfg.Workload.IterTime)),
+			MaxCandidates: 512,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.AddNode(node.Scheduler, sched); err != nil {
+		return nil, err
+	}
+
+	sim.Init()
+
+	res := &Result{
+		SchemeName: cfg.Scheme.Name(),
+		Transfer:   transfer,
+	}
+	accModel, hasAcc := mdl.(model.Accuracier)
+
+	probeVec := tensor.NewVec(dim)
+	assemble := func() tensor.Vec {
+		for i, r := range ranges {
+			copy(probeVec[r.Lo:r.Hi], servers[i].Params())
+		}
+		return probeVec
+	}
+	totalIters := func() int64 {
+		var n int64
+		for _, wk := range workers {
+			n += wk.IterationsDone()
+		}
+		return n
+	}
+
+	streak := 0
+	converged := false
+	var stopAt time.Time
+	var probe func()
+	probe = func() {
+		now := sim.Elapsed()
+		w := assemble()
+		loss := mdl.EvalLoss(w)
+		res.Loss.Add(now, loss)
+		res.IterSeries.Add(now, float64(totalIters()))
+		res.TransferSeries.Add(now, float64(transfer.TotalBytes()))
+		if cfg.RecordAccuracy && hasAcc {
+			res.Accuracy.Add(now, accModel.EvalAccuracy(w))
+		}
+		if !converged {
+			if loss < cfg.Workload.TargetLoss {
+				streak++
+			} else {
+				streak = 0
+			}
+			if streak >= cfg.ConsecutiveBelow {
+				converged = true
+				res.Converged = true
+				res.ItersAtConverge = totalIters()
+				stopAt = sim.Now().Add(cfg.RunPastConverge)
+			}
+		}
+		if converged && !sim.Now().Before(stopAt) {
+			sim.Stop()
+			return
+		}
+		sim.Schedule(cfg.Workload.EvalEvery, probe)
+	}
+	sim.Schedule(cfg.Workload.EvalEvery, probe)
+
+	sim.RunUntilIdle(cfg.MaxVirtual)
+
+	res.Elapsed = sim.Elapsed()
+	res.TotalIters = totalIters()
+	for _, wk := range workers {
+		res.Aborts += wk.Aborts()
+	}
+	res.ReSyncs = sched.ReSyncsSent()
+	res.Epochs = sched.Epoch()
+	res.FinalLoss = res.Loss.Last().V
+	if t, ok := res.Loss.TimeToConverge(cfg.Workload.TargetLoss, cfg.ConsecutiveBelow); ok {
+		res.ConvergeTime = t
+		res.Converged = true
+	}
+	if cfg.KeepTrace {
+		res.Trace = collector
+	}
+	return res, nil
+}

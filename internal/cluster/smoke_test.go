@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"specsync/internal/scheme"
+)
+
+func TestSmokeTinyASP(t *testing.T) {
+	wl, err := NewTiny(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Workload:   wl,
+		Scheme:     scheme.Config{Base: scheme.ASP},
+		Workers:    4,
+		Seed:       1,
+		MaxVirtual: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("converged=%v at %v, iters=%d, loss %v -> %v, epochs=%d",
+		res.Converged, res.ConvergeTime, res.TotalIters,
+		res.Loss.Points[0].V, res.FinalLoss, res.Epochs)
+	if !res.Converged {
+		t.Fatalf("tiny ASP did not converge; final loss %v", res.FinalLoss)
+	}
+}

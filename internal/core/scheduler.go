@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+	"specsync/internal/wire"
+)
+
+// SchedulerConfig configures the centralized SpecSync scheduler.
+type SchedulerConfig struct {
+	// Workers is the number of workers m.
+	Workers int
+	// Scheme selects the synchronization scheme.
+	Scheme scheme.Config
+	// Tuner bounds the adaptive search (Workers is filled automatically).
+	Tuner TunerConfig
+	// InitialSpan seeds the per-worker iteration-span estimate before any
+	// measurement exists (use the workload's nominal iteration time).
+	InitialSpan time.Duration
+	// SpanAlpha is the EWMA weight of a new span sample; zero means 0.3.
+	SpanAlpha float64
+	// HistoryLimit caps retained push records; zero means 32 * Workers.
+	HistoryLimit int
+	// Tracer, if non-nil, receives re-sync and epoch events.
+	Tracer trace.Tracer
+	// OnTune, if non-nil, is invoked after each adaptive tuning pass.
+	OnTune func(epoch int, t Tuning)
+	// CheckAtExpiryOnly restores the paper's literal Algorithm 2, which
+	// evaluates the push count once, when the speculation window expires.
+	// The default (eager) implementation issues the re-sync the moment the
+	// count crosses the threshold, so a burst of pushes landing mid-window
+	// aborts the worker immediately instead of up to ABORT_TIME later —
+	// same trigger condition, strictly earlier refresh. The ablation bench
+	// compares both.
+	CheckAtExpiryOnly bool
+	// RateMargin scales the adaptive ABORT_RATE (>= 1; zero means the
+	// default 2). The paper's Gamma = l~/m is the freshness break-even
+	// point; it prices the freshness lost by delaying the worker's push but
+	// not the computation thrown away by the restart itself. In this
+	// substrate that break-even triggers aborts on roughly half of all
+	// iterations, and the wasted compute cancels the freshness gains, so
+	// the default demands the expected gain clear the loss estimate by 2x.
+	// Set to 1 for the paper's literal threshold (ablation).
+	RateMargin float64
+}
+
+// Scheduler is the central coordinator (paper Fig. 7): it observes notify
+// messages from workers, runs the speculation check for each worker
+// (Algorithm 2, scheduler side), retunes hyperparameters each epoch
+// (Algorithm 1), and implements the BSP barrier and SSP clock services for
+// the baseline schemes.
+type Scheduler struct {
+	ctx node.Context
+	cfg SchedulerConfig
+	m   int
+
+	// Speculation state.
+	specEnabled bool
+	abortTime   time.Duration
+	rates       []float64
+	windows     []specWindow
+
+	// Push history and epoch tracking.
+	history    []PushRecord
+	lastNotify []time.Time
+	spanEWMA   []time.Duration
+	pushed     []bool
+	pushedN    int
+	epoch      atomic.Int64
+	epochStart time.Time
+
+	// BSP barrier state.
+	barrierN int
+	round    int64
+
+	// SSP clock state.
+	completed []int64
+	minClock  int64
+
+	resyncsSent atomic.Int64
+	tunes       int64
+}
+
+// specWindow tracks one worker's open speculation window.
+type specWindow struct {
+	armed     bool
+	deadline  time.Time
+	iter      int64 // iteration to abort if the threshold is met
+	threshold float64
+	cnt       int
+	cancel    node.CancelFunc
+}
+
+var _ node.Handler = (*Scheduler)(nil)
+
+// NewScheduler validates the configuration and builds the scheduler.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("core: scheduler needs at least 1 worker")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialSpan <= 0 {
+		return nil, fmt.Errorf("core: InitialSpan must be positive (nominal iteration time)")
+	}
+	if cfg.SpanAlpha == 0 {
+		cfg.SpanAlpha = 0.3
+	}
+	if cfg.SpanAlpha < 0 || cfg.SpanAlpha > 1 {
+		return nil, fmt.Errorf("core: SpanAlpha %v outside (0,1]", cfg.SpanAlpha)
+	}
+	if cfg.HistoryLimit == 0 {
+		cfg.HistoryLimit = 32 * cfg.Workers
+	}
+	if cfg.RateMargin == 0 {
+		cfg.RateMargin = 2
+	}
+	if cfg.RateMargin < 1 {
+		return nil, fmt.Errorf("core: RateMargin %v must be >= 1", cfg.RateMargin)
+	}
+	cfg.Tuner.Workers = cfg.Workers
+
+	s := &Scheduler{
+		cfg:        cfg,
+		m:          cfg.Workers,
+		lastNotify: make([]time.Time, cfg.Workers),
+		spanEWMA:   make([]time.Duration, cfg.Workers),
+		pushed:     make([]bool, cfg.Workers),
+		completed:  make([]int64, cfg.Workers),
+		rates:      make([]float64, cfg.Workers),
+		windows:    make([]specWindow, cfg.Workers),
+	}
+	for i := range s.spanEWMA {
+		s.spanEWMA[i] = cfg.InitialSpan
+	}
+	// Cherrypick starts speculating immediately with the fixed values;
+	// Adaptive waits for the first epoch of history.
+	if cfg.Scheme.Spec == scheme.SpecFixed {
+		s.specEnabled = true
+		s.abortTime = cfg.Scheme.AbortTime
+		for i := range s.rates {
+			s.rates[i] = cfg.Scheme.AbortRate
+		}
+	}
+	return s, nil
+}
+
+// Init implements node.Handler: it launches every worker.
+func (s *Scheduler) Init(ctx node.Context) {
+	s.ctx = ctx
+	s.epochStart = ctx.Now()
+	for i := 0; i < s.m; i++ {
+		ctx.Send(node.WorkerID(i), &msg.Start{})
+	}
+}
+
+// Receive implements node.Handler.
+func (s *Scheduler) Receive(from node.ID, m wire.Message) {
+	switch mm := m.(type) {
+	case *msg.Notify:
+		s.handleNotify(from, mm)
+	case *msg.Stop:
+		// The harness signals shutdown; nothing to tear down centrally.
+	default:
+		s.ctx.Logf("scheduler: unexpected message %T from %s", m, from)
+	}
+}
+
+// handleNotify is Algorithm 2's HandleNotification: record the push, start
+// the sender's speculation window, and service epoch/BSP/SSP bookkeeping.
+func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
+	i := node.WorkerIndex(from)
+	if i < 0 || i >= s.m {
+		s.ctx.Logf("scheduler: notify from non-worker %s", from)
+		return
+	}
+	now := s.ctx.Now()
+
+	// Iteration-span estimate (includes abort/restart overheads, which is
+	// what the loss model of Eq. 6 wants).
+	if !s.lastNotify[i].IsZero() {
+		span := now.Sub(s.lastNotify[i])
+		if span > 0 {
+			a := s.cfg.SpanAlpha
+			s.spanEWMA[i] = time.Duration((1-a)*float64(s.spanEWMA[i]) + a*float64(span))
+		}
+	}
+	s.lastNotify[i] = now
+
+	// Push history (bounded).
+	s.history = append(s.history, PushRecord{At: now, Worker: i})
+	if len(s.history) > s.cfg.HistoryLimit {
+		drop := len(s.history) - s.cfg.HistoryLimit
+		s.history = append(s.history[:0], s.history[drop:]...)
+	}
+
+	// Epoch tracking: an epoch completes when every worker pushed at least
+	// once since the previous boundary (paper Sec. II-B).
+	if !s.pushed[i] {
+		s.pushed[i] = true
+		s.pushedN++
+		if s.pushedN == s.m {
+			s.epochBoundary(now)
+		}
+	}
+
+	// Count this push into every other worker's open window, firing eager
+	// re-syncs as thresholds are crossed.
+	s.countIntoWindows(i, now)
+
+	// Open the sender's speculation window (Algorithm 2 lines 5-10,
+	// scheduler side). The iteration the sender is about to compute is
+	// n.Iter+1.
+	if s.specEnabled && s.abortTime > 0 {
+		s.armWindow(i, n.Iter+1, now)
+	}
+
+	// BSP barrier.
+	if s.cfg.Scheme.Base == scheme.BSP {
+		s.barrierN++
+		if s.barrierN == s.m {
+			s.barrierN = 0
+			s.round++
+			for w := 0; w < s.m; w++ {
+				s.ctx.Send(node.WorkerID(w), &msg.BarrierRelease{Round: s.round})
+			}
+		}
+	}
+
+	// SSP clocks.
+	if s.cfg.Scheme.Base == scheme.SSP {
+		if c := n.Iter + 1; c > s.completed[i] {
+			s.completed[i] = c
+		}
+		min := s.completed[0]
+		for _, c := range s.completed[1:] {
+			if c < min {
+				min = c
+			}
+		}
+		if min != s.minClock {
+			s.minClock = min
+			for w := 0; w < s.m; w++ {
+				s.ctx.Send(node.WorkerID(w), &msg.MinClock{Clock: min})
+			}
+		}
+	}
+}
+
+// armWindow opens worker i's speculation window. Any previous window is
+// replaced (it would have expired already in normal operation).
+func (s *Scheduler) armWindow(i int, abortIter int64, now time.Time) {
+	w := &s.windows[i]
+	if w.cancel != nil {
+		w.cancel()
+	}
+	rate := s.rates[i]
+	if s.cfg.Scheme.Spec == scheme.SpecAdaptive {
+		rate *= s.cfg.RateMargin
+	}
+	*w = specWindow{
+		armed:     true,
+		deadline:  now.Add(s.abortTime),
+		iter:      abortIter,
+		threshold: float64(s.m) * rate,
+	}
+	w.cancel = s.ctx.After(s.abortTime, func() {
+		s.expireWindow(i, abortIter)
+	})
+}
+
+// countIntoWindows is Algorithm 2's CheckResync counting, kept incrementally:
+// the push just received from `pusher` lands in every other worker's open
+// window. In eager mode the re-sync fires as soon as a window's threshold is
+// met; in expiry mode the count is merely accumulated.
+func (s *Scheduler) countIntoWindows(pusher int, now time.Time) {
+	for i := range s.windows {
+		w := &s.windows[i]
+		if !w.armed || i == pusher {
+			continue
+		}
+		if now.After(w.deadline) {
+			w.armed = false
+			continue
+		}
+		w.cnt++
+		if !s.cfg.CheckAtExpiryOnly && s.thresholdMet(w) {
+			s.fireResync(i, w)
+		}
+	}
+}
+
+// expireWindow is the paper's end-of-window check (and the disarm point for
+// eager mode).
+func (s *Scheduler) expireWindow(i int, abortIter int64) {
+	w := &s.windows[i]
+	if !w.armed || w.iter != abortIter {
+		return
+	}
+	if s.cfg.CheckAtExpiryOnly && s.thresholdMet(w) {
+		s.fireResync(i, w)
+		return
+	}
+	w.armed = false
+}
+
+// thresholdMet applies cnt >= m*ABORT_RATE with the degenerate guard that
+// zero fresh updates never justify a restart.
+func (s *Scheduler) thresholdMet(w *specWindow) bool {
+	return w.cnt >= 1 && float64(w.cnt) >= w.threshold
+}
+
+func (s *Scheduler) fireResync(i int, w *specWindow) {
+	w.armed = false
+	if w.cancel != nil {
+		w.cancel()
+		w.cancel = nil
+	}
+	s.resyncsSent.Add(1)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(trace.Event{At: s.ctx.Now(), Worker: i, Kind: trace.KindReSync, Iter: w.iter, Value: int64(w.cnt)})
+	}
+	s.ctx.Send(node.WorkerID(i), &msg.ReSync{Iter: w.iter})
+}
+
+// epochBoundary closes the epoch and, in adaptive mode, retunes the
+// hyperparameters from the finished epoch's push history (Algorithm 1).
+func (s *Scheduler) epochBoundary(now time.Time) {
+	epoch := s.epoch.Add(1)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(trace.Event{At: now, Worker: -1, Kind: trace.KindEpoch, Iter: epoch})
+	}
+	if s.cfg.Scheme.Spec == scheme.SpecAdaptive {
+		s.retune(now)
+	}
+	for i := range s.pushed {
+		s.pushed[i] = false
+	}
+	s.pushedN = 0
+	s.epochStart = now
+}
+
+func (s *Scheduler) retune(now time.Time) {
+	// Pushes of the finished epoch drive candidate generation.
+	var epochPushes []PushRecord
+	for _, rec := range s.history {
+		if rec.At.After(s.epochStart) && !rec.At.After(now) {
+			epochPushes = append(epochPushes, rec)
+		}
+	}
+	lastPull := make([]time.Time, s.m)
+	copy(lastPull, s.lastNotify)
+	spans := make([]time.Duration, s.m)
+	copy(spans, s.spanEWMA)
+
+	tcfg := s.cfg.Tuner
+	if tcfg.MaxAbort == 0 {
+		// Default ceiling: half the mean iteration span, mirroring the
+		// paper's grid-search bound.
+		var sum time.Duration
+		for _, sp := range spans {
+			sum += sp
+		}
+		tcfg.MaxAbort = sum / time.Duration(2*s.m)
+	}
+
+	tuning, err := Tune(tcfg, s.history, epochPushes, lastPull, spans)
+	if err != nil {
+		s.ctx.Logf("scheduler: tuner error: %v; speculation paused", err)
+		s.specEnabled = false
+		return
+	}
+	s.tunes++
+	s.specEnabled = tuning.Enabled
+	if tuning.Enabled {
+		s.abortTime = tuning.AbortTime
+		copy(s.rates, tuning.Rates)
+	}
+	if s.cfg.OnTune != nil {
+		s.cfg.OnTune(int(s.epoch.Load()), tuning)
+	}
+}
+
+// Epoch returns the number of completed epochs. Safe for concurrent use.
+func (s *Scheduler) Epoch() int { return int(s.epoch.Load()) }
+
+// ReSyncsSent returns the number of re-sync instructions issued. Safe for
+// concurrent use.
+func (s *Scheduler) ReSyncsSent() int64 { return s.resyncsSent.Load() }
+
+// Hyperparameters returns the current speculation state (for tests and
+// experiment reporting).
+func (s *Scheduler) Hyperparameters() (enabled bool, abortTime time.Duration, rates []float64) {
+	out := make([]float64, len(s.rates))
+	copy(out, s.rates)
+	return s.specEnabled, s.abortTime, out
+}
+
+// SpanEstimates returns the current per-worker iteration span estimates.
+func (s *Scheduler) SpanEstimates() []time.Duration {
+	out := make([]time.Duration, len(s.spanEWMA))
+	copy(out, s.spanEWMA)
+	return out
+}

@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: the SpecSync
+// centralized scheduler (Algorithm 2, scheduler side) and the adaptive
+// hyperparameter tuner (Algorithm 1) that maximizes the estimated freshness
+// improvement of Eq. (7).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PushRecord is one observed push (notify) event.
+type PushRecord struct {
+	At     time.Time
+	Worker int
+}
+
+// TunerConfig bounds the tuner's search.
+type TunerConfig struct {
+	// Workers is the cluster size m.
+	Workers int
+	// MinAbort clamps the smallest usable ABORT_TIME. Below ~2x network
+	// latency a speculation window cannot observe anything; zero means no
+	// floor.
+	MinAbort time.Duration
+	// MaxAbort clamps the largest candidate. The paper's grid search uses
+	// half of the iteration time as its upper bound; the cluster harness
+	// passes the same here. Zero means no ceiling.
+	MaxAbort time.Duration
+	// MaxCandidates caps the candidate set by even sub-sampling, bounding
+	// tuning cost on epochs with many pushes. Zero means unlimited.
+	MaxCandidates int
+}
+
+// Tuning is the tuner's output: the new hyperparameters for one epoch.
+type Tuning struct {
+	// Enabled is false when no candidate yields a positive estimated
+	// freshness improvement; speculation pauses for the epoch.
+	Enabled bool
+	// AbortTime is the chosen speculation window Delta*.
+	AbortTime time.Duration
+	// Rates[i] is worker i's ABORT_RATE: Delta*(m-1) / (T_i * m). A worker
+	// aborts when the number of peer pushes observed in its window reaches
+	// m*Rates[i] (paper Algorithm 2 line 9).
+	Rates []float64
+	// Improvement is the estimated overall freshness improvement F~(Delta*)
+	// of Eq. (7) at the chosen window.
+	Improvement float64
+	// Candidates is the number of distinct windows evaluated.
+	Candidates int
+}
+
+// Tune runs Algorithm 1. Inputs:
+//
+//   - history: every retained push, sorted by time ascending. Windows are
+//     counted against this full list so that windows extending past the
+//     epoch boundary still see the pushes that landed there.
+//   - epochPushes: the pushes of the just-finished epoch; candidate windows
+//     are the pairwise time gaps between them (the paper's observation that
+//     the optimum right-aligns a window with some push).
+//   - lastPull[i]: worker i's last pull time in the finished epoch. The
+//     scheduler uses the notify timestamp as its proxy, because a worker
+//     pulls immediately after pushing (Algorithm 2 worker lines 8-9).
+//   - iterSpan[i]: worker i's estimated iteration span T_i.
+//
+// The freshness gain estimate is u~_i(Delta) = number of pushes by peers in
+// (lastPull_i, lastPull_i + Delta] (Eq. 5, using the previous epoch as the
+// predictor), and the loss estimate is Delta * (m-1) / T_i (Eq. 6).
+func Tune(cfg TunerConfig, history, epochPushes []PushRecord, lastPull []time.Time, iterSpan []time.Duration) (Tuning, error) {
+	m := cfg.Workers
+	if m < 2 {
+		return Tuning{}, fmt.Errorf("core: tuner needs at least 2 workers, got %d", m)
+	}
+	if len(lastPull) != m || len(iterSpan) != m {
+		return Tuning{}, fmt.Errorf("core: tuner inputs sized %d/%d, want %d", len(lastPull), len(iterSpan), m)
+	}
+	for i, span := range iterSpan {
+		if span <= 0 {
+			return Tuning{}, fmt.Errorf("core: worker %d has non-positive iteration span %v", i, span)
+		}
+	}
+	if !sort.SliceIsSorted(history, func(i, j int) bool { return history[i].At.Before(history[j].At) }) {
+		return Tuning{}, fmt.Errorf("core: history not sorted by time")
+	}
+
+	candidates := candidateWindows(cfg, epochPushes, lastPull)
+	if len(candidates) == 0 {
+		return Tuning{Enabled: false, Candidates: 0}, nil
+	}
+
+	// Index pushes for O(log n) window counting: all pushes and per-worker.
+	allTimes := make([]time.Time, len(history))
+	perWorker := make(map[int][]time.Time, m)
+	for i, p := range history {
+		allTimes[i] = p.At
+		perWorker[p.Worker] = append(perWorker[p.Worker], p.At)
+	}
+
+	countIn := func(ts []time.Time, after, upTo time.Time) int {
+		lo := sort.Search(len(ts), func(i int) bool { return ts[i].After(after) })
+		hi := sort.Search(len(ts), func(i int) bool { return ts[i].After(upTo) })
+		return hi - lo
+	}
+
+	best := Tuning{Enabled: false, Candidates: len(candidates)}
+	for _, delta := range candidates {
+		var f float64
+		for i := 0; i < m; i++ {
+			hi := lastPull[i].Add(delta)
+			gain := countIn(allTimes, lastPull[i], hi) - countIn(perWorker[i], lastPull[i], hi)
+			loss := float64(delta) * float64(m-1) / float64(iterSpan[i])
+			f += float64(gain) - loss
+		}
+		if !best.Enabled || f > best.Improvement {
+			best.Enabled = true
+			best.Improvement = f
+			best.AbortTime = delta
+		}
+	}
+	if best.Improvement <= 0 {
+		// Even the best window loses more freshness than it gains; pause
+		// speculation for the coming epoch.
+		return Tuning{Enabled: false, Candidates: len(candidates)}, nil
+	}
+
+	best.Rates = make([]float64, m)
+	for i := 0; i < m; i++ {
+		best.Rates[i] = float64(best.AbortTime) * float64(m-1) / (float64(iterSpan[i]) * float64(m))
+	}
+	return best, nil
+}
+
+// candidateWindows produces the distinct gaps between each epoch push and
+// each worker's last pull, clamped and optionally sub-sampled. The gain
+// estimate u~_i(Delta) is a step function that increments exactly when
+// lastPull_i + Delta crosses a push time, while the loss is linear in Delta,
+// so the optimum right-aligns some worker's window with some push — i.e. it
+// lies in this set. (Paper Algorithm 1 uses pairwise push gaps, which is the
+// same set under its pull-follows-push proxy; using push-pull gaps keeps the
+// search exact even when the two diverge.)
+func candidateWindows(cfg TunerConfig, pushes []PushRecord, lastPull []time.Time) []time.Duration {
+	set := make(map[time.Duration]struct{})
+	for _, p := range pushes {
+		for _, lp := range lastPull {
+			d := p.At.Sub(lp)
+			if d <= 0 {
+				continue
+			}
+			if cfg.MinAbort > 0 && d < cfg.MinAbort {
+				continue
+			}
+			if cfg.MaxAbort > 0 && d > cfg.MaxAbort {
+				continue
+			}
+			set[d] = struct{}{}
+		}
+	}
+	out := make([]time.Duration, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if cfg.MaxCandidates > 0 && len(out) > cfg.MaxCandidates {
+		sampled := make([]time.Duration, 0, cfg.MaxCandidates)
+		step := float64(len(out)-1) / float64(cfg.MaxCandidates-1)
+		for i := 0; i < cfg.MaxCandidates; i++ {
+			sampled = append(sampled, out[int(float64(i)*step+0.5)])
+		}
+		out = sampled
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package data generates the synthetic datasets that stand in for the
+// paper's benchmarks. The paper trains on CIFAR-10, ImageNet and MovieLens;
+// none is available offline, so we substitute generators that preserve the
+// properties the experiments exercise: a classification task whose loss
+// decreases under SGD and degrades under stale gradients (blobs), and a
+// sparse low-rank ratings matrix for matrix factorization.
+//
+// Shards can be made non-IID (each worker holds a class- or user-skewed
+// subset), matching the paper's setting where training data is partitioned
+// across workers; non-IID shards are what make peer updates informative and
+// parameter freshness valuable.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sample is one labeled feature vector.
+type Sample struct {
+	X []float64
+	Y int // class label in [0, Classes)
+}
+
+// BlobsConfig parameterizes the Gaussian-blobs classification dataset.
+type BlobsConfig struct {
+	Classes int     // number of classes (10 for CIFAR-like, 100 for ImageNet-like)
+	Dim     int     // feature dimension
+	N       int     // number of training samples
+	EvalN   int     // number of held-out evaluation samples
+	Spread  float64 // cluster center scale; larger = easier separation
+	Noise   float64 // within-class standard deviation
+	// ScaleSpread makes the features ill-conditioned: per-dimension scale
+	// factors are drawn log-uniformly from [1/ScaleSpread, ScaleSpread]
+	// (applied to centers and noise alike), giving the loss surface a wide
+	// curvature spectrum like unnormalized real-world features. Values <= 1
+	// disable it. Ill-conditioning is what makes training sensitive to
+	// gradient staleness: as the effective staleness grows, progressively
+	// more sharp directions become unstable.
+	ScaleSpread float64
+	Seed        int64
+}
+
+// Blobs is a synthetic classification dataset: K Gaussian clusters in
+// Dim-dimensional space, one per class.
+type Blobs struct {
+	cfg     BlobsConfig
+	centers [][]float64
+	scales  []float64
+	Train   []Sample
+	Eval    []Sample
+}
+
+// NewBlobs generates the dataset deterministically from cfg.Seed.
+func NewBlobs(cfg BlobsConfig) (*Blobs, error) {
+	if cfg.Classes < 2 || cfg.Dim < 1 || cfg.N < cfg.Classes || cfg.EvalN < 1 {
+		return nil, fmt.Errorf("data: invalid blobs config %+v", cfg)
+	}
+	if cfg.Spread <= 0 || cfg.Noise <= 0 {
+		return nil, fmt.Errorf("data: spread and noise must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &Blobs{cfg: cfg}
+	b.scales = make([]float64, cfg.Dim)
+	for d := range b.scales {
+		b.scales[d] = 1
+		if cfg.ScaleSpread > 1 {
+			// Log-uniform in [1/S, S].
+			lo, hi := math.Log(1/cfg.ScaleSpread), math.Log(cfg.ScaleSpread)
+			b.scales[d] = math.Exp(lo + rng.Float64()*(hi-lo))
+		}
+	}
+	b.centers = make([][]float64, cfg.Classes)
+	for k := range b.centers {
+		c := make([]float64, cfg.Dim)
+		for d := range c {
+			c[d] = rng.NormFloat64() * cfg.Spread * b.scales[d]
+		}
+		b.centers[k] = c
+	}
+	b.Train = b.draw(cfg.N, rng)
+	b.Eval = b.draw(cfg.EvalN, rng)
+	return b, nil
+}
+
+func (b *Blobs) draw(n int, rng *rand.Rand) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		k := i % b.cfg.Classes // balanced classes
+		x := make([]float64, b.cfg.Dim)
+		for d := range x {
+			x[d] = b.centers[k][d] + rng.NormFloat64()*b.cfg.Noise*b.scales[d]
+		}
+		out[i] = Sample{X: x, Y: k}
+	}
+	return out
+}
+
+// Config returns the generating configuration.
+func (b *Blobs) Config() BlobsConfig { return b.cfg }
+
+// ShardSamples partitions samples into m shards. With iid=true, samples are
+// dealt round-robin (each shard sees every class). With iid=false, samples
+// are grouped by class first, so each shard over-represents a few classes —
+// the realistic distributed-training regime in which missing peer updates
+// genuinely costs model quality.
+func ShardSamples(samples []Sample, m int, iid bool, seed int64) ([][]Sample, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("data: shard count %d < 1", m)
+	}
+	if len(samples) < m {
+		return nil, fmt.Errorf("data: %d samples cannot fill %d shards", len(samples), m)
+	}
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if iid {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	} else {
+		// Group by class, shuffling within each class, then deal contiguous
+		// chunks so each shard sees a skewed class mix.
+		byClass := map[int][]int{}
+		for i, s := range samples {
+			byClass[s.Y] = append(byClass[s.Y], i)
+		}
+		order = order[:0]
+		maxClass := 0
+		for k := range byClass {
+			if k > maxClass {
+				maxClass = k
+			}
+		}
+		for k := 0; k <= maxClass; k++ {
+			idxs := byClass[k]
+			rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+			order = append(order, idxs...)
+		}
+	}
+	shards := make([][]Sample, m)
+	per := len(order) / m
+	for s := 0; s < m; s++ {
+		lo := s * per
+		hi := lo + per
+		if s == m-1 {
+			hi = len(order)
+		}
+		shard := make([]Sample, 0, hi-lo)
+		for _, ix := range order[lo:hi] {
+			shard = append(shard, samples[ix])
+		}
+		shards[s] = shard
+	}
+	return shards, nil
+}

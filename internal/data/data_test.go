@@ -1,0 +1,199 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBlobsDeterministic(t *testing.T) {
+	cfg := BlobsConfig{Classes: 3, Dim: 4, N: 30, EvalN: 9, Spread: 2, Noise: 0.5, Seed: 7}
+	a, err := NewBlobs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBlobs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if a.Train[i].Y != b.Train[i].Y {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for d := range a.Train[i].X {
+			if a.Train[i].X[d] != b.Train[i].X[d] {
+				t.Fatal("features differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestNewBlobsValidation(t *testing.T) {
+	bad := []BlobsConfig{
+		{Classes: 1, Dim: 4, N: 30, EvalN: 9, Spread: 2, Noise: 0.5},
+		{Classes: 3, Dim: 0, N: 30, EvalN: 9, Spread: 2, Noise: 0.5},
+		{Classes: 3, Dim: 4, N: 2, EvalN: 9, Spread: 2, Noise: 0.5},
+		{Classes: 3, Dim: 4, N: 30, EvalN: 0, Spread: 2, Noise: 0.5},
+		{Classes: 3, Dim: 4, N: 30, EvalN: 9, Spread: 0, Noise: 0.5},
+		{Classes: 3, Dim: 4, N: 30, EvalN: 9, Spread: 2, Noise: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBlobs(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestBlobsBalancedClasses(t *testing.T) {
+	b, err := NewBlobs(BlobsConfig{Classes: 5, Dim: 3, N: 100, EvalN: 25, Spread: 2, Noise: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, s := range b.Train {
+		counts[s.Y]++
+	}
+	for k := 0; k < 5; k++ {
+		if counts[k] != 20 {
+			t.Errorf("class %d has %d samples, want 20", k, counts[k])
+		}
+	}
+}
+
+func TestShardSamplesPartition(t *testing.T) {
+	b, err := NewBlobs(BlobsConfig{Classes: 4, Dim: 2, N: 103, EvalN: 10, Spread: 2, Noise: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iid := range []bool{true, false} {
+		shards, err := ShardSamples(b.Train, 8, iid, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, sh := range shards {
+			if len(sh) == 0 {
+				t.Error("empty shard")
+			}
+			total += len(sh)
+		}
+		if total != len(b.Train) {
+			t.Errorf("iid=%v: shards hold %d samples, want %d", iid, total, len(b.Train))
+		}
+	}
+}
+
+func TestShardSamplesNonIIDIsSkewed(t *testing.T) {
+	b, err := NewBlobs(BlobsConfig{Classes: 10, Dim: 2, N: 1000, EvalN: 10, Spread: 2, Noise: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ShardSamples(b.Train, 10, false, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With class-grouped dealing, the first shard must see far fewer than
+	// all 10 classes.
+	classes := map[int]bool{}
+	for _, s := range shards[0] {
+		classes[s.Y] = true
+	}
+	if len(classes) > 3 {
+		t.Errorf("non-IID shard 0 sees %d classes, want <= 3", len(classes))
+	}
+}
+
+func TestShardSamplesErrors(t *testing.T) {
+	samples := []Sample{{X: []float64{1}, Y: 0}}
+	if _, err := ShardSamples(samples, 0, true, 1); err == nil {
+		t.Error("expected error for m=0")
+	}
+	if _, err := ShardSamples(samples, 5, true, 1); err == nil {
+		t.Error("expected error for too few samples")
+	}
+}
+
+func TestNewRatingsShapeAndScale(t *testing.T) {
+	r, err := NewRatings(RatingsConfig{Users: 50, Items: 40, TrueRank: 4, N: 2000, EvalN: 200, Noise: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Train) != 2000 || len(r.Eval) != 200 {
+		t.Fatalf("sizes: %d train, %d eval", len(r.Train), len(r.Eval))
+	}
+	var sumSq float64
+	for _, rt := range r.Train {
+		if rt.User < 0 || rt.User >= 50 || rt.Item < 0 || rt.Item >= 40 {
+			t.Fatalf("rating out of range: %+v", rt)
+		}
+		sumSq += rt.Value * rt.Value
+	}
+	// Values are normalized to O(1): second moment should be near
+	// 1 + noise^2 (it is a product of unit normals scaled by 1/sqrt(rank)).
+	second := sumSq / float64(len(r.Train))
+	if second < 0.3 || second > 3 {
+		t.Errorf("rating second moment %v outside sane range", second)
+	}
+}
+
+func TestRatingsValidation(t *testing.T) {
+	if _, err := NewRatings(RatingsConfig{Users: 0, Items: 1, TrueRank: 1, N: 1, EvalN: 1}); err == nil {
+		t.Error("expected error for zero users")
+	}
+	if _, err := NewRatings(RatingsConfig{Users: 1, Items: 1, TrueRank: 1, N: 1, EvalN: 1, Noise: -1}); err == nil {
+		t.Error("expected error for negative noise")
+	}
+}
+
+func TestShardRatingsNonIIDGroupsUsers(t *testing.T) {
+	r, err := NewRatings(RatingsConfig{Users: 100, Items: 20, TrueRank: 2, N: 5000, EvalN: 10, Noise: 0.1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ShardRatings(r.Train, 10, false, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each non-IID shard should cover a narrow user range.
+	for s, sh := range shards {
+		lo, hi := math.MaxInt32, -1
+		for _, rt := range sh {
+			if rt.User < lo {
+				lo = rt.User
+			}
+			if rt.User > hi {
+				hi = rt.User
+			}
+		}
+		if span := hi - lo; span > 30 {
+			t.Errorf("shard %d spans %d users, want narrow range", s, span)
+		}
+	}
+}
+
+func TestQuickShardPreservesCount(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		r, err := NewRatings(RatingsConfig{Users: 10, Items: 10, TrueRank: 2, N: 200, EvalN: 5, Noise: 0.1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		m := int(mRaw%16) + 1
+		for _, iid := range []bool{true, false} {
+			shards, err := ShardRatings(r.Train, m, iid, seed)
+			if err != nil {
+				return false
+			}
+			total := 0
+			for _, sh := range shards {
+				total += len(sh)
+			}
+			if total != len(r.Train) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

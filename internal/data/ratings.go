@@ -1,0 +1,118 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Rating is one observed (user, item, value) triple.
+type Rating struct {
+	User, Item int
+	Value      float64
+}
+
+// RatingsConfig parameterizes the synthetic MovieLens substitute: a hidden
+// low-rank matrix plus observation noise, sampled sparsely.
+type RatingsConfig struct {
+	Users, Items int
+	TrueRank     int     // rank of the hidden ground-truth factorization
+	N            int     // number of observed training ratings
+	EvalN        int     // number of held-out ratings
+	Noise        float64 // observation noise stddev
+	Seed         int64
+}
+
+// Ratings is the generated dataset.
+type Ratings struct {
+	cfg   RatingsConfig
+	Train []Rating
+	Eval  []Rating
+}
+
+// NewRatings generates a dataset deterministically from cfg.Seed. Ground
+// truth is R = P Q^T / sqrt(rank) with standard-normal factors, so observed
+// values are O(1).
+func NewRatings(cfg RatingsConfig) (*Ratings, error) {
+	if cfg.Users < 1 || cfg.Items < 1 || cfg.TrueRank < 1 || cfg.N < 1 || cfg.EvalN < 1 {
+		return nil, fmt.Errorf("data: invalid ratings config %+v", cfg)
+	}
+	if cfg.Noise < 0 {
+		return nil, fmt.Errorf("data: noise must be non-negative")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := randMat(cfg.Users, cfg.TrueRank, rng)
+	q := randMat(cfg.Items, cfg.TrueRank, rng)
+	scale := 1.0 / math.Sqrt(float64(cfg.TrueRank))
+
+	draw := func(n int) []Rating {
+		out := make([]Rating, n)
+		for i := range out {
+			u := rng.Intn(cfg.Users)
+			v := rng.Intn(cfg.Items)
+			var dot float64
+			for r := 0; r < cfg.TrueRank; r++ {
+				dot += p[u][r] * q[v][r]
+			}
+			out[i] = Rating{User: u, Item: v, Value: dot*scale + rng.NormFloat64()*cfg.Noise}
+		}
+		return out
+	}
+	return &Ratings{cfg: cfg, Train: draw(cfg.N), Eval: draw(cfg.EvalN)}, nil
+}
+
+// Config returns the generating configuration.
+func (r *Ratings) Config() RatingsConfig { return r.cfg }
+
+// ShardRatings partitions ratings across m workers. With iid=false the
+// ratings are ordered by user id before dealing contiguous chunks, giving
+// each worker a user-skewed shard (as a real system that partitions by user
+// range would).
+func ShardRatings(ratings []Rating, m int, iid bool, seed int64) ([][]Rating, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("data: shard count %d < 1", m)
+	}
+	if len(ratings) < m {
+		return nil, fmt.Errorf("data: %d ratings cannot fill %d shards", len(ratings), m)
+	}
+	order := make([]int, len(ratings))
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if iid {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	} else {
+		// Sort indices by user, breaking ties randomly via a pre-shuffle.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sort.SliceStable(order, func(a, b int) bool { return ratings[order[a]].User < ratings[order[b]].User })
+	}
+	shards := make([][]Rating, m)
+	per := len(order) / m
+	for s := 0; s < m; s++ {
+		lo := s * per
+		hi := lo + per
+		if s == m-1 {
+			hi = len(order)
+		}
+		shard := make([]Rating, 0, hi-lo)
+		for _, ix := range order[lo:hi] {
+			shard = append(shard, ratings[ix])
+		}
+		shards[s] = shard
+	}
+	return shards, nil
+}
+
+func randMat(rows, cols int, rng *rand.Rand) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		row := make([]float64, cols)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		m[i] = row
+	}
+	return m
+}

@@ -1,0 +1,341 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+const pingKind wire.Kind = 100
+
+type ping struct {
+	Seq     int
+	Payload []byte
+}
+
+func (p *ping) Kind() wire.Kind { return pingKind }
+func (p *ping) Encode(w *wire.Writer) {
+	w.Int(p.Seq)
+	w.Bytes2(p.Payload)
+}
+func (p *ping) Decode(r *wire.Reader) {
+	p.Seq = r.Int()
+	p.Payload = r.Bytes()
+}
+
+func reg() *wire.Registry {
+	return wire.NewRegistry([]wire.RegistryEntry{
+		{Kind: pingKind, Name: "ping", New: func() wire.Message { return &ping{} }},
+	})
+}
+
+// echoNode replies to every ping and records what it saw with timestamps.
+type echoNode struct {
+	ctx   node.Context
+	seen  []string
+	reply bool
+}
+
+func (e *echoNode) Init(ctx node.Context) { e.ctx = ctx }
+func (e *echoNode) Receive(from node.ID, m wire.Message) {
+	p := m.(*ping)
+	e.seen = append(e.seen, fmt.Sprintf("%s:%d@%d", from, p.Seq, e.ctx.Now().UnixNano()))
+	if e.reply {
+		e.ctx.Send(from, &ping{Seq: p.Seq + 1000})
+	}
+}
+
+func newSim(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = reg()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMessageDeliveryWithLatency(t *testing.T) {
+	s := newSim(t, Config{Seed: 1, Net: NetModel{Latency: 5 * time.Millisecond}})
+	a, b := &echoNode{}, &echoNode{reply: true}
+	if err := s.AddNode("worker/0", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddNode("worker/1", b); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+
+	start := s.Now()
+	s.nodes["worker/0"].Send("worker/1", &ping{Seq: 1})
+	s.RunUntilIdle(time.Second)
+
+	if len(b.seen) != 1 || len(a.seen) != 1 {
+		t.Fatalf("seen: a=%v b=%v", a.seen, b.seen)
+	}
+	// Round trip should have consumed exactly 2x latency.
+	if got := s.Now().Sub(start); got != 10*time.Millisecond {
+		t.Errorf("round trip took %v, want 10ms", got)
+	}
+}
+
+func TestBandwidthSerializesLink(t *testing.T) {
+	// Two 1000-byte-ish messages over a 1000 B/s link must arrive ~1s apart.
+	s := newSim(t, Config{Seed: 1, Net: NetModel{BytesPerSec: 1000}})
+	recv := &echoNode{}
+	if err := s.AddNode("server/0", recv); err != nil {
+		t.Fatal(err)
+	}
+	send := &echoNode{}
+	if err := s.AddNode("worker/0", send); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+
+	payload := make([]byte, 995)
+	s.nodes["worker/0"].Send("server/0", &ping{Seq: 1, Payload: payload})
+	s.nodes["worker/0"].Send("server/0", &ping{Seq: 2, Payload: payload})
+	s.RunUntilIdle(time.Minute)
+
+	if len(recv.seen) != 2 {
+		t.Fatalf("seen %d messages", len(recv.seen))
+	}
+	// Second arrival must be at roughly double the first (serialized link).
+	elapsed := s.Elapsed()
+	if elapsed < 1900*time.Millisecond || elapsed > 2200*time.Millisecond {
+		t.Errorf("final arrival at %v, want ~2s", elapsed)
+	}
+}
+
+func TestIndependentLinksDoNotSerialize(t *testing.T) {
+	s := newSim(t, Config{Seed: 1, Net: NetModel{BytesPerSec: 1000}})
+	recv := &echoNode{}
+	if err := s.AddNode("server/0", recv); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.AddNode(node.WorkerID(i), &echoNode{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Init()
+	payload := make([]byte, 995)
+	s.nodes["worker/0"].Send("server/0", &ping{Seq: 1, Payload: payload})
+	s.nodes["worker/1"].Send("server/0", &ping{Seq: 2, Payload: payload})
+	s.RunUntilIdle(time.Minute)
+	// Different source links: both messages take ~1s in parallel.
+	if e := s.Elapsed(); e > 1200*time.Millisecond {
+		t.Errorf("parallel links took %v, want ~1s", e)
+	}
+}
+
+func TestTimerOrderingAndCancel(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	n := &echoNode{}
+	if err := s.AddNode("worker/0", n); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+	ctx := s.nodes["worker/0"]
+
+	var fired []int
+	ctx.After(30*time.Millisecond, func() { fired = append(fired, 3) })
+	ctx.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	cancel := ctx.After(20*time.Millisecond, func() { fired = append(fired, 2) })
+	cancel()
+	cancel() // double-cancel must be safe
+	s.RunUntilIdle(time.Second)
+
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Errorf("fired = %v, want [1 3]", fired)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	if err := s.AddNode("worker/0", &echoNode{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+	ctx := s.nodes["worker/0"]
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		ctx.After(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunUntilIdle(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestRunForAdvancesTimeWhenIdle(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	s.Init()
+	s.RunFor(7 * time.Second)
+	if s.Elapsed() != 7*time.Second {
+		t.Errorf("Elapsed = %v", s.Elapsed())
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	n := &echoNode{}
+	if err := s.AddNode("worker/0", n); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+	s.nodes["worker/0"].Send("worker/99", &ping{Seq: 1})
+	s.RunUntilIdle(time.Second) // must not panic
+	if s.Delivered() != 0 {
+		t.Errorf("Delivered = %d", s.Delivered())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	if err := s.AddNode("worker/0", &echoNode{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+	ctx := s.nodes["worker/0"]
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 5 {
+			s.Stop()
+		}
+		ctx.After(time.Millisecond, tick)
+	}
+	ctx.After(time.Millisecond, tick)
+	if got := s.RunUntilIdle(time.Minute); got != "stopped" {
+		t.Errorf("RunUntilIdle = %q", got)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+type transferLog struct {
+	lines []string
+}
+
+func (tl *transferLog) RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time) {
+	tl.lines = append(tl.lines, fmt.Sprintf("%s->%s k%d %dB @%d", from, to, kind, bytes, at.UnixNano()))
+}
+
+// TestDeterminism runs an identical multi-node ping storm twice and demands
+// identical transfer logs and node observations.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]string, []string) {
+		tl := &transferLog{}
+		s := newSim(t, Config{
+			Seed:     42,
+			Net:      NetModel{Latency: time.Millisecond, Jitter: 3 * time.Millisecond, BytesPerSec: 1e6},
+			Transfer: tl,
+		})
+		nodes := make([]*echoNode, 4)
+		for i := range nodes {
+			nodes[i] = &echoNode{}
+			if err := s.AddNode(node.WorkerID(i), nodes[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Init()
+		// Each node fires pings to every other node on a random-jittered
+		// timer chain driven by its own deterministic RNG.
+		for i := range nodes {
+			i := i
+			ctx := s.nodes[node.WorkerID(i)]
+			var loop func()
+			n := 0
+			loop = func() {
+				if n >= 10 {
+					return
+				}
+				n++
+				to := node.WorkerID(ctx.Rand().Intn(4))
+				ctx.Send(to, &ping{Seq: n, Payload: make([]byte, ctx.Rand().Intn(100))})
+				ctx.After(time.Duration(ctx.Rand().Intn(5000))*time.Microsecond, loop)
+			}
+			ctx.After(0, loop)
+		}
+		s.RunUntilIdle(time.Minute)
+		var seen []string
+		for _, n := range nodes {
+			seen = append(seen, n.seen...)
+		}
+		return tl.lines, seen
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if len(l1) == 0 {
+		t.Fatal("no transfers recorded")
+	}
+	if fmt.Sprint(l1) != fmt.Sprint(l2) {
+		t.Error("transfer logs differ across identical runs")
+	}
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Error("node observations differ across identical runs")
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	if err := s.AddNode("worker/0", &echoNode{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddNode("worker/0", &echoNode{}); err == nil {
+		t.Error("expected duplicate error")
+	}
+	if err := s.AddNode("worker/1", nil); err == nil {
+		t.Error("expected nil handler error")
+	}
+	s.Init()
+	if err := s.AddNode("worker/2", &echoNode{}); err == nil {
+		t.Error("expected post-Init error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected registry-required error")
+	}
+	if _, err := New(Config{Registry: reg(), Net: NetModel{Latency: -1}}); err == nil {
+		t.Error("expected negative-latency error")
+	}
+}
+
+func TestScheduleCancel(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	s.Init()
+	fired := false
+	cancel := s.Schedule(time.Millisecond, func() { fired = true })
+	cancel()
+	s.RunUntilIdle(time.Second)
+	if fired {
+		t.Error("canceled schedule fired")
+	}
+}
+
+func TestNodeHandlerAccessor(t *testing.T) {
+	s := newSim(t, Config{Seed: 1})
+	n := &echoNode{}
+	if err := s.AddNode("worker/0", n); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NodeHandler("worker/0"); got != n {
+		t.Error("NodeHandler returned wrong handler")
+	}
+	if got := s.NodeHandler("worker/9"); got != nil {
+		t.Error("NodeHandler for unknown id should be nil")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"specsync/internal/metrics"
+)
+
+// WriteSeriesCSV exports named time series on a shared union time axis, one
+// row per distinct sample time, empty cells where a series has no sample at
+// or before that time yet. The output plots directly in any tool.
+func WriteSeriesCSV(w io.Writer, xLabel string, names []string, series []*metrics.Series) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("experiments: %d names for %d series", len(names), len(series))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{xLabel}, names...)); err != nil {
+		return err
+	}
+
+	// Union of sample times.
+	seen := map[time.Duration]struct{}{}
+	var times []time.Duration
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, dup := seen[p.T]; !dup {
+				seen[p.T] = struct{}{}
+				times = append(times, p.T)
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	for _, at := range times {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, strconv.FormatFloat(at.Seconds(), 'f', 3, 64))
+		for _, s := range series {
+			if s.Len() == 0 || s.Points[0].T > at {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(s.ValueAt(at), 'g', 8, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVFig8 exports each workload's loss curves from a Fig8 run.
+func (r *Fig8Result) CSVFig8(open func(name string) (io.WriteCloser, error)) error {
+	for _, fw := range r.PerWorkload {
+		f, err := open(fmt.Sprintf("fig8_%s.csv", fw.Workload))
+		if err != nil {
+			return err
+		}
+		err = WriteSeriesCSV(f, "seconds", fw.Schemes, fw.Loss)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVFig12 exports each workload's accumulated-transfer curves.
+func (r *Fig12Result) CSVFig12(open func(name string) (io.WriteCloser, error)) error {
+	for _, fw := range r.PerWorkload {
+		f, err := open(fmt.Sprintf("fig12_%s.csv", fw.Workload))
+		if err != nil {
+			return err
+		}
+		err = WriteSeriesCSV(f, "seconds",
+			[]string{"Original", "SpecSync-Adaptive"},
+			[]*metrics.Series{fw.TransferOriginal, fw.TransferAdaptive})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"specsync/internal/metrics"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var a, b metrics.Series
+	a.Add(1*time.Second, 10)
+	a.Add(2*time.Second, 9)
+	b.Add(1500*time.Millisecond, 20)
+
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, "seconds", []string{"A", "B"}, []*metrics.Series{&a, &b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 distinct times
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "seconds,A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// B has no sample at t=1s: empty cell.
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Errorf("row 1 should end with empty B cell: %q", lines[1])
+	}
+	// At t=2s both series have values (B holds its last).
+	if !strings.Contains(lines[3], "9") || !strings.Contains(lines[3], "20") {
+		t.Errorf("row 3 = %q", lines[3])
+	}
+}
+
+func TestWriteSeriesCSVValidation(t *testing.T) {
+	var a metrics.Series
+	if err := WriteSeriesCSV(&bytes.Buffer{}, "x", []string{"A", "B"}, []*metrics.Series{&a}); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestWriteSeriesCSVEmpty(t *testing.T) {
+	var a metrics.Series
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, "x", []string{"A"}, []*metrics.Series{&a}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "x,A" {
+		t.Errorf("empty export = %q", got)
+	}
+}

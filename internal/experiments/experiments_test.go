@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"specsync/internal/cluster"
+)
+
+// quickOpts keeps experiment tests fast: few workers, small workloads,
+// bounded virtual time.
+func quickOpts() Options {
+	return Options{
+		Workers:    8,
+		Seed:       1,
+		Size:       cluster.SizeSmall,
+		MaxVirtual: 30 * time.Minute,
+	}
+}
+
+func TestTableI(t *testing.T) {
+	r, err := TableI(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Params == 0 || row.IterTime == 0 || row.Samples == 0 {
+			t.Errorf("incomplete row %+v", row)
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"mf", "cifar10", "imagenet", "iteration time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	o := quickOpts()
+	r, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerWorkload) != 2 {
+		t.Fatalf("workloads = %d", len(r.PerWorkload))
+	}
+	for _, fw := range r.PerWorkload {
+		if len(fw.Boxes) == 0 {
+			t.Fatalf("%s: no PAP buckets", fw.Workload)
+		}
+		nonEmpty := 0
+		for _, b := range fw.Boxes {
+			if b.N > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty == 0 {
+			t.Errorf("%s: all PAP buckets empty", fw.Workload)
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "median") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTimelineQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Timeline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "worker-1") || !strings.Contains(out, "^") {
+		t.Errorf("timeline render incomplete:\n%s", out)
+	}
+}
+
+func TestCherrypickParamsSane(t *testing.T) {
+	at, rate := CherrypickParams(WorkloadCIFAR, 14*time.Second)
+	if at <= 0 || at > 14*time.Second {
+		t.Errorf("abort time %v out of range", at)
+	}
+	if rate <= 0 || rate > 1 {
+		t.Errorf("abort rate %v out of range", rate)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	n := o.normalize()
+	if n.Workers == 0 || n.Seed == 0 || n.Size == 0 || n.MaxVirtual == 0 {
+		t.Errorf("normalize left zero fields: %+v", n)
+	}
+	// Explicit values survive.
+	o = Options{Workers: 3, Seed: 9, Size: cluster.SizeSmall, MaxVirtual: time.Minute}
+	n = o.normalize()
+	if n.Workers != 3 || n.Seed != 9 || n.Size != cluster.SizeSmall || n.MaxVirtual != time.Minute {
+		t.Errorf("normalize clobbered explicit values: %+v", n)
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	if got := fmtDur(90*time.Second, true); got != "1m30s" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtDur(time.Hour, false); got != "-" {
+		t.Errorf("fmtDur unconverged = %q", got)
+	}
+	if got := fmtSpeedup(2*time.Hour, time.Hour, true, true); got != "2.00x" {
+		t.Errorf("fmtSpeedup = %q", got)
+	}
+	if got := fmtSpeedup(0, time.Hour, false, true); !strings.Contains(got, "baseline") {
+		t.Errorf("fmtSpeedup baseline-miss = %q", got)
+	}
+	if got := fmtSpeedup(time.Hour, 0, true, false); got != "-" {
+		t.Errorf("fmtSpeedup other-miss = %q", got)
+	}
+
+	tb := newTable("a", "bb")
+	tb.addRow("1", "2")
+	var sb strings.Builder
+	tb.render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Errorf("table render:\n%s", out)
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"specsync/internal/metrics"
+)
+
+// table is a minimal aligned-column text renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// fmtDur renders a duration compactly ("-" for zero when unconverged).
+func fmtDur(d time.Duration, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return d.Round(time.Second).String()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+func fmtSpeedup(base, other time.Duration, baseOK, otherOK bool) string {
+	switch {
+	case baseOK && otherOK && other > 0:
+		return fmt.Sprintf("%.2fx", float64(base)/float64(other))
+	case !baseOK && otherOK:
+		return ">1x (baseline never converged)"
+	default:
+		return "-"
+	}
+}
+
+// renderSeriesTable prints several loss series side by side on a shared,
+// downsampled time axis — the textual analogue of the paper's learning-curve
+// plots.
+func renderSeriesTable(w io.Writer, title, xLabel string, names []string, series []*metrics.Series, points int) {
+	fmt.Fprintf(w, "%s\n", title)
+	tb := newTable(append([]string{xLabel}, names...)...)
+
+	// Shared axis from the longest series.
+	var maxT time.Duration
+	for _, s := range series {
+		if s.Len() > 0 && s.Last().T > maxT {
+			maxT = s.Last().T
+		}
+	}
+	if maxT == 0 || points < 2 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	for i := 0; i < points; i++ {
+		at := time.Duration(float64(maxT) * float64(i) / float64(points-1))
+		row := []string{at.Round(time.Second).String()}
+		for _, s := range series {
+			if s.Len() == 0 || s.Last().T < at {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmtF(s.ValueAt(at)))
+			}
+		}
+		tb.addRow(row...)
+	}
+	tb.render(w)
+}
+
+// renderIterSeriesTable prints loss as a function of cumulative iteration
+// count (paper Fig. 9's x-axis).
+func renderIterSeriesTable(w io.Writer, title string, names []string, loss, iters []*metrics.Series, points int) {
+	fmt.Fprintf(w, "%s\n", title)
+	tb := newTable(append([]string{"iterations"}, names...)...)
+
+	var maxIters float64
+	for _, s := range iters {
+		if s.Len() > 0 && s.Last().V > maxIters {
+			maxIters = s.Last().V
+		}
+	}
+	if maxIters == 0 || points < 2 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	for p := 0; p < points; p++ {
+		target := maxIters * float64(p) / float64(points-1)
+		row := []string{fmt.Sprintf("%.0f", target)}
+		for si := range loss {
+			row = append(row, lossAtIters(loss[si], iters[si], target))
+		}
+		tb.addRow(row...)
+	}
+	tb.render(w)
+}
+
+// lossAtIters looks up the loss at the probe where the cumulative iteration
+// count first reached target.
+func lossAtIters(loss, iters *metrics.Series, target float64) string {
+	if loss.Len() == 0 || iters.Len() == 0 {
+		return "-"
+	}
+	for i, p := range iters.Points {
+		if p.V >= target {
+			if i < len(loss.Points) {
+				return fmtF(loss.Points[i].V)
+			}
+			break
+		}
+	}
+	return "-"
+}

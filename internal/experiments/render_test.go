@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"specsync/internal/metrics"
+)
+
+func seriesOf(points ...float64) *metrics.Series {
+	var s metrics.Series
+	for i, v := range points {
+		s.Add(time.Duration(i+1)*time.Second, v)
+	}
+	return &s
+}
+
+func TestRenderSeriesTable(t *testing.T) {
+	var sb strings.Builder
+	renderSeriesTable(&sb, "title", "time",
+		[]string{"A", "B"},
+		[]*metrics.Series{seriesOf(3, 2, 1), seriesOf(30, 20)},
+		4)
+	out := sb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "time") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	// B is shorter: its column must show "-" at the final time row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "-") {
+		t.Errorf("short series not dashed at horizon: %q", last)
+	}
+	// A's final value appears.
+	if !strings.Contains(out, "1.0000") {
+		t.Errorf("missing final A value:\n%s", out)
+	}
+}
+
+func TestRenderSeriesTableEmpty(t *testing.T) {
+	var sb strings.Builder
+	renderSeriesTable(&sb, "t", "x", []string{"A"}, []*metrics.Series{{}}, 5)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty series should render 'no data': %q", sb.String())
+	}
+}
+
+func TestRenderIterSeriesTable(t *testing.T) {
+	loss := seriesOf(5, 4, 3, 2)
+	var iters metrics.Series
+	for i := 1; i <= 4; i++ {
+		iters.Add(time.Duration(i)*time.Second, float64(i*10))
+	}
+	var sb strings.Builder
+	renderIterSeriesTable(&sb, "by iters", []string{"A"},
+		[]*metrics.Series{loss}, []*metrics.Series{&iters}, 5)
+	out := sb.String()
+	if !strings.Contains(out, "iterations") {
+		t.Errorf("missing axis header:\n%s", out)
+	}
+	// Loss at the last iteration count (40) is 2.
+	if !strings.Contains(out, "2.0000") {
+		t.Errorf("missing terminal loss:\n%s", out)
+	}
+}
+
+func TestLossAtIters(t *testing.T) {
+	loss := seriesOf(5, 4, 3)
+	var iters metrics.Series
+	iters.Add(1*time.Second, 10)
+	iters.Add(2*time.Second, 20)
+	iters.Add(3*time.Second, 30)
+	if got := lossAtIters(loss, &iters, 15); got != "4.0000" {
+		t.Errorf("lossAtIters(15) = %q", got)
+	}
+	if got := lossAtIters(loss, &iters, 99); got != "-" {
+		t.Errorf("lossAtIters(99) = %q", got)
+	}
+	if got := lossAtIters(&metrics.Series{}, &iters, 1); got != "-" {
+		t.Errorf("empty loss = %q", got)
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStalenessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Staleness(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schemes) != 3 {
+		t.Fatalf("schemes = %d", len(r.Schemes))
+	}
+	for i, b := range r.Boxes {
+		if b.N == 0 {
+			t.Errorf("%s: no staleness samples", r.Schemes[i])
+		}
+		if b.P50 < 0 || b.P95 < b.P50 {
+			t.Errorf("%s: malformed box %+v", r.Schemes[i], b)
+		}
+	}
+	// The speculating schemes must abort at least once over the horizon.
+	if r.Aborts[1] == 0 && r.Aborts[2] == 0 {
+		t.Error("no aborts under either SpecSync variant")
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "median") {
+		t.Error("render incomplete")
+	}
+}

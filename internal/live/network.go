@@ -1,0 +1,275 @@
+// Package live runs the same node.Handler state machines that the simulator
+// runs, but on real goroutines and wall-clock time. Two runtimes are
+// provided: Network (in-process, mailbox-to-mailbox) and TCPHost (one node
+// per process/port over the TCP transport). Every node gets a mailbox
+// goroutine that serializes its callbacks, preserving the execution model
+// the handlers were written against.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+// TransferRecorder mirrors des.TransferRecorder for live byte accounting.
+type TransferRecorder interface {
+	RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time)
+}
+
+// NetworkConfig configures an in-process live network.
+type NetworkConfig struct {
+	// Registry decodes messages. Required.
+	Registry *wire.Registry
+	// Seed derives per-node RNG streams.
+	Seed int64
+	// Transfer, if non-nil, receives one record per message.
+	Transfer TransferRecorder
+	// Debug enables stderr logging from node Logf calls.
+	Debug bool
+}
+
+// Network is an in-process live runtime: every added node runs a mailbox
+// goroutine; sends are marshal + unmarshal through the wire codec (so byte
+// accounting and value semantics match the simulator exactly).
+type Network struct {
+	cfg     NetworkConfig
+	mu      sync.RWMutex
+	nodes   map[node.ID]*liveNode
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewNetwork builds an empty network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("live: config requires a wire registry")
+	}
+	return &Network{cfg: cfg, nodes: make(map[node.ID]*liveNode)}, nil
+}
+
+// AddNode registers a handler. All nodes must be added before Start.
+func (n *Network) AddNode(id node.ID, h node.Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("live: AddNode(%s) after Start", id)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("live: duplicate node %s", id)
+	}
+	if h == nil {
+		return fmt.Errorf("live: nil handler for %s", id)
+	}
+	ln := &liveNode{
+		net:     n,
+		id:      id,
+		handler: h,
+		inbox:   newQueue(),
+		rng:     rand.New(rand.NewSource(node.RandSeed(n.cfg.Seed, id))),
+	}
+	n.nodes[id] = ln
+	return nil
+}
+
+// Start initializes every node (in sorted ID order, matching the simulator)
+// and launches the mailbox loops.
+func (n *Network) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	ids := make([]node.ID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nodes := make([]*liveNode, 0, len(ids))
+	for _, id := range ids {
+		nodes = append(nodes, n.nodes[id])
+	}
+	n.mu.Unlock()
+
+	// Init runs on the mailbox goroutine as its first item, so handlers can
+	// send from Init and still have every peer's mailbox accepting.
+	for _, ln := range nodes {
+		ln := ln
+		ln.inbox.push(func() { ln.handler.Init(ln) })
+	}
+	for _, ln := range nodes {
+		ln := ln
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ln.loop()
+		}()
+	}
+}
+
+// Close stops all mailboxes and waits for their goroutines to exit. Pending
+// timers are stopped.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	nodes := make([]*liveNode, 0, len(n.nodes))
+	for _, ln := range n.nodes {
+		nodes = append(nodes, ln)
+	}
+	n.mu.Unlock()
+
+	for _, ln := range nodes {
+		ln.stopTimers()
+		ln.inbox.close()
+	}
+	n.wg.Wait()
+}
+
+// Inject delivers a message to a node as if sent by from. Drivers use it to
+// start/stop training from outside the node graph.
+func (n *Network) Inject(from, to node.ID, m wire.Message) error {
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("live: unknown node %s", to)
+	}
+	data := wire.Marshal(m)
+	decoded, err := n.cfg.Registry.Unmarshal(data)
+	if err != nil {
+		return fmt.Errorf("live: inject: %w", err)
+	}
+	dst.inbox.push(func() { dst.handler.Receive(from, decoded) })
+	return nil
+}
+
+// send routes a message between nodes (marshal at the sender, decode at the
+// receiver's mailbox).
+func (n *Network) send(from, to node.ID, m wire.Message) {
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	n.mu.RUnlock()
+	if !ok {
+		if n.cfg.Debug {
+			fmt.Fprintf(os.Stderr, "live: %s -> unknown node %s dropped\n", from, to)
+		}
+		return
+	}
+	data := wire.Marshal(m)
+	if n.cfg.Transfer != nil {
+		n.cfg.Transfer.RecordTransfer(from, to, m.Kind(), len(data), time.Now())
+	}
+	dst.inbox.push(func() {
+		decoded, err := n.cfg.Registry.Unmarshal(data)
+		if err != nil {
+			if n.cfg.Debug {
+				fmt.Fprintf(os.Stderr, "live: decode from %s to %s: %v\n", from, to, err)
+			}
+			return
+		}
+		dst.handler.Receive(from, decoded)
+	})
+}
+
+// liveNode implements node.Context over a mailbox and real timers.
+type liveNode struct {
+	net     *Network
+	id      node.ID
+	handler node.Handler
+	inbox   *queue
+	rng     *rand.Rand
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+}
+
+var _ node.Context = (*liveNode)(nil)
+
+func (ln *liveNode) Self() node.ID    { return ln.id }
+func (ln *liveNode) Now() time.Time   { return time.Now() }
+func (ln *liveNode) Rand() *rand.Rand { return ln.rng }
+
+func (ln *liveNode) Send(to node.ID, m wire.Message) {
+	ln.net.send(ln.id, to, m)
+}
+
+func (ln *liveNode) After(d time.Duration, f func()) node.CancelFunc {
+	if d < 0 {
+		d = 0
+	}
+	var canceled bool
+	var mu sync.Mutex
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		ln.forgetTimer(t)
+		ln.inbox.push(func() {
+			mu.Lock()
+			c := canceled
+			mu.Unlock()
+			if !c {
+				f()
+			}
+		})
+	})
+	ln.rememberTimer(t)
+	return func() {
+		mu.Lock()
+		canceled = true
+		mu.Unlock()
+		if t.Stop() {
+			ln.forgetTimer(t)
+		}
+	}
+}
+
+func (ln *liveNode) Logf(format string, args ...any) {
+	if ln.net.cfg.Debug {
+		fmt.Fprintf(os.Stderr, "[live] %-10s "+format+"\n", append([]any{ln.id}, args...)...)
+	}
+}
+
+func (ln *liveNode) loop() {
+	for {
+		f, ok := ln.inbox.pop()
+		if !ok {
+			return
+		}
+		f()
+	}
+}
+
+func (ln *liveNode) rememberTimer(t *time.Timer) {
+	ln.timerMu.Lock()
+	defer ln.timerMu.Unlock()
+	if ln.timers == nil {
+		ln.timers = make(map[*time.Timer]struct{})
+	}
+	ln.timers[t] = struct{}{}
+}
+
+func (ln *liveNode) forgetTimer(t *time.Timer) {
+	ln.timerMu.Lock()
+	defer ln.timerMu.Unlock()
+	delete(ln.timers, t)
+}
+
+func (ln *liveNode) stopTimers() {
+	ln.timerMu.Lock()
+	defer ln.timerMu.Unlock()
+	for t := range ln.timers {
+		t.Stop()
+	}
+	ln.timers = nil
+}

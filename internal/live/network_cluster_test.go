@@ -1,0 +1,141 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"specsync/internal/core"
+	"specsync/internal/metrics"
+	"specsync/internal/model"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/worker"
+)
+
+// TestNetworkTrainsTinyCluster runs the full training stack (servers,
+// workers, SpecSync scheduler) on the in-process live runtime with real
+// wall-clock timers, and verifies training progresses and loss decreases.
+// This is the same node code the simulator runs — the test pins the
+// two-runtimes-one-logic property.
+func TestNetworkTrainsTinyCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock training test")
+	}
+	const (
+		workers  = 3
+		servers  = 2
+		seed     = 21
+		iterTime = 20 * time.Millisecond
+	)
+	mdl, err := model.NewLinReg(model.LinRegConfig{
+		Dim: 12, N: 600, EvalN: 150, Shards: workers, Noise: 0.05,
+		BatchSize: 16, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := ps.ShardRanges(mdl.Dim(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initVec := mdl.Init(rand.New(rand.NewSource(seed)))
+	lossBefore := mdl.EvalLoss(initVec)
+
+	transfer := metrics.NewTransfer(msg.IsControl)
+	net, err := NewNetwork(NetworkConfig{Registry: msg.Registry(), Seed: seed, Transfer: transfer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvs := make([]*ps.Server, servers)
+	for i := 0; i < servers; i++ {
+		opt, err := optimizer.NewSGD(optimizer.SGDConfig{Schedule: optimizer.Const(0.05)}, ranges[i].Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i], err = ps.New(ps.Config{
+			Range: ranges[i], Init: initVec[ranges[i].Lo:ranges[i].Hi], Optimizer: opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(node.ServerID(i), srvs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}
+	wks := make([]*worker.Worker, workers)
+	for i := 0; i < workers; i++ {
+		wk, err := worker.New(worker.Config{
+			Index: i, Shards: ranges, Model: mdl, Scheme: sc,
+			Compute:  worker.ComputeModel{Base: iterTime, Speed: 1, JitterSigma: 0.2},
+			MaxIters: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wks[i] = wk
+		if err := net.AddNode(node.WorkerID(i), wk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, err := core.NewScheduler(core.SchedulerConfig{
+		Workers: workers, Scheme: sc, InitialSpan: iterTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(node.Scheduler, sched); err != nil {
+		t.Fatal(err)
+	}
+
+	net.Start()
+	defer net.Close()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		stopped := 0
+		for _, wk := range wks {
+			if wk.Stopped() {
+				stopped++
+			}
+		}
+		if stopped == workers {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var total int64
+	for i, wk := range wks {
+		if !wk.Stopped() {
+			t.Fatalf("worker %d did not finish (did %d iterations)", i, wk.IterationsDone())
+		}
+		total += wk.IterationsDone()
+	}
+	if total != 40*workers {
+		t.Errorf("total iterations = %d, want %d", total, 40*workers)
+	}
+
+	// Loss must have decreased. Reading shard state after Close is safe:
+	// all mailbox goroutines have exited.
+	net.Close()
+	final := make([]float64, mdl.Dim())
+	for i, r := range ranges {
+		copy(final[r.Lo:r.Hi], srvs[i].Params())
+	}
+	lossAfter := mdl.EvalLoss(final)
+	if lossAfter >= lossBefore*0.5 {
+		t.Errorf("loss did not halve over live training: %.4f -> %.4f", lossBefore, lossAfter)
+	}
+	if transfer.TotalBytes() == 0 {
+		t.Error("no transfer recorded")
+	}
+	if sched.Epoch() == 0 {
+		t.Error("scheduler saw no epochs")
+	}
+}

@@ -1,0 +1,56 @@
+package live
+
+import "sync"
+
+// queue is an unbounded MPSC work queue. Unboundedness matters: two nodes
+// that send to each other through bounded channels can deadlock when both
+// buffers fill; mailboxes must always accept.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues f. It reports false if the queue is closed.
+func (q *queue) push(f func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, f)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next item. ok is false once the queue is closed and
+// drained.
+func (q *queue) pop() (f func(), ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	f = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return f, true
+}
+
+// close stops the queue; queued items are still drained by pop.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,201 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"specsync/internal/node"
+	"specsync/internal/transport"
+	"specsync/internal/wire"
+)
+
+// TCPHostConfig configures a single node hosted over the TCP transport,
+// typically one per process (cmd/specsync-node).
+type TCPHostConfig struct {
+	// ID is this node's identity.
+	ID node.ID
+	// Handler is the node logic.
+	Handler node.Handler
+	// ListenAddr is where peers reach this node (e.g. "127.0.0.1:7000").
+	ListenAddr string
+	// Peers maps every other node's ID to its address.
+	Peers map[node.ID]string
+	// Registry decodes messages. Required.
+	Registry *wire.Registry
+	// Seed derives this node's RNG stream.
+	Seed int64
+	// Transfer, if non-nil, records outbound bytes.
+	Transfer TransferRecorder
+	// Debug enables stderr logging.
+	Debug bool
+}
+
+// TCPHost runs one node.Handler over TCP: inbound frames are enqueued onto
+// the node's mailbox, preserving the serialized-callback execution model.
+type TCPHost struct {
+	cfg   TCPHostConfig
+	tr    *transport.TCP
+	inbox *queue
+	rng   *rand.Rand
+	wg    sync.WaitGroup
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+	closed  bool
+}
+
+var _ node.Context = (*TCPHost)(nil)
+
+// NewTCPHost opens the transport and starts the mailbox. The handler's Init
+// runs as the first mailbox item.
+func NewTCPHost(cfg TCPHostConfig) (*TCPHost, error) {
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("live: nil handler")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("live: config requires a wire registry")
+	}
+	h := &TCPHost{
+		cfg:    cfg,
+		inbox:  newQueue(),
+		rng:    rand.New(rand.NewSource(node.RandSeed(cfg.Seed, cfg.ID))),
+		timers: make(map[*time.Timer]struct{}),
+	}
+	tr, err := transport.ListenTCP(transport.TCPConfig{
+		ID:         cfg.ID,
+		ListenAddr: cfg.ListenAddr,
+		Peers:      cfg.Peers,
+		Registry:   cfg.Registry,
+		Transfer:   cfg.Transfer,
+		OnMessage: func(from node.ID, m wire.Message) {
+			h.inbox.push(func() { cfg.Handler.Receive(from, m) })
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.tr = tr
+
+	h.inbox.push(func() { cfg.Handler.Init(h) })
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			f, ok := h.inbox.pop()
+			if !ok {
+				return
+			}
+			f()
+		}
+	}()
+	return h, nil
+}
+
+// Addr returns the transport's bound address.
+func (h *TCPHost) Addr() string { return h.tr.Addr() }
+
+// AddPeer registers a peer address after startup.
+func (h *TCPHost) AddPeer(id node.ID, addr string) { h.tr.AddPeer(id, addr) }
+
+// Inject enqueues a message onto this node's mailbox as if sent by from.
+func (h *TCPHost) Inject(from node.ID, m wire.Message) {
+	h.inbox.push(func() { h.cfg.Handler.Receive(from, m) })
+}
+
+// Close stops the mailbox, timers, and transport.
+func (h *TCPHost) Close() {
+	h.timerMu.Lock()
+	h.closed = true
+	for t := range h.timers {
+		t.Stop()
+	}
+	h.timers = nil
+	h.timerMu.Unlock()
+
+	h.inbox.close()
+	h.wg.Wait()
+	h.tr.Close()
+}
+
+// Self implements node.Context.
+func (h *TCPHost) Self() node.ID { return h.cfg.ID }
+
+// Now implements node.Context.
+func (h *TCPHost) Now() time.Time { return time.Now() }
+
+// Rand implements node.Context.
+func (h *TCPHost) Rand() *rand.Rand { return h.rng }
+
+// Send implements node.Context.
+func (h *TCPHost) Send(to node.ID, m wire.Message) {
+	if to == h.cfg.ID {
+		// Loopback without touching the network.
+		data := wire.Marshal(m)
+		decoded, err := h.cfg.Registry.Unmarshal(data)
+		if err != nil {
+			h.Logf("loopback decode: %v", err)
+			return
+		}
+		h.inbox.push(func() { h.cfg.Handler.Receive(h.cfg.ID, decoded) })
+		return
+	}
+	if err := h.tr.Send(to, m); err != nil {
+		h.Logf("send to %s: %v", to, err)
+	}
+}
+
+// After implements node.Context.
+func (h *TCPHost) After(d time.Duration, f func()) node.CancelFunc {
+	if d < 0 {
+		d = 0
+	}
+	var canceled bool
+	var mu sync.Mutex
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		h.forgetTimer(t)
+		h.inbox.push(func() {
+			mu.Lock()
+			c := canceled
+			mu.Unlock()
+			if !c {
+				f()
+			}
+		})
+	})
+	h.rememberTimer(t)
+	return func() {
+		mu.Lock()
+		canceled = true
+		mu.Unlock()
+		if t.Stop() {
+			h.forgetTimer(t)
+		}
+	}
+}
+
+// Logf implements node.Context.
+func (h *TCPHost) Logf(format string, args ...any) {
+	if h.cfg.Debug {
+		fmt.Fprintf(os.Stderr, "[tcp] %-10s "+format+"\n", append([]any{h.cfg.ID}, args...)...)
+	}
+}
+
+func (h *TCPHost) rememberTimer(t *time.Timer) {
+	h.timerMu.Lock()
+	defer h.timerMu.Unlock()
+	if h.closed {
+		t.Stop()
+		return
+	}
+	h.timers[t] = struct{}{}
+}
+
+func (h *TCPHost) forgetTimer(t *time.Timer) {
+	h.timerMu.Lock()
+	defer h.timerMu.Unlock()
+	delete(h.timers, t)
+}

@@ -1,0 +1,129 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"specsync/internal/core"
+	"specsync/internal/model"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/worker"
+)
+
+// TestTCPClusterEndToEnd runs a real 2-worker training cluster over TCP
+// loopback: scheduler, one server shard, two workers, all in separate
+// TCPHosts. It verifies that iterations complete and notify flow works over
+// the actual wire.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster")
+	}
+	reg := msg.Registry()
+
+	mdl, err := model.NewLinReg(model.LinRegConfig{
+		Dim: 16, N: 400, EvalN: 100, Shards: 2, Noise: 0.1, BatchSize: 16, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := ps.ShardRanges(mdl.Dim(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := optimizer.NewSGD(optimizer.SGDConfig{Schedule: optimizer.Const(0.05)}, mdl.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initW := mdl.Init(rand.New(rand.NewSource(42)))
+	srv, err := ps.New(ps.Config{Range: ranges[0], Init: initW, Optimizer: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := core.NewScheduler(core.SchedulerConfig{
+		Workers: 2,
+		Scheme:  scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive},
+		// 40ms nominal iterations keep the test fast.
+		InitialSpan: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*worker.Worker, 2)
+	for i := range workers {
+		wk, err := worker.New(worker.Config{
+			Index:   i,
+			Shards:  ranges,
+			Model:   mdl,
+			Scheme:  scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive},
+			Compute: worker.ComputeModel{Base: 40 * time.Millisecond, Speed: 1, JitterSigma: 0.2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = wk
+	}
+
+	// Start hosts: server first, then workers, then the scheduler (whose
+	// Init broadcasts Start).
+	hosts := map[node.ID]*TCPHost{}
+	addHost := func(id node.ID, h node.Handler) *TCPHost {
+		t.Helper()
+		host, err := NewTCPHost(TCPHostConfig{
+			ID: id, Handler: h, ListenAddr: "127.0.0.1:0", Registry: reg, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = host
+		t.Cleanup(host.Close)
+		return host
+	}
+	addHost(node.ServerID(0), srv)
+	for i, wk := range workers {
+		addHost(node.WorkerID(i), wk)
+	}
+	schedHost := addHost(node.Scheduler, sched)
+
+	// Wire the address book (everyone knows everyone).
+	for id, h := range hosts {
+		for peer, ph := range hosts {
+			if peer != id {
+				h.AddPeer(peer, ph.Addr())
+			}
+		}
+	}
+	// The scheduler broadcast Start during Init, before the address book
+	// was complete; kick the workers again to be safe.
+	for i := range workers {
+		schedHost.Send(node.WorkerID(i), &msg.Start{})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := int64(0)
+		for _, wk := range workers {
+			done += wk.IterationsDone()
+		}
+		if done >= 20 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var total int64
+	for _, wk := range workers {
+		total += wk.IterationsDone()
+	}
+	if total < 20 {
+		t.Fatalf("only %d iterations completed over TCP", total)
+	}
+	if srv.Version() < 20 {
+		t.Errorf("server applied %d pushes", srv.Version())
+	}
+}

@@ -1,0 +1,262 @@
+// Package metrics provides the measurement primitives behind the
+// experiments: loss time series with convergence detection (the paper's
+// "loss below the target for 5 consecutive iterations"), transfer accounting
+// by message class (Figs. 12-13), and percentile/box statistics (Fig. 3).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+// Point is one (elapsed time, value) observation.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series of loss (or any metric) samples.
+// It is not safe for concurrent use; under the simulator a single goroutine
+// appends.
+type Series struct {
+	Points []Point
+}
+
+// Add appends an observation.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the final observation, or a zero Point for an empty series.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Min returns the smallest value seen, or +Inf for an empty series.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// ValueAt returns the latest value observed at or before t, or the first
+// value if t precedes all samples.
+func (s *Series) ValueAt(t time.Duration) float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return s.Points[0].V
+	}
+	return s.Points[i-1].V
+}
+
+// TimeToConverge returns the elapsed time at which the series first stayed
+// below target for `consecutive` successive samples, mirroring the paper's
+// convergence definition. The returned time is the first sample of the
+// qualifying streak. ok is false if the series never converged.
+func (s *Series) TimeToConverge(target float64, consecutive int) (time.Duration, bool) {
+	if consecutive < 1 {
+		consecutive = 1
+	}
+	streak := 0
+	var start time.Duration
+	for _, p := range s.Points {
+		if p.V < target {
+			if streak == 0 {
+				start = p.T
+			}
+			streak++
+			if streak >= consecutive {
+				return start, true
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return 0, false
+}
+
+// Downsample returns at most n points, evenly spaced over the series, always
+// including the last. Rendering helpers use it.
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.Points) <= n {
+		out := make([]Point, len(s.Points))
+		copy(out, s.Points)
+		return out
+	}
+	out := make([]Point, 0, n)
+	step := float64(len(s.Points)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Points[int(float64(i)*step+0.5)])
+	}
+	out[len(out)-1] = s.Points[len(s.Points)-1]
+	return out
+}
+
+// Box holds the five-number summary used by the paper's box plots
+// (5th/25th/50th/75th/95th percentiles).
+type Box struct {
+	P5, P25, P50, P75, P95 float64
+	N                      int
+}
+
+// BoxOf computes a Box over values. It returns a zero Box for empty input.
+func BoxOf(values []float64) Box {
+	if len(values) == 0 {
+		return Box{}
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return Box{
+		P5:  Percentile(sorted, 5),
+		P25: Percentile(sorted, 25),
+		P50: Percentile(sorted, 50),
+		P75: Percentile(sorted, 75),
+		P95: Percentile(sorted, 95),
+		N:   len(sorted),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of sorted values using
+// linear interpolation. The input must be sorted ascending.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Transfer accumulates wire bytes by message kind. It implements
+// des.TransferRecorder and is safe for concurrent use (the live TCP
+// transport records from multiple goroutines).
+type Transfer struct {
+	mu      sync.Mutex
+	byKind  map[wire.Kind]*kindStats
+	total   int64
+	classOf func(wire.Kind) bool // true = control
+}
+
+type kindStats struct {
+	bytes int64
+	msgs  int64
+}
+
+// NewTransfer builds a Transfer; isControl classifies kinds into control vs
+// data traffic (use msg.IsControl).
+func NewTransfer(isControl func(wire.Kind) bool) *Transfer {
+	return &Transfer{byKind: make(map[wire.Kind]*kindStats), classOf: isControl}
+}
+
+// RecordTransfer implements des.TransferRecorder.
+func (t *Transfer) RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ks, ok := t.byKind[kind]
+	if !ok {
+		ks = &kindStats{}
+		t.byKind[kind] = ks
+	}
+	ks.bytes += int64(bytes)
+	ks.msgs++
+	t.total += int64(bytes)
+}
+
+// TotalBytes returns all bytes recorded so far.
+func (t *Transfer) TotalBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// KindBytes returns bytes and message count for one kind.
+func (t *Transfer) KindBytes(kind wire.Kind) (bytes, msgs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ks, ok := t.byKind[kind]
+	if !ok {
+		return 0, 0
+	}
+	return ks.bytes, ks.msgs
+}
+
+// Split returns (dataBytes, controlBytes) according to the classifier.
+func (t *Transfer) Split() (dataBytes, controlBytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for kind, ks := range t.byKind {
+		if t.classOf != nil && t.classOf(kind) {
+			controlBytes += ks.bytes
+		} else {
+			dataBytes += ks.bytes
+		}
+	}
+	return dataBytes, controlBytes
+}
+
+// Breakdown returns a copy of per-kind stats keyed by kind.
+func (t *Transfer) Breakdown() map[wire.Kind]struct{ Bytes, Msgs int64 } {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[wire.Kind]struct{ Bytes, Msgs int64 }, len(t.byKind))
+	for k, ks := range t.byKind {
+		out[k] = struct{ Bytes, Msgs int64 }{Bytes: ks.bytes, Msgs: ks.msgs}
+	}
+	return out
+}
+
+// HumanBytes renders a byte count with a binary-prefix unit.
+func HumanBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,186 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"specsync/internal/data"
+	"specsync/internal/sparse"
+	"specsync/internal/tensor"
+)
+
+// MF is L2-regularized matrix factorization for recommendation: it learns
+// user factors P (Users x Rank) and item factors Q (Items x Rank) minimizing
+//
+//	sum over observed (u,i,r):  (r - p_u . q_i)^2 + lambda (|p_u|^2 + |q_i|^2)
+//
+// Parameter layout (flat): [ P row-major | Q row-major ]. A minibatch only
+// touches the factor rows of the users/items it contains, so gradients are
+// sparse — this is the sparse-update workload of the paper (MovieLens).
+type MF struct {
+	name      string
+	users     int
+	items     int
+	rank      int
+	batchSize int
+	l2        float64
+	shards    [][]data.Rating
+	eval      []data.Rating
+	initScale float64
+}
+
+var _ Model = (*MF)(nil)
+
+// MFConfig configures a matrix-factorization workload.
+type MFConfig struct {
+	Name      string
+	Rank      int
+	BatchSize int
+	L2        float64
+	InitScale float64 // stddev of initial factors; 0 means 0.1
+}
+
+// NewMF builds the workload over pre-sharded ratings.
+func NewMF(cfg MFConfig, users, items int, shards [][]data.Rating, eval []data.Rating) (*MF, error) {
+	if users < 1 || items < 1 || cfg.Rank < 1 {
+		return nil, fmt.Errorf("model: bad MF shape users=%d items=%d rank=%d", users, items, cfg.Rank)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("model: batch size %d < 1", cfg.BatchSize)
+	}
+	if len(shards) == 0 || len(eval) == 0 {
+		return nil, fmt.Errorf("model: MF needs shards and eval data")
+	}
+	scale := cfg.InitScale
+	if scale == 0 {
+		scale = 0.1
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "mf"
+	}
+	return &MF{
+		name:      name,
+		users:     users,
+		items:     items,
+		rank:      cfg.Rank,
+		batchSize: cfg.BatchSize,
+		l2:        cfg.L2,
+		shards:    shards,
+		eval:      eval,
+		initScale: scale,
+	}, nil
+}
+
+// Name implements Model.
+func (m *MF) Name() string { return m.name }
+
+// Dim implements Model.
+func (m *MF) Dim() int { return (m.users + m.items) * m.rank }
+
+// NumShards implements Model.
+func (m *MF) NumShards() int { return len(m.shards) }
+
+// Init implements Model.
+func (m *MF) Init(rng *rand.Rand) tensor.Vec {
+	w := tensor.NewVec(m.Dim())
+	tensor.RandNormal(w, m.initScale, rng)
+	return w
+}
+
+// userRow returns the base flat index of user u's factor row.
+func (m *MF) userRow(u int) int { return u * m.rank }
+
+// itemRow returns the base flat index of item i's factor row.
+func (m *MF) itemRow(i int) int { return (m.users + i) * m.rank }
+
+type ratingBatch struct {
+	ratings []data.Rating
+}
+
+// SampleBatch implements Model.
+func (m *MF) SampleBatch(shard int, rng *rand.Rand) Batch {
+	sh := m.shards[shard]
+	bs := m.batchSize
+	if bs > len(sh) {
+		bs = len(sh)
+	}
+	out := make([]data.Rating, bs)
+	for i := range out {
+		out[i] = sh[rng.Intn(len(sh))]
+	}
+	return ratingBatch{ratings: out}
+}
+
+// predict returns p_u . q_i under parameters w.
+func (m *MF) predict(w tensor.Vec, u, i int) float64 {
+	pu := w[m.userRow(u) : m.userRow(u)+m.rank]
+	qi := w[m.itemRow(i) : m.itemRow(i)+m.rank]
+	return tensor.Dot(pu, qi)
+}
+
+// Grad implements Model. For each observed rating with error e = pred - r:
+//
+//	d/dp_u = 2 e q_i + 2 lambda p_u,   d/dq_i = 2 e p_u + 2 lambda q_i
+//
+// averaged over the batch and accumulated sparsely.
+func (m *MF) Grad(w tensor.Vec, b Batch) Update {
+	rb, ok := b.(ratingBatch)
+	if !ok {
+		panic(fmt.Sprintf("model: MF got batch type %T", b))
+	}
+	builder := sparse.NewBuilder()
+	inv := 1.0 / float64(len(rb.ratings))
+	rowBuf := make([]float64, m.rank)
+	for _, rt := range rb.ratings {
+		ub := m.userRow(rt.User)
+		ib := m.itemRow(rt.Item)
+		pu := w[ub : ub+m.rank]
+		qi := w[ib : ib+m.rank]
+		e := tensor.Dot(pu, qi) - rt.Value
+
+		for r := 0; r < m.rank; r++ {
+			rowBuf[r] = (2*e*qi[r] + 2*m.l2*pu[r]) * inv
+		}
+		builder.AddSpan(int32(ub), rowBuf)
+		for r := 0; r < m.rank; r++ {
+			rowBuf[r] = (2*e*pu[r] + 2*m.l2*qi[r]) * inv
+		}
+		builder.AddSpan(int32(ib), rowBuf)
+	}
+	v := builder.Build()
+	return Update{Sparse: &v}
+}
+
+// BatchLoss implements Model.
+func (m *MF) BatchLoss(w tensor.Vec, b Batch) float64 {
+	rb, ok := b.(ratingBatch)
+	if !ok {
+		panic(fmt.Sprintf("model: MF got batch type %T", b))
+	}
+	return m.meanLoss(w, rb.ratings)
+}
+
+// EvalLoss implements Model. Evaluation reports plain mean squared error
+// (no regularization term), matching how recommender quality is tracked.
+func (m *MF) EvalLoss(w tensor.Vec) float64 {
+	var total float64
+	for _, rt := range m.eval {
+		e := m.predict(w, rt.User, rt.Item) - rt.Value
+		total += e * e
+	}
+	return total / float64(len(m.eval))
+}
+
+func (m *MF) meanLoss(w tensor.Vec, ratings []data.Rating) float64 {
+	var total float64
+	for _, rt := range ratings {
+		ub := m.userRow(rt.User)
+		ib := m.itemRow(rt.Item)
+		pu := w[ub : ub+m.rank]
+		qi := w[ib : ib+m.rank]
+		e := tensor.Dot(pu, qi) - rt.Value
+		total += e*e + m.l2*(tensor.Dot(pu, pu)+tensor.Dot(qi, qi))
+	}
+	return total / float64(len(ratings))
+}

@@ -1,0 +1,249 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"specsync/internal/data"
+	"specsync/internal/tensor"
+)
+
+// MLP is a one-hidden-layer ReLU network trained with cross-entropy loss:
+// logits = W2 * relu(W1 * [x;1]) + b2. It is the "deep" stand-in for the
+// paper's residual networks: non-convex, with interacting layers, so stale
+// gradients hurt it more than they hurt a linear model.
+//
+// Parameter layout (flat):
+//
+//	[ W1 (hidden x (dim+1)) | W2 (classes x (hidden+1)) ]
+//
+// where the +1 columns hold biases.
+type MLP struct {
+	name      string
+	classes   int
+	dim       int
+	hidden    int
+	batchSize int
+	l2        float64
+	shards    [][]data.Sample
+	eval      []data.Sample
+}
+
+var _ Model = (*MLP)(nil)
+var _ Accuracier = (*MLP)(nil)
+
+// MLPConfig configures an MLP workload.
+type MLPConfig struct {
+	Name      string
+	Hidden    int
+	BatchSize int
+	L2        float64
+}
+
+// NewMLP builds the workload over pre-sharded training data.
+func NewMLP(cfg MLPConfig, classes, dim int, shards [][]data.Sample, eval []data.Sample) (*MLP, error) {
+	if classes < 2 || dim < 1 || cfg.Hidden < 1 {
+		return nil, fmt.Errorf("model: bad MLP shape classes=%d dim=%d hidden=%d", classes, dim, cfg.Hidden)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("model: batch size %d < 1", cfg.BatchSize)
+	}
+	if len(shards) == 0 || len(eval) == 0 {
+		return nil, fmt.Errorf("model: MLP needs shards and eval data")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "mlp"
+	}
+	return &MLP{
+		name:      name,
+		classes:   classes,
+		dim:       dim,
+		hidden:    cfg.Hidden,
+		batchSize: cfg.BatchSize,
+		l2:        cfg.L2,
+		shards:    shards,
+		eval:      eval,
+	}, nil
+}
+
+// Name implements Model.
+func (m *MLP) Name() string { return m.name }
+
+// Dim implements Model.
+func (m *MLP) Dim() int {
+	return m.hidden*(m.dim+1) + m.classes*(m.hidden+1)
+}
+
+// NumShards implements Model.
+func (m *MLP) NumShards() int { return len(m.shards) }
+
+// w1 and w2 view the flat parameter vector as the two weight matrices.
+func (m *MLP) w1(w tensor.Vec) tensor.Mat {
+	return tensor.MatOver(m.hidden, m.dim+1, w[:m.hidden*(m.dim+1)])
+}
+
+func (m *MLP) w2(w tensor.Vec) tensor.Mat {
+	off := m.hidden * (m.dim + 1)
+	return tensor.MatOver(m.classes, m.hidden+1, w[off:])
+}
+
+// Init implements Model: He initialization for the ReLU layer, small normal
+// for the output layer.
+func (m *MLP) Init(rng *rand.Rand) tensor.Vec {
+	w := tensor.NewVec(m.Dim())
+	he := math.Sqrt(2.0 / float64(m.dim))
+	w1 := m.w1(w)
+	for i := range w1.V {
+		w1.V[i] = rng.NormFloat64() * he
+	}
+	w2 := m.w2(w)
+	out := math.Sqrt(1.0 / float64(m.hidden))
+	for i := range w2.V {
+		w2.V[i] = rng.NormFloat64() * out
+	}
+	return w
+}
+
+// SampleBatch implements Model.
+func (m *MLP) SampleBatch(shard int, rng *rand.Rand) Batch {
+	sh := m.shards[shard]
+	bs := m.batchSize
+	if bs > len(sh) {
+		bs = len(sh)
+	}
+	out := make([]data.Sample, bs)
+	for i := range out {
+		out[i] = sh[rng.Intn(len(sh))]
+	}
+	return sampleBatch{samples: out}
+}
+
+// forward computes hidden pre-activations, activations and logits for one
+// sample into the provided scratch buffers.
+func (m *MLP) forward(w tensor.Vec, x []float64, hPre, hAct, logits tensor.Vec) {
+	w1 := m.w1(w)
+	for h := 0; h < m.hidden; h++ {
+		row := w1.Row(h)
+		var z float64
+		for d, xv := range x {
+			z += row[d] * xv
+		}
+		hPre[h] = z + row[m.dim]
+	}
+	tensor.Relu(hPre, hAct)
+	w2 := m.w2(w)
+	for k := 0; k < m.classes; k++ {
+		row := w2.Row(k)
+		var z float64
+		for h := 0; h < m.hidden; h++ {
+			z += row[h] * hAct[h]
+		}
+		logits[k] = z + row[m.hidden]
+	}
+}
+
+// Grad implements Model via manual backprop.
+func (m *MLP) Grad(w tensor.Vec, b Batch) Update {
+	sb, ok := b.(sampleBatch)
+	if !ok {
+		panic(fmt.Sprintf("model: MLP got batch type %T", b))
+	}
+	g := tensor.NewVec(m.Dim())
+	g1 := m.w1(g)
+	g2 := m.w2(g)
+	w2 := m.w2(w)
+
+	hPre := tensor.NewVec(m.hidden)
+	hAct := tensor.NewVec(m.hidden)
+	logits := tensor.NewVec(m.classes)
+	dHidden := tensor.NewVec(m.hidden)
+	inv := 1.0 / float64(len(sb.samples))
+
+	for _, smp := range sb.samples {
+		m.forward(w, smp.X, hPre, hAct, logits)
+		tensor.Softmax(logits, logits)
+		logits[smp.Y] -= 1 // dL/dlogits = p - onehot
+
+		// Output layer gradient and hidden backprop.
+		dHidden.Zero()
+		for k := 0; k < m.classes; k++ {
+			dk := logits[k] * inv
+			if dk == 0 {
+				continue
+			}
+			row := g2.Row(k)
+			for h := 0; h < m.hidden; h++ {
+				row[h] += dk * hAct[h]
+			}
+			row[m.hidden] += dk
+			tensor.Axpy(dHidden, dk, w2.Row(k)[:m.hidden])
+		}
+		// ReLU gate.
+		for h := 0; h < m.hidden; h++ {
+			if hPre[h] <= 0 {
+				dHidden[h] = 0
+			}
+		}
+		// Input layer gradient.
+		for h := 0; h < m.hidden; h++ {
+			dh := dHidden[h]
+			if dh == 0 {
+				continue
+			}
+			row := g1.Row(h)
+			for d, xv := range smp.X {
+				row[d] += dh * xv
+			}
+			row[m.dim] += dh
+		}
+	}
+	if m.l2 > 0 {
+		tensor.Axpy(g, m.l2, w)
+	}
+	return Update{Dense: g}
+}
+
+// BatchLoss implements Model.
+func (m *MLP) BatchLoss(w tensor.Vec, b Batch) float64 {
+	sb, ok := b.(sampleBatch)
+	if !ok {
+		panic(fmt.Sprintf("model: MLP got batch type %T", b))
+	}
+	return m.meanLoss(w, sb.samples)
+}
+
+// EvalLoss implements Model.
+func (m *MLP) EvalLoss(w tensor.Vec) float64 { return m.meanLoss(w, m.eval) }
+
+func (m *MLP) meanLoss(w tensor.Vec, samples []data.Sample) float64 {
+	hPre := tensor.NewVec(m.hidden)
+	hAct := tensor.NewVec(m.hidden)
+	logits := tensor.NewVec(m.classes)
+	var total float64
+	for _, smp := range samples {
+		m.forward(w, smp.X, hPre, hAct, logits)
+		total += tensor.LogSumExp(logits) - logits[smp.Y]
+	}
+	loss := total / float64(len(samples))
+	if m.l2 > 0 {
+		loss += 0.5 * m.l2 * tensor.Dot(w, w)
+	}
+	return loss
+}
+
+// EvalAccuracy implements Accuracier.
+func (m *MLP) EvalAccuracy(w tensor.Vec) float64 {
+	hPre := tensor.NewVec(m.hidden)
+	hAct := tensor.NewVec(m.hidden)
+	logits := tensor.NewVec(m.classes)
+	correct := 0
+	for _, smp := range m.eval {
+		m.forward(w, smp.X, hPre, hAct, logits)
+		if tensor.Argmax(logits) == smp.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(m.eval))
+}

@@ -1,0 +1,311 @@
+// Package msg defines every protocol message exchanged between workers,
+// parameter-server shards and the SpecSync scheduler, with hand-rolled wire
+// encodings. The protocol follows Algorithm 2 of the paper:
+//
+//	worker -> server:    PullReq, PushReq
+//	server -> worker:    PullResp, PushAck
+//	worker -> scheduler: Notify            (after each completed push)
+//	scheduler -> worker: ReSync            (abort and re-pull), Start, Stop,
+//	                     BarrierRelease    (BSP), MinClock (SSP)
+//
+// Kind values are part of the wire format; never renumber them.
+package msg
+
+import (
+	"specsync/internal/sparse"
+	"specsync/internal/wire"
+)
+
+// Message kinds. Gaps are reserved for future extensions.
+const (
+	KindPullReq        wire.Kind = 1
+	KindPullResp       wire.Kind = 2
+	KindPushReq        wire.Kind = 3
+	KindPushAck        wire.Kind = 4
+	KindNotify         wire.Kind = 5
+	KindReSync         wire.Kind = 6
+	KindStart          wire.Kind = 7
+	KindStop           wire.Kind = 8
+	KindBarrierRelease wire.Kind = 9
+	KindMinClock       wire.Kind = 10
+	KindWorkerReady    wire.Kind = 11
+	KindPushNotice     wire.Kind = 12
+)
+
+// PullReq asks a server shard for its current parameter block.
+type PullReq struct {
+	// Seq is the worker's pull sequence number; responses carrying a stale
+	// Seq (from before an abort) are discarded by the worker.
+	Seq uint64
+}
+
+var _ wire.Message = (*PullReq)(nil)
+
+// Kind implements wire.Message.
+func (m *PullReq) Kind() wire.Kind { return KindPullReq }
+
+// Encode implements wire.Message.
+func (m *PullReq) Encode(w *wire.Writer) { w.Uint64(m.Seq) }
+
+// Decode implements wire.Message.
+func (m *PullReq) Decode(r *wire.Reader) { m.Seq = r.Uint64() }
+
+// PullResp returns a shard's parameters.
+type PullResp struct {
+	Seq     uint64
+	Version int64 // shard's push counter at read time; used for staleness
+	Values  []float64
+}
+
+var _ wire.Message = (*PullResp)(nil)
+
+// Kind implements wire.Message.
+func (m *PullResp) Kind() wire.Kind { return KindPullResp }
+
+// Encode implements wire.Message.
+func (m *PullResp) Encode(w *wire.Writer) {
+	w.Uint64(m.Seq)
+	w.Varint(m.Version)
+	w.Float64s(m.Values)
+}
+
+// Decode implements wire.Message.
+func (m *PullResp) Decode(r *wire.Reader) {
+	m.Seq = r.Uint64()
+	m.Version = r.Varint()
+	m.Values = r.Float64s()
+}
+
+// PushReq delivers a gradient block for one shard. Exactly one of Dense or
+// Sparse is populated (Sparse for matrix factorization).
+type PushReq struct {
+	Seq         uint64 // worker's push sequence, echoed in PushAck
+	Iter        int64  // worker's iteration number
+	PullVersion int64  // shard version the gradient was computed against
+	Dense       []float64
+	SparseIdx   []int32
+	SparseVal   []float64
+	IsSparse    bool
+}
+
+var _ wire.Message = (*PushReq)(nil)
+
+// Kind implements wire.Message.
+func (m *PushReq) Kind() wire.Kind { return KindPushReq }
+
+// Encode implements wire.Message.
+func (m *PushReq) Encode(w *wire.Writer) {
+	w.Uint64(m.Seq)
+	w.Varint(m.Iter)
+	w.Varint(m.PullVersion)
+	w.Bool(m.IsSparse)
+	if m.IsSparse {
+		w.Ints32(m.SparseIdx)
+		w.Float64s(m.SparseVal)
+	} else {
+		w.Float64s(m.Dense)
+	}
+}
+
+// Decode implements wire.Message.
+func (m *PushReq) Decode(r *wire.Reader) {
+	m.Seq = r.Uint64()
+	m.Iter = r.Varint()
+	m.PullVersion = r.Varint()
+	m.IsSparse = r.Bool()
+	if m.IsSparse {
+		m.SparseIdx = r.Ints32()
+		m.SparseVal = r.Float64s()
+	} else {
+		m.Dense = r.Float64s()
+	}
+}
+
+// Sparse returns the sparse payload as a sparse.Vec view.
+func (m *PushReq) Sparse() sparse.Vec {
+	return sparse.Vec{Idx: m.SparseIdx, Val: m.SparseVal}
+}
+
+// PushAck confirms a gradient application.
+type PushAck struct {
+	Seq       uint64
+	Version   int64 // shard version after applying this push
+	Staleness int64 // number of pushes applied between the pull and this push
+}
+
+var _ wire.Message = (*PushAck)(nil)
+
+// Kind implements wire.Message.
+func (m *PushAck) Kind() wire.Kind { return KindPushAck }
+
+// Encode implements wire.Message.
+func (m *PushAck) Encode(w *wire.Writer) {
+	w.Uint64(m.Seq)
+	w.Varint(m.Version)
+	w.Varint(m.Staleness)
+}
+
+// Decode implements wire.Message.
+func (m *PushAck) Decode(r *wire.Reader) {
+	m.Seq = r.Uint64()
+	m.Version = r.Varint()
+	m.Staleness = r.Varint()
+}
+
+// Notify tells the scheduler a worker finished an iteration (pushed its
+// update). It triggers the speculation window for the sender (Algorithm 2).
+type Notify struct {
+	Iter int64 // iteration just completed
+}
+
+var _ wire.Message = (*Notify)(nil)
+
+// Kind implements wire.Message.
+func (m *Notify) Kind() wire.Kind { return KindNotify }
+
+// Encode implements wire.Message.
+func (m *Notify) Encode(w *wire.Writer) { w.Varint(m.Iter) }
+
+// Decode implements wire.Message.
+func (m *Notify) Decode(r *wire.Reader) { m.Iter = r.Varint() }
+
+// ReSync instructs a worker to abort the given iteration and re-pull fresher
+// parameters. Workers ignore ReSync for iterations they are no longer
+// computing ("if that is not too late yet", paper Sec. IV-A).
+type ReSync struct {
+	Iter int64 // iteration to abort (the one after the triggering Notify)
+}
+
+var _ wire.Message = (*ReSync)(nil)
+
+// Kind implements wire.Message.
+func (m *ReSync) Kind() wire.Kind { return KindReSync }
+
+// Encode implements wire.Message.
+func (m *ReSync) Encode(w *wire.Writer) { w.Varint(m.Iter) }
+
+// Decode implements wire.Message.
+func (m *ReSync) Decode(r *wire.Reader) { m.Iter = r.Varint() }
+
+// Start launches a worker's training loop.
+type Start struct{}
+
+var _ wire.Message = (*Start)(nil)
+
+// Kind implements wire.Message.
+func (m *Start) Kind() wire.Kind { return KindStart }
+
+// Encode implements wire.Message.
+func (m *Start) Encode(*wire.Writer) {}
+
+// Decode implements wire.Message.
+func (m *Start) Decode(*wire.Reader) {}
+
+// Stop halts a worker's training loop after the current callback.
+type Stop struct{}
+
+var _ wire.Message = (*Stop)(nil)
+
+// Kind implements wire.Message.
+func (m *Stop) Kind() wire.Kind { return KindStop }
+
+// Encode implements wire.Message.
+func (m *Stop) Encode(*wire.Writer) {}
+
+// Decode implements wire.Message.
+func (m *Stop) Decode(*wire.Reader) {}
+
+// BarrierRelease releases a BSP worker into iteration Round.
+type BarrierRelease struct {
+	Round int64
+}
+
+var _ wire.Message = (*BarrierRelease)(nil)
+
+// Kind implements wire.Message.
+func (m *BarrierRelease) Kind() wire.Kind { return KindBarrierRelease }
+
+// Encode implements wire.Message.
+func (m *BarrierRelease) Encode(w *wire.Writer) { w.Varint(m.Round) }
+
+// Decode implements wire.Message.
+func (m *BarrierRelease) Decode(r *wire.Reader) { m.Round = r.Varint() }
+
+// MinClock broadcasts the slowest worker's clock under SSP; workers block
+// while their own clock exceeds MinClock + staleness bound.
+type MinClock struct {
+	Clock int64
+}
+
+var _ wire.Message = (*MinClock)(nil)
+
+// Kind implements wire.Message.
+func (m *MinClock) Kind() wire.Kind { return KindMinClock }
+
+// Encode implements wire.Message.
+func (m *MinClock) Encode(w *wire.Writer) { w.Varint(m.Clock) }
+
+// Decode implements wire.Message.
+func (m *MinClock) Decode(r *wire.Reader) { m.Clock = r.Varint() }
+
+// WorkerReady reports that a worker finished initialization (live mode uses
+// it to gate the Start broadcast).
+type WorkerReady struct{}
+
+var _ wire.Message = (*WorkerReady)(nil)
+
+// Kind implements wire.Message.
+func (m *WorkerReady) Kind() wire.Kind { return KindWorkerReady }
+
+// Encode implements wire.Message.
+func (m *WorkerReady) Encode(*wire.Writer) {}
+
+// Decode implements wire.Message.
+func (m *WorkerReady) Decode(*wire.Reader) {}
+
+// PushNotice is used by the decentralized (broadcast) ablation: each worker
+// announces its push directly to every peer instead of the scheduler.
+type PushNotice struct {
+	Iter int64
+}
+
+var _ wire.Message = (*PushNotice)(nil)
+
+// Kind implements wire.Message.
+func (m *PushNotice) Kind() wire.Kind { return KindPushNotice }
+
+// Encode implements wire.Message.
+func (m *PushNotice) Encode(w *wire.Writer) { w.Varint(m.Iter) }
+
+// Decode implements wire.Message.
+func (m *PushNotice) Decode(r *wire.Reader) { m.Iter = r.Varint() }
+
+// Registry returns a fresh registry covering every protocol message.
+func Registry() *wire.Registry {
+	return wire.NewRegistry([]wire.RegistryEntry{
+		{Kind: KindPullReq, Name: "PullReq", New: func() wire.Message { return &PullReq{} }},
+		{Kind: KindPullResp, Name: "PullResp", New: func() wire.Message { return &PullResp{} }},
+		{Kind: KindPushReq, Name: "PushReq", New: func() wire.Message { return &PushReq{} }},
+		{Kind: KindPushAck, Name: "PushAck", New: func() wire.Message { return &PushAck{} }},
+		{Kind: KindNotify, Name: "Notify", New: func() wire.Message { return &Notify{} }},
+		{Kind: KindReSync, Name: "ReSync", New: func() wire.Message { return &ReSync{} }},
+		{Kind: KindStart, Name: "Start", New: func() wire.Message { return &Start{} }},
+		{Kind: KindStop, Name: "Stop", New: func() wire.Message { return &Stop{} }},
+		{Kind: KindBarrierRelease, Name: "BarrierRelease", New: func() wire.Message { return &BarrierRelease{} }},
+		{Kind: KindMinClock, Name: "MinClock", New: func() wire.Message { return &MinClock{} }},
+		{Kind: KindWorkerReady, Name: "WorkerReady", New: func() wire.Message { return &WorkerReady{} }},
+		{Kind: KindPushNotice, Name: "PushNotice", New: func() wire.Message { return &PushNotice{} }},
+	})
+}
+
+// IsControl reports whether a message kind is SpecSync control traffic (as
+// opposed to parameter data). The overhead experiments (Fig. 13) break down
+// transfer into data vs. control bytes.
+func IsControl(k wire.Kind) bool {
+	switch k {
+	case KindPullReq, KindPullResp, KindPushReq, KindPushAck:
+		return false
+	default:
+		return true
+	}
+}

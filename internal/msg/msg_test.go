@@ -1,0 +1,128 @@
+package msg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"specsync/internal/wire"
+)
+
+// roundtrip marshals and unmarshals m through the registry and returns the
+// decoded message.
+func roundtrip(t *testing.T, m wire.Message) wire.Message {
+	t.Helper()
+	out, err := Registry().Unmarshal(wire.Marshal(m))
+	if err != nil {
+		t.Fatalf("roundtrip %T: %v", m, err)
+	}
+	return out
+}
+
+func TestAllMessagesRoundtrip(t *testing.T) {
+	cases := []wire.Message{
+		&PullReq{Seq: 42},
+		&PullResp{Seq: 7, Version: 100, Values: []float64{1, 2, 3}},
+		&PushReq{Seq: 9, Iter: 4, PullVersion: 88, Dense: []float64{0.5, -0.5}},
+		&PushReq{Seq: 10, Iter: 5, PullVersion: 89, IsSparse: true, SparseIdx: []int32{1, 7}, SparseVal: []float64{2, 3}},
+		&PushAck{Seq: 9, Version: 101, Staleness: 13},
+		&Notify{Iter: 6},
+		&ReSync{Iter: 7},
+		&Start{},
+		&Stop{},
+		&BarrierRelease{Round: 3},
+		&MinClock{Clock: 11},
+		&WorkerReady{},
+		&PushNotice{Iter: 2},
+	}
+	for _, in := range cases {
+		out := roundtrip(t, in)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%T: roundtrip mismatch:\n in: %+v\nout: %+v", in, in, out)
+		}
+	}
+}
+
+func TestRegistryCoversAllKinds(t *testing.T) {
+	reg := Registry()
+	kinds := reg.Kinds()
+	if len(kinds) != 12 {
+		t.Errorf("registry has %d kinds, want 12", len(kinds))
+	}
+	for _, k := range kinds {
+		m, err := reg.New(k)
+		if err != nil {
+			t.Fatalf("New(%d): %v", k, err)
+		}
+		if m.Kind() != k {
+			t.Errorf("kind %d: message reports kind %d", k, m.Kind())
+		}
+	}
+}
+
+func TestQuickPushReqRoundtrip(t *testing.T) {
+	reg := Registry()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &PushReq{
+			Seq:         rng.Uint64(),
+			Iter:        rng.Int63(),
+			PullVersion: rng.Int63(),
+		}
+		if rng.Intn(2) == 0 {
+			in.Dense = make([]float64, rng.Intn(50))
+			for i := range in.Dense {
+				in.Dense[i] = rng.NormFloat64()
+			}
+		} else {
+			in.IsSparse = true
+			n := rng.Intn(20)
+			in.SparseIdx = make([]int32, n)
+			in.SparseVal = make([]float64, n)
+			for i := 0; i < n; i++ {
+				in.SparseIdx[i] = rng.Int31()
+				in.SparseVal[i] = rng.NormFloat64()
+			}
+		}
+		out, err := reg.Unmarshal(wire.Marshal(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPushReqSparseView(t *testing.T) {
+	m := &PushReq{IsSparse: true, SparseIdx: []int32{3, 5}, SparseVal: []float64{1, 2}}
+	sv := m.Sparse()
+	if sv.Len() != 2 || sv.Idx[1] != 5 || sv.Val[1] != 2 {
+		t.Errorf("Sparse view wrong: %+v", sv)
+	}
+}
+
+func TestIsControlClassification(t *testing.T) {
+	data := []wire.Kind{KindPullReq, KindPullResp, KindPushReq, KindPushAck}
+	for _, k := range data {
+		if IsControl(k) {
+			t.Errorf("kind %d misclassified as control", k)
+		}
+	}
+	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice}
+	for _, k := range control {
+		if !IsControl(k) {
+			t.Errorf("kind %d misclassified as data", k)
+		}
+	}
+}
+
+func TestControlMessagesAreTiny(t *testing.T) {
+	// The paper's centralized design relies on control messages being a few
+	// bytes; regression-guard their encoded sizes.
+	small := []wire.Message{&Notify{Iter: 1 << 40}, &ReSync{Iter: 1 << 40}, &Start{}, &Stop{}, &MinClock{Clock: 99}}
+	for _, m := range small {
+		if n := wire.EncodedSize(m); n > 16 {
+			t.Errorf("%T encodes to %d bytes, want <= 16", m, n)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIDRoundtrip(t *testing.T) {
+	if WorkerID(3) != "worker/3" || ServerID(0) != "server/0" {
+		t.Error("ID formatting wrong")
+	}
+	if WorkerIndex(WorkerID(17)) != 17 {
+		t.Error("WorkerIndex roundtrip failed")
+	}
+	if ServerIndex(ServerID(5)) != 5 {
+		t.Error("ServerIndex roundtrip failed")
+	}
+	if WorkerIndex(ServerID(1)) != -1 || ServerIndex(WorkerID(1)) != -1 {
+		t.Error("cross-role index should be -1")
+	}
+	if WorkerIndex(Scheduler) != -1 {
+		t.Error("scheduler is not a worker")
+	}
+	if WorkerIndex("worker/abc") != -1 || WorkerIndex("worker/-2") != -1 {
+		t.Error("malformed worker ids must return -1")
+	}
+}
+
+func TestQuickIDRoundtrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		i := int(raw)
+		return WorkerIndex(WorkerID(i)) == i && ServerIndex(ServerID(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []ID{Scheduler, ProbeID, WorkerID(0), ServerID(9)}
+	for _, id := range good {
+		if err := Validate(id); err != nil {
+			t.Errorf("Validate(%s): %v", id, err)
+		}
+	}
+	bad := []ID{"", "bogus", "worker/", "worker/x", "server/-1"}
+	for _, id := range bad {
+		if err := Validate(id); err == nil {
+			t.Errorf("Validate(%s) accepted", id)
+		}
+	}
+}
+
+func TestRandSeedStability(t *testing.T) {
+	a := RandSeed(1, WorkerID(0))
+	b := RandSeed(1, WorkerID(0))
+	if a != b {
+		t.Error("RandSeed not deterministic")
+	}
+	if RandSeed(1, WorkerID(1)) == a {
+		t.Error("different nodes should get different seeds")
+	}
+	if RandSeed(2, WorkerID(0)) == a {
+		t.Error("different master seeds should differ")
+	}
+}

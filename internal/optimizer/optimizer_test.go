@@ -1,0 +1,196 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specsync/internal/sparse"
+	"specsync/internal/tensor"
+)
+
+func TestConstLR(t *testing.T) {
+	if Const(0.5).LR(0) != 0.5 || Const(0.5).LR(1e6) != 0.5 {
+		t.Error("Const schedule must be constant")
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s, err := NewStep(1.0, 0.1, []int64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		step int64
+		want float64
+	}{
+		{0, 1.0}, {99, 1.0}, {100, 0.1}, {199, 0.1}, {200, 0.01}, {5000, 0.01},
+	}
+	for _, c := range cases {
+		if got := s.LR(c.step); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LR(%d) = %v, want %v", c.step, got, c.want)
+		}
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	if _, err := NewStep(0, 0.1, nil); err == nil {
+		t.Error("expected error for base=0")
+	}
+	if _, err := NewStep(1, 1.5, nil); err == nil {
+		t.Error("expected error for factor>1")
+	}
+	if _, err := NewStep(1, 0.1, []int64{200, 100}); err == nil {
+		t.Error("expected error for unsorted boundaries")
+	}
+}
+
+func TestInvSqrtMonotone(t *testing.T) {
+	s := &InvSqrt{Base: 1, Scale: 10}
+	prev := math.Inf(1)
+	for step := int64(0); step < 1000; step += 50 {
+		lr := s.LR(step)
+		if lr > prev {
+			t.Fatalf("InvSqrt not monotone at %d", step)
+		}
+		prev = lr
+	}
+	if got := s.LR(0); got != 1 {
+		t.Errorf("LR(0) = %v", got)
+	}
+}
+
+func TestSGDDenseStep(t *testing.T) {
+	o, err := NewSGD(SGDConfig{Schedule: Const(0.5)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.Vec{1, 1, 1}
+	o.ApplyDense(w, tensor.Vec{2, 0, -2})
+	want := tensor.Vec{0, 1, 2}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	if o.Step() != 1 {
+		t.Errorf("Step = %d", o.Step())
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	o, err := NewSGD(SGDConfig{Schedule: Const(1), Momentum: 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.Vec{0}
+	g := tensor.Vec{1}
+	o.ApplyDense(w, g) // v=1, w=-1
+	o.ApplyDense(w, g) // v=1.5, w=-2.5
+	if w[0] != -2.5 {
+		t.Errorf("w = %v, want -2.5", w[0])
+	}
+}
+
+func TestSGDClipDoesNotMutateCallerGradient(t *testing.T) {
+	o, err := NewSGD(SGDConfig{Schedule: Const(1), Clip: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.Vec{3, 4} // norm 5
+	w := tensor.Vec{0, 0}
+	o.ApplyDense(w, g)
+	if g[0] != 3 || g[1] != 4 {
+		t.Error("clip mutated caller's gradient")
+	}
+	if n := tensor.Norm2(w); math.Abs(n-1) > 1e-12 {
+		t.Errorf("clipped update norm = %v, want 1", n)
+	}
+}
+
+func TestSGDSparseMatchesDense(t *testing.T) {
+	mk := func() (*SGD, tensor.Vec) {
+		o, err := NewSGD(SGDConfig{Schedule: Const(0.1)}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o, tensor.Vec{1, 2, 3, 4, 5, 6}
+	}
+	dense := tensor.Vec{0, 1, 0, -2, 0, 0}
+	sp := sparse.FromDense(dense)
+
+	o1, w1 := mk()
+	o1.ApplyDense(w1, dense)
+	o2, w2 := mk()
+	o2.ApplySparse(w2, sp)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Errorf("w[%d]: dense %v vs sparse %v", i, w1[i], w2[i])
+		}
+	}
+	if o1.Step() != o2.Step() {
+		t.Error("step counters diverge")
+	}
+}
+
+func TestSGDSparseClip(t *testing.T) {
+	o, err := NewSGD(SGDConfig{Schedule: Const(1), Clip: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sparse.Vec{Idx: []int32{0, 2}, Val: []float64{3, 4}}
+	w := tensor.NewVec(4)
+	o.ApplySparse(w, g)
+	if g.Val[0] != 3 {
+		t.Error("sparse clip mutated caller's gradient")
+	}
+	if n := tensor.Norm2(w); math.Abs(n-1) > 1e-12 {
+		t.Errorf("norm = %v", n)
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	if _, err := NewSGD(SGDConfig{}, 3); err == nil {
+		t.Error("expected error for nil schedule")
+	}
+	if _, err := NewSGD(SGDConfig{Schedule: Const(1), Momentum: 1}, 3); err == nil {
+		t.Error("expected error for momentum=1")
+	}
+	if _, err := NewSGD(SGDConfig{Schedule: Const(1)}, 0); err == nil {
+		t.Error("expected error for dim=0")
+	}
+}
+
+func TestSetStepKeysSchedule(t *testing.T) {
+	sched, err := NewStep(1, 0.1, []int64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewSGD(SGDConfig{Schedule: sched}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetStep(50)
+	if o.CurrentLR() != 0.1 {
+		t.Errorf("CurrentLR = %v after SetStep(50)", o.CurrentLR())
+	}
+}
+
+func TestQuickSGDReducesQuadratic(t *testing.T) {
+	// For f(w) = |w|^2/2, gradient descent with lr < 2 must not increase f.
+	f := func(seed int64) bool {
+		o, err := NewSGD(SGDConfig{Schedule: Const(0.3)}, 4)
+		if err != nil {
+			return false
+		}
+		w := tensor.Vec{float64(seed%7) - 3, 1, -2, 0.5}
+		before := tensor.Dot(w, w)
+		for i := 0; i < 20; i++ {
+			o.ApplyDense(w, w.Clone())
+		}
+		return tensor.Dot(w, w) <= before+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

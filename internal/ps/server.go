@@ -1,0 +1,155 @@
+// Package ps implements the parameter-server shard. Servers are
+// deliberately dumb, exactly as in the paper (Sec. V-B: "Servers are
+// agnostic to speculative synchronization... their behaviors remain the same
+// as in the stock MXNet"): they answer pulls with their current parameter
+// block and apply pushed gradients through the server-side optimizer. All
+// SpecSync logic lives in the scheduler and workers.
+package ps
+
+import (
+	"fmt"
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/tensor"
+	"specsync/internal/wire"
+)
+
+// Range is a half-open interval [Lo, Hi) of flat parameter indices owned by
+// one shard.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of parameters in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// ShardRanges splits dim parameters into n contiguous, near-equal ranges.
+func ShardRanges(dim, n int) ([]Range, error) {
+	if n < 1 || dim < n {
+		return nil, fmt.Errorf("ps: cannot split %d params into %d shards", dim, n)
+	}
+	out := make([]Range, n)
+	per := dim / n
+	extra := dim % n
+	lo := 0
+	for i := range out {
+		size := per
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out, nil
+}
+
+// StalenessObserver receives the measured staleness of each applied push:
+// the number of other updates applied to the shard between the worker's pull
+// and its push. It feeds the staleness-distribution analyses.
+type StalenessObserver interface {
+	ObserveStaleness(worker node.ID, staleness int64, at time.Time)
+}
+
+// Config configures one server shard.
+type Config struct {
+	// Range is the parameter slice this shard owns.
+	Range Range
+	// Init is the initial parameter block (length Range.Len()). The cluster
+	// harness slices one master init vector across shards so every scheme
+	// starts from identical parameters.
+	Init tensor.Vec
+	// Optimizer applies pushed gradients. Required.
+	Optimizer *optimizer.SGD
+	// Staleness, if non-nil, observes per-push staleness.
+	Staleness StalenessObserver
+}
+
+// Server is the shard state machine.
+type Server struct {
+	ctx     node.Context
+	cfg     Config
+	params  tensor.Vec
+	version int64 // number of pushes applied
+	pulls   int64
+	pushes  int64
+}
+
+var _ node.Handler = (*Server)(nil)
+
+// New validates cfg and builds the shard.
+func New(cfg Config) (*Server, error) {
+	if cfg.Range.Len() < 1 {
+		return nil, fmt.Errorf("ps: empty shard range %+v", cfg.Range)
+	}
+	if len(cfg.Init) != cfg.Range.Len() {
+		return nil, fmt.Errorf("ps: init length %d != range %d", len(cfg.Init), cfg.Range.Len())
+	}
+	if cfg.Optimizer == nil {
+		return nil, fmt.Errorf("ps: nil optimizer")
+	}
+	return &Server{cfg: cfg, params: cfg.Init.Clone()}, nil
+}
+
+// Init implements node.Handler.
+func (s *Server) Init(ctx node.Context) { s.ctx = ctx }
+
+// Receive implements node.Handler.
+func (s *Server) Receive(from node.ID, m wire.Message) {
+	switch req := m.(type) {
+	case *msg.PullReq:
+		s.pulls++
+		s.ctx.Send(from, &msg.PullResp{
+			Seq:     req.Seq,
+			Version: s.version,
+			Values:  s.params, // Send marshals synchronously; no aliasing escapes
+		})
+	case *msg.PushReq:
+		s.apply(from, req)
+	case *msg.Stop:
+		// Servers are stateless with respect to the training loop; nothing
+		// to wind down.
+	default:
+		s.ctx.Logf("server: unexpected message %T from %s", m, from)
+	}
+}
+
+func (s *Server) apply(from node.ID, req *msg.PushReq) {
+	// Key the LR schedule on this shard's total push count.
+	s.cfg.Optimizer.SetStep(s.version)
+	if req.IsSparse {
+		s.cfg.Optimizer.ApplySparse(s.params, req.Sparse())
+	} else {
+		if len(req.Dense) != s.cfg.Range.Len() {
+			s.ctx.Logf("server: push from %s has %d values, want %d; dropped",
+				from, len(req.Dense), s.cfg.Range.Len())
+			return
+		}
+		s.cfg.Optimizer.ApplyDense(s.params, req.Dense)
+	}
+	s.version++
+	s.pushes++
+	staleness := s.version - 1 - req.PullVersion // pushes applied since the pull
+	if staleness < 0 {
+		staleness = 0
+	}
+	if s.cfg.Staleness != nil {
+		s.cfg.Staleness.ObserveStaleness(from, staleness, s.ctx.Now())
+	}
+	s.ctx.Send(from, &msg.PushAck{Seq: req.Seq, Version: s.version, Staleness: staleness})
+}
+
+// Params returns the live parameter block. Probes under the single-threaded
+// simulator read it directly; it must not be mutated by callers.
+func (s *Server) Params() tensor.Vec { return s.params }
+
+// Version returns the number of pushes applied so far.
+func (s *Server) Version() int64 { return s.version }
+
+// Range returns the shard's parameter range.
+func (s *Server) Range() Range { return s.cfg.Range }
+
+// Stats returns cumulative pull and push counts.
+func (s *Server) Stats() (pulls, pushes int64) { return s.pulls, s.pushes }

@@ -1,0 +1,162 @@
+// Package scheme enumerates the synchronization schemes the paper studies
+// and compares: ASP (MXNet's default asynchronous parallelism, the paper's
+// "Original"), BSP, SSP, naïve waiting (Sec. III), and SpecSync layered on
+// top of ASP or SSP in either Cherrypick (fixed hyperparameters) or Adaptive
+// (Algorithm 1) mode.
+package scheme
+
+import (
+	"fmt"
+	"time"
+)
+
+// Base is the underlying synchronization model.
+type Base int
+
+// Base schemes.
+const (
+	// ASP is asynchronous parallelism: workers never wait.
+	ASP Base = iota + 1
+	// BSP is bulk-synchronous parallelism: a barrier after every iteration.
+	BSP
+	// SSP is stale-synchronous parallelism: a worker may run ahead of the
+	// slowest worker by at most Staleness iterations.
+	SSP
+)
+
+// String returns the scheme's conventional name.
+func (b Base) String() string {
+	switch b {
+	case ASP:
+		return "ASP"
+	case BSP:
+		return "BSP"
+	case SSP:
+		return "SSP"
+	default:
+		return fmt.Sprintf("Base(%d)", int(b))
+	}
+}
+
+// Spec selects the speculation layer.
+type Spec int
+
+// Speculation modes.
+const (
+	// SpecOff disables speculation (plain base scheme).
+	SpecOff Spec = iota
+	// SpecFixed uses operator-provided ABORT_TIME / ABORT_RATE
+	// (SpecSync-Cherrypick in the paper).
+	SpecFixed
+	// SpecAdaptive retunes both hyperparameters every epoch with the
+	// paper's Algorithm 1 (SpecSync-Adaptive).
+	SpecAdaptive
+)
+
+// String returns the mode's conventional name.
+func (s Spec) String() string {
+	switch s {
+	case SpecOff:
+		return "Off"
+	case SpecFixed:
+		return "Cherrypick"
+	case SpecAdaptive:
+		return "Adaptive"
+	default:
+		return fmt.Sprintf("Spec(%d)", int(s))
+	}
+}
+
+// Config fully describes a synchronization scheme.
+type Config struct {
+	// Base is the underlying model. Required.
+	Base Base
+	// Staleness is the SSP bound (ignored otherwise).
+	Staleness int
+	// NaiveWait, when positive, delays every pull request by this amount
+	// (the naïve-waiting strategy of paper Sec. III-B).
+	NaiveWait time.Duration
+	// Spec selects the speculation layer. Speculation is incompatible with
+	// BSP (there is nothing to speculate about behind a barrier).
+	Spec Spec
+	// AbortTime is the fixed speculation window for SpecFixed.
+	AbortTime time.Duration
+	// AbortRate is the fixed push-rate threshold for SpecFixed, as a
+	// fraction of the worker count (paper: cnt >= m * ABORT_RATE).
+	AbortRate float64
+	// Decentralized switches SpecFixed to the broadcast design the paper
+	// rejects (Sec. V-A): every worker announces each push to all peers and
+	// runs its own speculation check, with no scheduler involvement. It
+	// exists to measure the all-to-all control-traffic blowup.
+	Decentralized bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Base {
+	case ASP, BSP, SSP:
+	default:
+		return fmt.Errorf("scheme: unknown base %d", c.Base)
+	}
+	if c.Base == SSP && c.Staleness < 0 {
+		return fmt.Errorf("scheme: negative SSP staleness %d", c.Staleness)
+	}
+	if c.NaiveWait < 0 {
+		return fmt.Errorf("scheme: negative naive wait %v", c.NaiveWait)
+	}
+	switch c.Spec {
+	case SpecOff:
+		if c.Decentralized {
+			return fmt.Errorf("scheme: Decentralized requires SpecFixed")
+		}
+	case SpecFixed:
+		if c.Base == BSP {
+			return fmt.Errorf("scheme: speculation is incompatible with BSP")
+		}
+		if c.AbortTime <= 0 {
+			return fmt.Errorf("scheme: SpecFixed requires positive AbortTime")
+		}
+		if c.AbortRate < 0 || c.AbortRate > 1 {
+			return fmt.Errorf("scheme: AbortRate %v outside [0,1]", c.AbortRate)
+		}
+	case SpecAdaptive:
+		if c.Base == BSP {
+			return fmt.Errorf("scheme: speculation is incompatible with BSP")
+		}
+		if c.Decentralized {
+			// Decentralized adaptive tuning would need every worker to run
+			// Algorithm 1 on its own copy of the push history; the paper's
+			// centralized design exists precisely to avoid that redundancy.
+			return fmt.Errorf("scheme: Decentralized supports only SpecFixed")
+		}
+	default:
+		return fmt.Errorf("scheme: unknown spec mode %d", c.Spec)
+	}
+	return nil
+}
+
+// Name returns a human-readable scheme name matching the paper's
+// terminology ("Original" is stock asynchronous MXNet).
+func (c Config) Name() string {
+	base := c.Base.String()
+	if c.Base == SSP {
+		base = fmt.Sprintf("SSP(s=%d)", c.Staleness)
+	}
+	if c.NaiveWait > 0 {
+		base = fmt.Sprintf("%s+NaiveWait(%v)", base, c.NaiveWait)
+	}
+	switch c.Spec {
+	case SpecFixed:
+		if c.Decentralized {
+			return fmt.Sprintf("SpecSync-Broadcast(%s)", base)
+		}
+		return fmt.Sprintf("SpecSync-Cherrypick(%s)", base)
+	case SpecAdaptive:
+		return fmt.Sprintf("SpecSync-Adaptive(%s)", base)
+	default:
+		if c.Base == ASP && c.NaiveWait == 0 {
+			return "Original"
+		}
+		return base
+	}
+}

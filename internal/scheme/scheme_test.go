@@ -1,0 +1,71 @@
+package scheme
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Config{
+		{Base: ASP},
+		{Base: BSP},
+		{Base: SSP, Staleness: 3},
+		{Base: ASP, NaiveWait: time.Second},
+		{Base: ASP, Spec: SpecFixed, AbortTime: time.Second, AbortRate: 0.2},
+		{Base: ASP, Spec: SpecAdaptive},
+		{Base: SSP, Staleness: 2, Spec: SpecAdaptive},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good case %d rejected: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{},
+		{Base: Base(99)},
+		{Base: SSP, Staleness: -1},
+		{Base: ASP, NaiveWait: -time.Second},
+		{Base: BSP, Spec: SpecFixed, AbortTime: time.Second},
+		{Base: BSP, Spec: SpecAdaptive},
+		{Base: ASP, Spec: SpecFixed},                                         // no abort time
+		{Base: ASP, Spec: SpecFixed, AbortTime: time.Second, AbortRate: 1.5}, // rate > 1
+		{Base: ASP, Spec: Spec(77)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Config{
+		"Original":                    {Base: ASP},
+		"BSP":                         {Base: BSP},
+		"SSP(s=3)":                    {Base: SSP, Staleness: 3},
+		"SpecSync-Adaptive(ASP)":      {Base: ASP, Spec: SpecAdaptive},
+		"SpecSync-Cherrypick(ASP)":    {Base: ASP, Spec: SpecFixed, AbortTime: time.Second, AbortRate: 0.2},
+		"SpecSync-Adaptive(SSP(s=2))": {Base: SSP, Staleness: 2, Spec: SpecAdaptive},
+	}
+	for want, c := range cases {
+		if got := c.Name(); got != want {
+			t.Errorf("Name(%+v) = %q, want %q", c, got, want)
+		}
+	}
+	if got := (Config{Base: ASP, NaiveWait: time.Second}).Name(); !strings.Contains(got, "NaiveWait") {
+		t.Errorf("naive name = %q", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ASP.String() != "ASP" || BSP.String() != "BSP" || SSP.String() != "SSP" {
+		t.Error("base stringer broken")
+	}
+	if !strings.Contains(Base(42).String(), "42") {
+		t.Error("unknown base should embed number")
+	}
+	if SpecOff.String() != "Off" || SpecFixed.String() != "Cherrypick" || SpecAdaptive.String() != "Adaptive" {
+		t.Error("spec stringer broken")
+	}
+}

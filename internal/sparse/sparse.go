@@ -1,0 +1,150 @@
+// Package sparse provides the sparse-vector representation used for matrix
+// factorization pushes and pulls. An MF gradient only touches the rows of the
+// user/item factors that appear in the minibatch, so shipping a dense vector
+// of millions of zeros would dominate transfer; sparse push/pull is what
+// makes the MF workload's communication profile (paper Fig. 12a) realistic.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"specsync/internal/tensor"
+)
+
+// Vec is a sparse vector: parallel slices of strictly increasing indices and
+// their values. The zero value is an empty vector.
+type Vec struct {
+	Idx []int32
+	Val []float64
+}
+
+// Len returns the number of stored (non-zero) entries.
+func (v Vec) Len() int { return len(v.Idx) }
+
+// Validate checks the representation invariants: equal-length slices and
+// strictly increasing indices.
+func (v Vec) Validate(dim int) error {
+	if len(v.Idx) != len(v.Val) {
+		return fmt.Errorf("sparse: %d indices but %d values", len(v.Idx), len(v.Val))
+	}
+	for i, ix := range v.Idx {
+		if ix < 0 || int(ix) >= dim {
+			return fmt.Errorf("sparse: index %d out of range [0,%d)", ix, dim)
+		}
+		if i > 0 && v.Idx[i-1] >= ix {
+			return fmt.Errorf("sparse: indices not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := Vec{Idx: make([]int32, len(v.Idx)), Val: make([]float64, len(v.Val))}
+	copy(out.Idx, v.Idx)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// AddTo accumulates dense += a*v.
+func (v Vec) AddTo(dense tensor.Vec, a float64) {
+	for i, ix := range v.Idx {
+		dense[ix] += a * v.Val[i]
+	}
+}
+
+// Norm2Sq returns the squared Euclidean norm of v.
+func (v Vec) Norm2Sq() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x * x
+	}
+	return s
+}
+
+// Scale multiplies every stored value by a in place.
+func (v *Vec) Scale(a float64) {
+	for i := range v.Val {
+		v.Val[i] *= a
+	}
+}
+
+// Builder accumulates scattered (index, value) contributions and produces a
+// canonical sparse vector, merging duplicate indices by summation. It is the
+// tool gradient code uses: MF touches the same factor row many times per
+// batch.
+type Builder struct {
+	vals map[int32]float64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{vals: make(map[int32]float64)}
+}
+
+// Add accumulates value at index.
+func (b *Builder) Add(index int32, value float64) {
+	b.vals[index] += value
+}
+
+// AddSpan accumulates a contiguous block of values starting at base. This is
+// how a factor-row gradient (rank consecutive floats) is scattered into the
+// flat parameter index space.
+func (b *Builder) AddSpan(base int32, values []float64) {
+	for i, v := range values {
+		b.vals[base+int32(i)] += v
+	}
+}
+
+// Len returns the number of distinct indices accumulated so far.
+func (b *Builder) Len() int { return len(b.vals) }
+
+// Build produces the canonical sorted vector and resets the builder.
+func (b *Builder) Build() Vec {
+	idx := make([]int32, 0, len(b.vals))
+	for ix := range b.vals {
+		idx = append(idx, ix)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	val := make([]float64, len(idx))
+	for i, ix := range idx {
+		val[i] = b.vals[ix]
+	}
+	b.vals = make(map[int32]float64)
+	return Vec{Idx: idx, Val: val}
+}
+
+// Slice returns the sub-vector of v whose indices fall in [lo, hi), with
+// indices rebased to lo. Parameter-server shards use this to route one sparse
+// push to the shard that owns each index range.
+func (v Vec) Slice(lo, hi int32) Vec {
+	start := sort.Search(len(v.Idx), func(i int) bool { return v.Idx[i] >= lo })
+	end := sort.Search(len(v.Idx), func(i int) bool { return v.Idx[i] >= hi })
+	out := Vec{Idx: make([]int32, end-start), Val: make([]float64, end-start)}
+	for i := start; i < end; i++ {
+		out.Idx[i-start] = v.Idx[i] - lo
+		out.Val[i-start] = v.Val[i]
+	}
+	return out
+}
+
+// FromDense extracts the non-zero entries of a dense vector. Mostly a test
+// helper; production gradients are built sparsely from the start.
+func FromDense(dense tensor.Vec) Vec {
+	var out Vec
+	for i, x := range dense {
+		if x != 0 {
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, x)
+		}
+	}
+	return out
+}
+
+// ToDense materializes v as a dense vector of length dim.
+func (v Vec) ToDense(dim int) tensor.Vec {
+	out := tensor.NewVec(dim)
+	v.AddTo(out, 1)
+	return out
+}

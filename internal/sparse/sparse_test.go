@@ -1,0 +1,169 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specsync/internal/tensor"
+)
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder()
+	b.Add(5, 1.5)
+	b.Add(2, 1)
+	b.Add(5, 0.5)
+	v := b.Build()
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+	if v.Idx[0] != 2 || v.Idx[1] != 5 {
+		t.Errorf("Idx = %v", v.Idx)
+	}
+	if v.Val[1] != 2.0 {
+		t.Errorf("Val[1] = %v, want 2", v.Val[1])
+	}
+	if err := v.Validate(10); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Error("Build must reset builder")
+	}
+}
+
+func TestAddSpan(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpan(10, []float64{1, 2, 3})
+	b.AddSpan(11, []float64{10})
+	v := b.Build()
+	d := v.ToDense(20)
+	if d[10] != 1 || d[11] != 12 || d[12] != 3 {
+		t.Errorf("dense = %v", d[10:13])
+	}
+}
+
+func TestValidateCatchesBadVectors(t *testing.T) {
+	bad := []Vec{
+		{Idx: []int32{1}, Val: []float64{}},        // length mismatch
+		{Idx: []int32{3, 2}, Val: []float64{1, 1}}, // unsorted
+		{Idx: []int32{2, 2}, Val: []float64{1, 1}}, // duplicate
+		{Idx: []int32{-1}, Val: []float64{1}},      // negative
+		{Idx: []int32{99}, Val: []float64{1}},      // out of range
+	}
+	for i, v := range bad {
+		if err := v.Validate(10); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	v := Vec{Idx: []int32{1, 5, 9, 15}, Val: []float64{1, 5, 9, 15}}
+	s := v.Slice(5, 10)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Idx[0] != 0 || s.Idx[1] != 4 {
+		t.Errorf("rebased Idx = %v", s.Idx)
+	}
+	if s.Val[0] != 5 || s.Val[1] != 9 {
+		t.Errorf("Val = %v", s.Val)
+	}
+	if empty := v.Slice(20, 30); empty.Len() != 0 {
+		t.Errorf("out-of-range slice not empty: %v", empty)
+	}
+}
+
+func TestQuickSliceRoundtrip(t *testing.T) {
+	// Splitting a sparse vector into shard slices and re-assembling (with
+	// offset) must reproduce the original dense form. This is exactly the
+	// push-routing path in the parameter server.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const dim = 64
+		b := NewBuilder()
+		for i := 0; i < rng.Intn(40); i++ {
+			b.Add(int32(rng.Intn(dim)), rng.NormFloat64())
+		}
+		v := b.Build()
+
+		nshards := rng.Intn(4) + 1
+		per := (dim + nshards - 1) / nshards
+		dense := tensor.NewVec(dim)
+		for s := 0; s < nshards; s++ {
+			lo := int32(s * per)
+			hi := lo + int32(per)
+			if hi > dim {
+				hi = dim
+			}
+			part := v.Slice(lo, hi)
+			if err := part.Validate(int(hi - lo)); err != nil {
+				return false
+			}
+			for i, ix := range part.Idx {
+				dense[int32(ix)+lo] += part.Val[i]
+			}
+		}
+
+		want := v.ToDense(dim)
+		for i := range want {
+			if dense[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFromDenseToDense(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		dense := tensor.Vec(raw)
+		v := FromDense(dense)
+		if err := v.Validate(len(dense)); err != nil {
+			return false
+		}
+		back := v.ToDense(len(dense))
+		for i := range dense {
+			// NaN round-trips as non-equal; skip those draws.
+			if dense[i] != back[i] && dense[i] == dense[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddToAndScale(t *testing.T) {
+	v := Vec{Idx: []int32{0, 3}, Val: []float64{2, 4}}
+	dense := tensor.NewVec(5)
+	v.AddTo(dense, 0.5)
+	if dense[0] != 1 || dense[3] != 2 {
+		t.Errorf("AddTo = %v", dense)
+	}
+	v.Scale(2)
+	if v.Val[0] != 4 || v.Val[1] != 8 {
+		t.Errorf("Scale = %v", v.Val)
+	}
+	if v.Norm2Sq() != 16+64 {
+		t.Errorf("Norm2Sq = %v", v.Norm2Sq())
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := Vec{Idx: []int32{1}, Val: []float64{1}}
+	c := v.Clone()
+	c.Val[0] = 99
+	c.Idx[0] = 5
+	if v.Val[0] != 1 || v.Idx[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(n int, seed int64) Vec {
+	rng := rand.New(rand.NewSource(seed))
+	v := NewVec(n)
+	RandNormal(v, 1, rng)
+	return v
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	x, y := randVec(7210, 1), randVec(7210, 2)
+	b.SetBytes(7210 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(y, 0.001, x)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	x, y := randVec(7210, 1), randVec(7210, 2)
+	b.SetBytes(7210 * 8)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	m := NewMat(96, 129) // CIFAR-like MLP first layer
+	rng := rand.New(rand.NewSource(3))
+	RandNormal(m.V, 1, rng)
+	x, out := randVec(129, 4), NewVec(96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(m, x, out)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	v, out := randVec(50, 5), NewVec(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(v, out)
+	}
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix view over a flat buffer. The buffer is
+// typically a slice of a larger parameter vector so that matrices can live
+// inside a sharded parameter store without copying.
+type Mat struct {
+	Rows, Cols int
+	V          Vec // len == Rows*Cols, row-major
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, V: NewVec(rows * cols)}
+}
+
+// MatOver wraps an existing buffer as a Rows x Cols matrix. It panics when
+// the buffer length does not match.
+func MatOver(rows, cols int, v Vec) Mat {
+	if len(v) != rows*cols {
+		panic(fmt.Sprintf("tensor: MatOver buffer %d != %dx%d", len(v), rows, cols))
+	}
+	return Mat{Rows: rows, Cols: cols, V: v}
+}
+
+// Row returns row i as a subslice (no copy).
+func (m Mat) Row(i int) Vec {
+	return m.V[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m Mat) At(i, j int) float64 { return m.V[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m Mat) Set(i, j int, x float64) { m.V[i*m.Cols+j] = x }
+
+// MatVec computes out = M * x where x has length Cols and out length Rows.
+func MatVec(m Mat, x, out Vec) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec dims %dx%d * %d -> %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+}
+
+// MatTVec computes out = M^T * x where x has length Rows and out length Cols.
+func MatTVec(m Mat, x, out Vec) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatTVec dims (%dx%d)^T * %d -> %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		Axpy(out, x[i], m.Row(i))
+	}
+}
+
+// AddOuter accumulates M += a * x*y^T where x has length Rows and y length
+// Cols. This is the rank-1 update at the heart of backprop weight gradients.
+func AddOuter(m Mat, a float64, x, y Vec) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddOuter dims %d x %d into %dx%d", len(x), len(y), m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy(m.Row(i), a*x[i], y)
+	}
+}
+
+// LogSumExp returns log(sum_i exp(v_i)) computed stably.
+func LogSumExp(v Vec) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	var s float64
+	for _, x := range v {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes softmax(v) into out (may alias v).
+func Softmax(v, out Vec) {
+	if len(v) != len(out) {
+		panic("tensor: softmax length mismatch")
+	}
+	lse := LogSumExp(v)
+	for i, x := range v {
+		out[i] = math.Exp(x - lse)
+	}
+}
+
+// Argmax returns the index of the largest element, or -1 for empty input.
+func Argmax(v Vec) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Relu writes max(0, v) into out (may alias v).
+func Relu(v, out Vec) {
+	for i, x := range v {
+		if x > 0 {
+			out[i] = x
+		} else {
+			out[i] = 0
+		}
+	}
+}

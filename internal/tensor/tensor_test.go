@@ -1,0 +1,244 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAxpyDotScale(t *testing.T) {
+	y := Vec{1, 2, 3}
+	x := Vec{4, 5, 6}
+	Axpy(y, 2, x)
+	want := Vec{9, 12, 15}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if got := Dot(x, x); got != 16+25+36 {
+		t.Errorf("Dot = %v", got)
+	}
+	Scale(y, 0)
+	if Norm2(y) != 0 {
+		t.Errorf("Scale to zero failed: %v", y)
+	}
+}
+
+func TestAxpyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Axpy(Vec{1}, 1, Vec{1, 2})
+}
+
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%32) + 1
+		a, b := NewVec(m), NewVec(m)
+		RandNormal(a, 1, rng)
+		RandNormal(b, 1, rng)
+		return almostEq(Dot(a, b), Dot(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNorm2CauchySchwarz(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%32) + 1
+		a, b := NewVec(m), NewVec(m)
+		RandNormal(a, 2, rng)
+		RandNormal(b, 2, rng)
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	v := Vec{3, 4} // norm 5
+	if ClipNorm(v, 10) {
+		t.Error("should not clip below threshold")
+	}
+	if !ClipNorm(v, 1) {
+		t.Error("should clip above threshold")
+	}
+	if !almostEq(Norm2(v), 1, 1e-12) {
+		t.Errorf("clipped norm = %v, want 1", Norm2(v))
+	}
+	if ClipNorm(v, 0) {
+		t.Error("maxNorm <= 0 must be a no-op")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	if HasNaN(Vec{1, 2, 3}) {
+		t.Error("false positive")
+	}
+	if !HasNaN(Vec{1, math.NaN()}) {
+		t.Error("missed NaN")
+	}
+	if !HasNaN(Vec{math.Inf(1)}) {
+		t.Error("missed Inf")
+	}
+}
+
+func TestMatVecAndTranspose(t *testing.T) {
+	m := MatOver(2, 3, Vec{1, 2, 3, 4, 5, 6})
+	out := NewVec(2)
+	MatVec(m, Vec{1, 0, -1}, out)
+	if out[0] != -2 || out[1] != -2 {
+		t.Errorf("MatVec = %v", out)
+	}
+	tout := NewVec(3)
+	MatTVec(m, Vec{1, 1}, tout)
+	if tout[0] != 5 || tout[1] != 7 || tout[2] != 9 {
+		t.Errorf("MatTVec = %v", tout)
+	}
+}
+
+func TestQuickMatVecLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := rng.Intn(8)+1, rng.Intn(8)+1
+		m := NewMat(r, c)
+		RandNormal(m.V, 1, rng)
+		x, y := NewVec(c), NewVec(c)
+		RandNormal(x, 1, rng)
+		RandNormal(y, 1, rng)
+		a := rng.NormFloat64()
+
+		// M(x + a*y) == Mx + a*My
+		xy := x.Clone()
+		Axpy(xy, a, y)
+		lhs := NewVec(r)
+		MatVec(m, xy, lhs)
+
+		mx, my := NewVec(r), NewVec(r)
+		MatVec(m, x, mx)
+		MatVec(m, y, my)
+		Axpy(mx, a, my)
+
+		for i := range lhs {
+			if !almostEq(lhs[i], mx[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatTVecAdjoint(t *testing.T) {
+	// <Mx, y> == <x, M^T y> for all x, y.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := rng.Intn(8)+1, rng.Intn(8)+1
+		m := NewMat(r, c)
+		RandNormal(m.V, 1, rng)
+		x, y := NewVec(c), NewVec(r)
+		RandNormal(x, 1, rng)
+		RandNormal(y, 1, rng)
+
+		mx := NewVec(r)
+		MatVec(m, x, mx)
+		mty := NewVec(c)
+		MatTVec(m, y, mty)
+		return almostEq(Dot(mx, y), Dot(x, mty), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	AddOuter(m, 2, Vec{1, 2}, Vec{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i, w := range want {
+		if m.V[i] != w {
+			t.Errorf("AddOuter V[%d] = %v, want %v", i, m.V[i], w)
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	v := Vec{1, 2, 3}
+	out := NewVec(3)
+	Softmax(v, out)
+	var sum float64
+	for _, p := range out {
+		if p <= 0 || p >= 1 {
+			t.Errorf("softmax out of range: %v", out)
+		}
+		sum += p
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Errorf("softmax not monotone: %v", out)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	v := Vec{1000, 1001, 999}
+	out := NewVec(3)
+	Softmax(v, out)
+	if HasNaN(out) {
+		t.Fatalf("softmax overflowed: %v", out)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(Vec{0, 0}); !almostEq(got, math.Log(2), 1e-12) {
+		t.Errorf("LogSumExp = %v", got)
+	}
+	if got := LogSumExp(Vec{}); !math.IsInf(got, -1) {
+		t.Errorf("empty LogSumExp = %v", got)
+	}
+}
+
+func TestArgmaxRelu(t *testing.T) {
+	if Argmax(Vec{}) != -1 {
+		t.Error("empty Argmax should be -1")
+	}
+	if Argmax(Vec{1, 5, 3}) != 1 {
+		t.Error("Argmax wrong")
+	}
+	v := Vec{-1, 2, -3}
+	Relu(v, v)
+	if v[0] != 0 || v[1] != 2 || v[2] != 0 {
+		t.Errorf("Relu = %v", v)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs(Vec{}) != 0 {
+		t.Error("empty MaxAbs")
+	}
+	if MaxAbs(Vec{-5, 3}) != 5 {
+		t.Error("MaxAbs wrong")
+	}
+}
+
+func TestMatOverPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MatOver(2, 2, Vec{1, 2, 3})
+}

@@ -1,0 +1,128 @@
+// Package tensor provides the small dense linear-algebra kernels used by the
+// hand-rolled ML models (softmax regression, MLP, matrix factorization) and
+// by the parameter-server update path. Everything operates on flat []float64
+// buffers so parameter vectors can be sharded and shipped over the wire
+// without conversion.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense vector of float64 values.
+type Vec []float64
+
+// NewVec returns a zeroed vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to 0 in place.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to c in place.
+func (v Vec) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Axpy computes y += a*x element-wise. It panics if lengths differ, which
+// indicates a sharding bug rather than a recoverable condition.
+func Axpy(y Vec, a float64, x Vec) {
+	if len(y) != len(x) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d != %d", len(y), len(x)))
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Add computes y += x element-wise.
+func Add(y, x Vec) { Axpy(y, 1, x) }
+
+// Sub computes y -= x element-wise.
+func Sub(y, x Vec) { Axpy(y, -1, x) }
+
+// Scale multiplies every element of v by a in place.
+func Scale(v Vec, a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vec) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element of v, or 0 for an empty vector.
+func MaxAbs(v Vec) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RandNormal fills v with independent N(0, sigma^2) draws from rng.
+func RandNormal(v Vec, sigma float64, rng *rand.Rand) {
+	for i := range v {
+		v[i] = rng.NormFloat64() * sigma
+	}
+}
+
+// ClipNorm rescales v in place so that its Euclidean norm does not exceed
+// maxNorm. It returns true if clipping occurred. Gradient clipping keeps
+// asynchronous training stable when stale gradients spike.
+func ClipNorm(v Vec, maxNorm float64) bool {
+	if maxNorm <= 0 {
+		return false
+	}
+	n := Norm2(v)
+	if n <= maxNorm {
+		return false
+	}
+	Scale(v, maxNorm/n)
+	return true
+}
+
+// HasNaN reports whether v contains a NaN or infinity, which indicates a
+// diverged optimization.
+func HasNaN(v Vec) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonEvent is the JSONL wire form of an Event. Times are nanoseconds since
+// the Unix epoch (virtual time in simulator traces).
+type jsonEvent struct {
+	At     int64  `json:"at"`
+	Worker int    `json:"worker"`
+	Kind   string `json:"kind"`
+	Iter   int64  `json:"iter"`
+	Value  int64  `json:"value,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	KindPull:      "pull",
+	KindPush:      "push",
+	KindAbort:     "abort",
+	KindReSync:    "resync",
+	KindStaleness: "staleness",
+	KindEpoch:     "epoch",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteJSONL streams events as one JSON object per line, the interchange
+// format consumed by cmd/specsync-trace.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, ev := range events {
+		name, ok := kindNames[ev.Kind]
+		if !ok {
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)
+		}
+		if err := enc.Encode(jsonEvent{
+			At:     ev.At.UnixNano(),
+			Worker: ev.Worker,
+			Kind:   name,
+			Iter:   ev.Iter,
+			Value:  ev.Value,
+		}); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, je.Kind)
+		}
+		out = append(out, Event{
+			At:     time.Unix(0, je.At),
+			Worker: je.Worker,
+			Kind:   kind,
+			Iter:   je.Iter,
+			Value:  je.Value,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return out, nil
+}
+
+// FromEvents builds a Collector pre-populated with events (for analyzing
+// loaded traces with the Collector's query methods).
+func FromEvents(events []Event) *Collector {
+	c := NewCollector()
+	for _, ev := range events {
+		c.Record(ev)
+	}
+	return c
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJSONLRoundtrip(t *testing.T) {
+	in := []Event{
+		{At: ts(100), Worker: 0, Kind: KindPull, Iter: 1},
+		{At: ts(200), Worker: 1, Kind: KindPush, Iter: 2},
+		{At: ts(300), Worker: 2, Kind: KindAbort, Iter: 3, Value: 42},
+		{At: ts(400), Worker: -1, Kind: KindEpoch, Iter: 4},
+		{At: ts(500), Worker: 3, Kind: KindStaleness, Iter: 5, Value: 17},
+		{At: ts(600), Worker: 0, Kind: KindReSync, Iter: 6, Value: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d events", len(out))
+	}
+	for i := range in {
+		if !out[i].At.Equal(in[i].At) || out[i].Worker != in[i].Worker ||
+			out[i].Kind != in[i].Kind || out[i].Iter != in[i].Iter || out[i].Value != in[i].Value {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestQuickJSONLRoundtrip(t *testing.T) {
+	kinds := []Kind{KindPull, KindPush, KindAbort, KindReSync, KindStaleness, KindEpoch}
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 64)
+		in := make([]Event, n)
+		for i := range in {
+			in[i] = Event{
+				At:     time.Unix(0, rng.Int63()),
+				Worker: rng.Intn(40) - 1,
+				Kind:   kinds[rng.Intn(len(kinds))],
+				Iter:   rng.Int63n(1e6),
+				Value:  rng.Int63n(1e6),
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadJSONL(&buf)
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteJSONLUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []Event{{Kind: Kind(99)}}); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{bad json")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"at":1,"worker":0,"kind":"nope","iter":0}`)); err == nil {
+		t.Error("expected unknown-kind error")
+	}
+	// Blank lines are tolerated.
+	events, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank input: %v, %d events", err, len(events))
+	}
+}
+
+func TestFromEvents(t *testing.T) {
+	events := []Event{{Kind: KindPush, Worker: 1}, {Kind: KindPush, Worker: 1}}
+	c := FromEvents(events)
+	if c.Count(KindPush) != 2 {
+		t.Error("FromEvents lost events")
+	}
+}

@@ -1,0 +1,217 @@
+// Package trace records the training-system events (pulls, pushes, aborts,
+// re-syncs) that the paper's empirical analyses are built on, most notably
+// the pushes-after-pull (PAP) distribution of Sec. III-A / Fig. 3.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindPull marks the completion of a parameter pull (worker has a fresh
+	// local replica and starts computing).
+	KindPull Kind = iota + 1
+	// KindPush marks a fully acknowledged gradient push.
+	KindPush
+	// KindAbort marks a worker aborting its in-flight computation after a
+	// re-sync instruction.
+	KindAbort
+	// KindReSync marks the scheduler issuing a re-sync instruction.
+	KindReSync
+	// KindStaleness carries the server-measured staleness of one push in
+	// Value.
+	KindStaleness
+	// KindEpoch marks a scheduler epoch boundary (all workers pushed).
+	KindEpoch
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPull:
+		return "pull"
+	case KindPush:
+		return "push"
+	case KindAbort:
+		return "abort"
+	case KindReSync:
+		return "resync"
+	case KindStaleness:
+		return "staleness"
+	case KindEpoch:
+		return "epoch"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one timestamped occurrence.
+type Event struct {
+	At     time.Time
+	Worker int // worker index, or -1 for scheduler-wide events
+	Kind   Kind
+	Iter   int64
+	Value  int64 // kind-specific payload (staleness count)
+}
+
+// Tracer receives events. Components hold a Tracer so tests can substitute
+// their own sinks; a nil *Collector is a valid no-op Tracer.
+type Tracer interface {
+	Record(ev Event)
+}
+
+// Collector is a thread-safe in-memory event sink.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Tracer = (*Collector)(nil)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record implements Tracer. Recording on a nil collector is a no-op, so
+// components can unconditionally call their tracer.
+func (c *Collector) Record(ev Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in insertion order.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Count returns the number of events of the given kind.
+func (c *Collector) Count(k Kind) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByWorker returns per-worker counts of the given kind.
+func (c *Collector) CountByWorker(k Kind) map[int]int {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int)
+	for _, ev := range c.events {
+		if ev.Kind == k {
+			out[ev.Worker]++
+		}
+	}
+	return out
+}
+
+// PAPConfig configures pushes-after-pull analysis.
+type PAPConfig struct {
+	// Interval is the bucket width (the paper uses 1 second).
+	Interval time.Duration
+	// Buckets is the number of intervals after each pull to analyze.
+	Buckets int
+}
+
+// PAPResult holds, for each interval after a pull, the distribution of the
+// number of pushes other workers made in that interval (paper Fig. 3).
+type PAPResult struct {
+	Interval time.Duration
+	// PerBucket[k] lists one sample per (worker, pull) pair: the number of
+	// peer pushes received in interval k after the pull.
+	PerBucket [][]float64
+}
+
+// PAP computes the pushes-after-pull distribution from the collected trace.
+func (c *Collector) PAP(cfg PAPConfig) PAPResult {
+	events := c.Events()
+	res := PAPResult{Interval: cfg.Interval, PerBucket: make([][]float64, cfg.Buckets)}
+	if cfg.Interval <= 0 || cfg.Buckets <= 0 {
+		return res
+	}
+
+	// Global and per-worker sorted push times.
+	var allPushes []time.Time
+	perWorker := map[int][]time.Time{}
+	var pulls []Event
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPush:
+			allPushes = append(allPushes, ev.At)
+			perWorker[ev.Worker] = append(perWorker[ev.Worker], ev.At)
+		case KindPull:
+			pulls = append(pulls, ev)
+		}
+	}
+	sort.Slice(allPushes, func(i, j int) bool { return allPushes[i].Before(allPushes[j]) })
+	for _, ts := range perWorker {
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	}
+	if len(allPushes) == 0 || len(pulls) == 0 {
+		return res
+	}
+	horizon := allPushes[len(allPushes)-1]
+
+	countIn := func(ts []time.Time, after, upTo time.Time) int {
+		// Pushes in (after, upTo].
+		lo := sort.Search(len(ts), func(i int) bool { return ts[i].After(after) })
+		hi := sort.Search(len(ts), func(i int) bool { return ts[i].After(upTo) })
+		return hi - lo
+	}
+
+	for _, pull := range pulls {
+		for k := 0; k < cfg.Buckets; k++ {
+			lo := pull.At.Add(time.Duration(k) * cfg.Interval)
+			hi := pull.At.Add(time.Duration(k+1) * cfg.Interval)
+			if hi.After(horizon) {
+				// Truncated windows at the end of the trace would bias the
+				// distribution toward zero; skip them.
+				break
+			}
+			n := countIn(allPushes, lo, hi) - countIn(perWorker[pull.Worker], lo, hi)
+			res.PerBucket[k] = append(res.PerBucket[k], float64(n))
+		}
+	}
+	return res
+}
+
+// PushTimeline returns all push events sorted by time; the tuner tests and
+// timeline figures use it.
+func (c *Collector) PushTimeline() []Event {
+	events := c.Events()
+	var pushes []Event
+	for _, ev := range events {
+		if ev.Kind == KindPush {
+			pushes = append(pushes, ev)
+		}
+	}
+	sort.Slice(pushes, func(i, j int) bool { return pushes[i].At.Before(pushes[j].At) })
+	return pushes
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ts(ms int) time.Time { return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond) }
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Record(Event{Kind: KindPull}) // must not panic
+	if c.Events() != nil {
+		t.Error("nil collector should return nil events")
+	}
+	if c.Count(KindPull) != 0 {
+		t.Error("nil collector count should be 0")
+	}
+	if c.CountByWorker(KindPull) != nil {
+		t.Error("nil collector CountByWorker should be nil")
+	}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{At: ts(1), Worker: 0, Kind: KindPull})
+	c.Record(Event{At: ts(2), Worker: 0, Kind: KindPush})
+	c.Record(Event{At: ts(3), Worker: 1, Kind: KindPush})
+	c.Record(Event{At: ts(4), Worker: 1, Kind: KindAbort})
+
+	if got := c.Count(KindPush); got != 2 {
+		t.Errorf("Count(push) = %d", got)
+	}
+	by := c.CountByWorker(KindPush)
+	if by[0] != 1 || by[1] != 1 {
+		t.Errorf("CountByWorker = %v", by)
+	}
+	if len(c.Events()) != 4 {
+		t.Errorf("Events len = %d", len(c.Events()))
+	}
+}
+
+func TestCollectorConcurrentSafety(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Record(Event{Worker: g, Kind: KindPush})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Count(KindPush); got != 800 {
+		t.Errorf("Count = %d, want 800", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindPull: "pull", KindPush: "push", KindAbort: "abort",
+		KindReSync: "resync", KindStaleness: "staleness", KindEpoch: "epoch",
+		Kind(99): "unknown",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestPAPCountsPeerPushesOnly(t *testing.T) {
+	c := NewCollector()
+	// Worker 0 pulls at t=0. Pushes: worker 1 at 200ms and 700ms (bucket 0),
+	// worker 0's own at 500ms (must not count), worker 2 at 1500ms
+	// (bucket 1), and a horizon-setting push at 3000ms.
+	c.Record(Event{At: ts(0), Worker: 0, Kind: KindPull})
+	c.Record(Event{At: ts(200), Worker: 1, Kind: KindPush})
+	c.Record(Event{At: ts(500), Worker: 0, Kind: KindPush})
+	c.Record(Event{At: ts(700), Worker: 1, Kind: KindPush})
+	c.Record(Event{At: ts(1500), Worker: 2, Kind: KindPush})
+	c.Record(Event{At: ts(3000), Worker: 3, Kind: KindPush})
+
+	res := c.PAP(PAPConfig{Interval: time.Second, Buckets: 2})
+	if len(res.PerBucket[0]) != 1 || res.PerBucket[0][0] != 2 {
+		t.Errorf("bucket 0 = %v, want [2]", res.PerBucket[0])
+	}
+	if len(res.PerBucket[1]) != 1 || res.PerBucket[1][0] != 1 {
+		t.Errorf("bucket 1 = %v, want [1]", res.PerBucket[1])
+	}
+}
+
+func TestPAPSkipsTruncatedWindows(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{At: ts(0), Worker: 0, Kind: KindPull})
+	c.Record(Event{At: ts(100), Worker: 1, Kind: KindPush}) // horizon = 100ms
+	res := c.PAP(PAPConfig{Interval: time.Second, Buckets: 3})
+	// The 0-1s window extends past the last push; it must be skipped.
+	for k, b := range res.PerBucket {
+		if len(b) != 0 {
+			t.Errorf("bucket %d should be empty (truncated), got %v", k, b)
+		}
+	}
+}
+
+func TestPAPEmptyAndInvalidConfig(t *testing.T) {
+	c := NewCollector()
+	res := c.PAP(PAPConfig{Interval: time.Second, Buckets: 2})
+	for _, b := range res.PerBucket {
+		if len(b) != 0 {
+			t.Error("empty trace must give empty buckets")
+		}
+	}
+	res = c.PAP(PAPConfig{Interval: 0, Buckets: 0})
+	if len(res.PerBucket) != 0 {
+		t.Error("invalid config must give no buckets")
+	}
+}
+
+func TestPushTimelineSorted(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{At: ts(300), Worker: 0, Kind: KindPush})
+	c.Record(Event{At: ts(100), Worker: 1, Kind: KindPush})
+	c.Record(Event{At: ts(200), Worker: 2, Kind: KindPull}) // not a push
+	c.Record(Event{At: ts(200), Worker: 2, Kind: KindPush})
+	tl := c.PushTimeline()
+	if len(tl) != 3 {
+		t.Fatalf("timeline len = %d", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].At.Before(tl[i-1].At) {
+			t.Fatal("timeline not sorted")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+// dialRaw connects a plain TCP client to an endpoint for protocol-abuse
+// tests.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func listener(t *testing.T) (*TCP, *sink) {
+	t.Helper()
+	s := &sink{}
+	srv, err := ListenTCP(TCPConfig{
+		ID: node.ServerID(0), ListenAddr: "127.0.0.1:0",
+		Registry: msg.Registry(), OnMessage: s.on,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, s
+}
+
+func TestGarbagePayloadDropsConnection(t *testing.T) {
+	srv, s := listener(t)
+	conn := dialRaw(t, srv.Addr())
+
+	// Valid length prefix, garbage payload: reader must close the conn
+	// without delivering anything or panicking.
+	payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x99}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	// The server should close its side.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected connection close after garbage payload")
+	}
+	if s.count() != 0 {
+		t.Errorf("garbage delivered %d messages", s.count())
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	srv, s := listener(t)
+	conn := dialRaw(t, srv.Addr())
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30) // over maxFrameSize
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected connection close for oversized frame")
+	}
+	if s.count() != 0 {
+		t.Error("oversized frame delivered a message")
+	}
+}
+
+func TestZeroLengthFrameRejected(t *testing.T) {
+	srv, _ := listener(t)
+	conn := dialRaw(t, srv.Addr())
+	if _, err := conn.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected connection close for zero-length frame")
+	}
+}
+
+func TestTruncatedFrameThenClose(t *testing.T) {
+	srv, s := listener(t)
+	conn := dialRaw(t, srv.Addr())
+	// Announce 100 bytes, send 3, hang up: reader must not deliver and
+	// must not block forever.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := conn.Write(append(hdr[:], 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	if s.count() != 0 {
+		t.Error("truncated frame delivered a message")
+	}
+}
+
+func TestValidFrameAfterReconnect(t *testing.T) {
+	srv, s := listener(t)
+	// First connection dies mid-frame...
+	bad := dialRaw(t, srv.Addr())
+	bad.Write([]byte{0, 0, 0})
+	bad.Close()
+
+	// ...a proper endpoint still gets through afterwards.
+	client, err := ListenTCP(TCPConfig{
+		ID: node.WorkerID(0), Registry: msg.Registry(),
+		OnMessage: func(node.ID, wire.Message) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.AddPeer(node.ServerID(0), srv.Addr())
+	if err := client.Send(node.ServerID(0), &msg.Notify{Iter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.count() == 1 })
+}
+
+func TestFrameWithBogusSenderStillDelivered(t *testing.T) {
+	// The transport does not authenticate sender IDs (that is the
+	// application's job); a frame claiming an arbitrary id is delivered
+	// with that id.
+	srv, s := listener(t)
+	conn := dialRaw(t, srv.Addr())
+
+	w := wire.NewWriter(64)
+	w.String("worker/999")
+	wire.AppendMessage(w, &msg.Notify{Iter: 7})
+	payload := w.Bytes()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.count() == 1 })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.msgs[0] != "worker/999:*msg.Notify" {
+		t.Errorf("got %q", s.msgs[0])
+	}
+}

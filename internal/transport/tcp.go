@@ -1,0 +1,292 @@
+// Package transport implements the TCP message transport used when SpecSync
+// nodes run as separate processes. Frames are length-prefixed; each frame
+// carries the sender's node ID and one wire-encoded message. Connections are
+// dialed lazily per destination and writes are serialized per connection.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+// maxFrameSize bounds a single frame (64 MiB) as a corruption guard.
+const maxFrameSize = 64 << 20
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// TransferRecorder observes sent frames for byte accounting.
+type TransferRecorder interface {
+	RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time)
+}
+
+// TCPConfig configures one TCP endpoint.
+type TCPConfig struct {
+	// ID is this endpoint's node ID, stamped on every outgoing frame.
+	ID node.ID
+	// ListenAddr is the address to accept peer connections on (e.g.
+	// "127.0.0.1:0"). Empty means this endpoint only dials.
+	ListenAddr string
+	// Peers maps destination node IDs to their listen addresses. Peers may
+	// also be added later with AddPeer.
+	Peers map[node.ID]string
+	// Registry decodes inbound frames. Required.
+	Registry *wire.Registry
+	// OnMessage is invoked (from reader goroutines, possibly concurrently)
+	// for every inbound message. Required.
+	OnMessage func(from node.ID, m wire.Message)
+	// Transfer, if non-nil, records outbound frames.
+	Transfer TransferRecorder
+	// DialTimeout bounds connection establishment; zero means 5 s.
+	DialTimeout time.Duration
+}
+
+// TCP is one endpoint of the mesh.
+type TCP struct {
+	cfg TCPConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	peers   map[node.ID]string
+	conns   map[node.ID]*peerConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex // serializes writes
+	conn net.Conn
+}
+
+// ListenTCP opens the endpoint and starts its accept loop (when ListenAddr
+// is set).
+func ListenTCP(cfg TCPConfig) (*TCP, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("transport: config requires a wire registry")
+	}
+	if cfg.OnMessage == nil {
+		return nil, fmt.Errorf("transport: config requires an OnMessage handler")
+	}
+	if err := node.Validate(cfg.ID); err != nil {
+		return nil, err
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	t := &TCP{
+		cfg:     cfg,
+		peers:   make(map[node.ID]string, len(cfg.Peers)),
+		conns:   make(map[node.ID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	for id, addr := range cfg.Peers {
+		t.peers[id] = addr
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.acceptLoop()
+		}()
+	}
+	return t, nil
+}
+
+// Addr returns the bound listen address ("" if dial-only).
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// AddPeer registers (or updates) a destination address.
+func (t *TCP) AddPeer(id node.ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Send frames and writes m to the destination, dialing on first use.
+func (t *TCP) Send(to node.ID, m wire.Message) error {
+	pc, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+
+	w := wire.NewWriter(256)
+	w.String(string(t.cfg.ID))
+	wire.AppendMessage(w, m)
+	payload := w.Bytes()
+
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, err := pc.conn.Write(hdr[:]); err != nil {
+		t.dropConn(to, pc)
+		return fmt.Errorf("transport: write header to %s: %w", to, err)
+	}
+	if _, err := pc.conn.Write(payload); err != nil {
+		t.dropConn(to, pc)
+		return fmt.Errorf("transport: write payload to %s: %w", to, err)
+	}
+	if t.cfg.Transfer != nil {
+		t.cfg.Transfer.RecordTransfer(t.cfg.ID, to, m.Kind(), len(payload)+4, time.Now())
+	}
+	return nil
+}
+
+func (t *TCP) conn(to node.ID) (*peerConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if pc, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %s", to)
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	pc := &peerConn{conn: conn}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a dial race; use the winner.
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[to] = pc
+	t.mu.Unlock()
+
+	// Outgoing connections are bidirectional: the peer may answer on it.
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(conn)
+	}()
+	return pc, nil
+}
+
+func (t *TCP) dropConn(to node.ID, pc *peerConn) {
+	pc.conn.Close()
+	t.mu.Lock()
+	if t.conns[to] == pc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(conn)
+			t.mu.Lock()
+			delete(t.inbound, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > maxFrameSize {
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		r := wire.NewReader(payload)
+		from := node.ID(r.String())
+		if r.Err() != nil {
+			return
+		}
+		m, err := t.cfg.Registry.Unmarshal(payload[len(payload)-r.Remaining():])
+		if err != nil {
+			// A decode failure means protocol corruption; drop the conn.
+			return
+		}
+		t.cfg.OnMessage(from, m)
+	}
+}
+
+// Close shuts the listener and all connections and waits for reader
+// goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, pc := range t.conns {
+		conns = append(conns, pc.conn)
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[node.ID]*peerConn)
+	t.mu.Unlock()
+
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

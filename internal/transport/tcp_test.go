@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+type sink struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (s *sink) on(from node.ID, m wire.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgs = append(s.msgs, fmt.Sprintf("%s:%T", from, m))
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newPair(t *testing.T) (*TCP, *TCP, *sink, *sink) {
+	t.Helper()
+	sa, sb := &sink{}, &sink{}
+	a, err := ListenTCP(TCPConfig{
+		ID: node.WorkerID(0), ListenAddr: "127.0.0.1:0",
+		Registry: msg.Registry(), OnMessage: sa.on,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := ListenTCP(TCPConfig{
+		ID: node.ServerID(0), ListenAddr: "127.0.0.1:0",
+		Registry: msg.Registry(), OnMessage: sb.on,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	a.AddPeer(node.ServerID(0), b.Addr())
+	b.AddPeer(node.WorkerID(0), a.Addr())
+	return a, b, sa, sb
+}
+
+func TestTCPValidation(t *testing.T) {
+	if _, err := ListenTCP(TCPConfig{}); err == nil {
+		t.Error("expected registry error")
+	}
+	if _, err := ListenTCP(TCPConfig{Registry: msg.Registry()}); err == nil {
+		t.Error("expected OnMessage error")
+	}
+	if _, err := ListenTCP(TCPConfig{Registry: msg.Registry(), OnMessage: func(node.ID, wire.Message) {}, ID: "bogus"}); err == nil {
+		t.Error("expected bad-id error")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b, sa, sb := newPair(t)
+	if err := a.Send(node.ServerID(0), &msg.Notify{Iter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sb.count() == 1 })
+	// Reply over b's own (separate) connection.
+	if err := b.Send(node.WorkerID(0), &msg.ReSync{Iter: 4}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sa.count() == 1 })
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.msgs[0] != "server/0:*msg.ReSync" {
+		t.Errorf("got %q", sa.msgs[0])
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	a, _, _, sb := newPair(t)
+	big := &msg.PullResp{Seq: 1, Values: make([]float64, 200_000)} // ~1.6 MB
+	for i := range big.Values {
+		big.Values[i] = float64(i)
+	}
+	if err := a.Send(node.ServerID(0), big); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sb.count() == 1 })
+}
+
+func TestTCPManyConcurrentSends(t *testing.T) {
+	a, _, _, sb := newPair(t)
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := a.Send(node.ServerID(0), &msg.Notify{Iter: int64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return sb.count() == n })
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _, _, _ := newPair(t)
+	if err := a.Send(node.WorkerID(42), &msg.Notify{}); err == nil {
+		t.Error("expected no-address error")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, _, _, _ := newPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(node.ServerID(0), &msg.Notify{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	s := &sink{}
+	a, err := ListenTCP(TCPConfig{
+		ID: node.WorkerID(0), Registry: msg.Registry(), OnMessage: s.on,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer(node.ServerID(0), "127.0.0.1:1") // nothing listens there
+	if err := a.Send(node.ServerID(0), &msg.Notify{}); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestTCPTransferRecorded(t *testing.T) {
+	var bytes atomic.Int64
+	rec := recorderFunc(func(from, to node.ID, kind wire.Kind, n int, at time.Time) {
+		bytes.Add(int64(n))
+	})
+	s := &sink{}
+	b, err := ListenTCP(TCPConfig{
+		ID: node.ServerID(0), ListenAddr: "127.0.0.1:0",
+		Registry: msg.Registry(), OnMessage: s.on,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP(TCPConfig{
+		ID: node.WorkerID(0), Registry: msg.Registry(), OnMessage: s.on,
+		Transfer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer(node.ServerID(0), b.Addr())
+	if err := a.Send(node.ServerID(0), &msg.Notify{Iter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.count() == 1 })
+	if bytes.Load() == 0 {
+		t.Error("transfer not recorded")
+	}
+}
+
+type recorderFunc func(from, to node.ID, kind wire.Kind, n int, at time.Time)
+
+func (f recorderFunc) RecordTransfer(from, to node.ID, kind wire.Kind, n int, at time.Time) {
+	f(from, to, kind, n, at)
+}

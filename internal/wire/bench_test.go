@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"testing"
+)
+
+func benchVec(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i) * 0.25
+	}
+	return vs
+}
+
+func BenchmarkFloat64sEncode(b *testing.B) {
+	vs := benchVec(42000) // MF-sized parameter pull
+	w := NewWriter(42000*8 + 16)
+	b.SetBytes(int64(len(vs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.Float64s(vs)
+	}
+}
+
+func BenchmarkFloat64sDecode(b *testing.B) {
+	vs := benchVec(42000)
+	w := NewWriter(0)
+	w.Float64s(vs)
+	data := w.Bytes()
+	b.SetBytes(int64(len(vs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		if out := r.Float64s(); len(out) != len(vs) {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkMarshalRoundtrip(b *testing.B) {
+	reg := testRegistry()
+	m := &testMsg{A: 7, B: "worker/3", V: benchVec(7210)} // CIFAR-sized block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := Marshal(m)
+		if _, err := reg.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

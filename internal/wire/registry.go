@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies a message type on the wire. Kinds are assigned statically
+// by the msg package; they must never be reused for a different layout.
+type Kind uint16
+
+// Message is the interface every wire message implements. Encode and Decode
+// must be exact inverses; the round-trip property is enforced by tests.
+type Message interface {
+	// Kind returns the message's wire identifier.
+	Kind() Kind
+	// Encode appends the message body (without the kind prefix) to w.
+	Encode(w *Writer)
+	// Decode reads the message body from r. Decode reports failures through
+	// r's sticky error.
+	Decode(r *Reader)
+}
+
+// Registry maps message kinds to factories so transports can decode frames.
+// A Registry is immutable after construction and safe for concurrent use.
+type Registry struct {
+	factories map[Kind]func() Message
+	names     map[Kind]string
+}
+
+// RegistryEntry describes one message type for NewRegistry.
+type RegistryEntry struct {
+	Kind Kind
+	Name string
+	New  func() Message
+}
+
+// NewRegistry builds a Registry from entries. It panics on duplicate kinds,
+// which indicates a programming error in the static message table.
+func NewRegistry(entries []RegistryEntry) *Registry {
+	r := &Registry{
+		factories: make(map[Kind]func() Message, len(entries)),
+		names:     make(map[Kind]string, len(entries)),
+	}
+	for _, e := range entries {
+		if _, dup := r.factories[e.Kind]; dup {
+			panic(fmt.Sprintf("wire: duplicate message kind %d (%s)", e.Kind, e.Name))
+		}
+		if e.New == nil {
+			panic(fmt.Sprintf("wire: nil factory for kind %d (%s)", e.Kind, e.Name))
+		}
+		r.factories[e.Kind] = e.New
+		r.names[e.Kind] = e.Name
+	}
+	return r
+}
+
+// Name returns the registered name for a kind, or a numeric placeholder.
+func (r *Registry) Name(k Kind) string {
+	if n, ok := r.names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Kinds returns all registered kinds in ascending order.
+func (r *Registry) Kinds() []Kind {
+	ks := make([]Kind, 0, len(r.factories))
+	for k := range r.factories {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// New instantiates an empty message of the given kind.
+func (r *Registry) New(k Kind) (Message, error) {
+	f, ok := r.factories[k]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %d", k)
+	}
+	return f(), nil
+}
+
+// Marshal encodes m with its kind prefix into a fresh buffer.
+func Marshal(m Message) []byte {
+	w := NewWriter(64)
+	AppendMessage(w, m)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// AppendMessage encodes m with its kind prefix onto w.
+func AppendMessage(w *Writer, m Message) {
+	w.Uint16(uint16(m.Kind()))
+	m.Encode(w)
+}
+
+// Unmarshal decodes a message previously produced by Marshal. It fails on
+// unknown kinds, decode errors, and trailing bytes.
+func (r *Registry) Unmarshal(data []byte) (Message, error) {
+	rd := NewReader(data)
+	k := Kind(rd.Uint16())
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("wire: reading kind: %w", err)
+	}
+	m, err := r.New(k)
+	if err != nil {
+		return nil, err
+	}
+	m.Decode(rd)
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", r.Name(k), err)
+	}
+	if rd.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: decoding %s: %w (%d bytes)", r.Name(k), ErrTrailingBytes, rd.Remaining())
+	}
+	return m, nil
+}
+
+// EncodedSize returns the number of bytes Marshal would produce for m,
+// computed by encoding into a scratch writer.
+func EncodedSize(m Message) int {
+	w := NewWriter(64)
+	AppendMessage(w, m)
+	return w.Len()
+}

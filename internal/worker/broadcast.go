@@ -1,0 +1,90 @@
+package worker
+
+import (
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/trace"
+)
+
+// This file implements the decentralized (broadcast) speculation variant
+// that the paper considers and rejects (Sec. V-A): instead of reporting to a
+// central scheduler, every worker announces each completed push to all peers
+// with a PushNotice, keeps its own copy of the global push history, and runs
+// the CheckResync logic locally. It exists so the centralized-vs-broadcast
+// ablation measures real traffic rather than an estimate — and it
+// demonstrates the redundancy argument: m workers each store the history the
+// scheduler would have stored once.
+
+// broadcastPushHistoryLimit bounds each worker's local history copy.
+const broadcastPushHistoryLimit = 1024
+
+// broadcastNotices sends a PushNotice to every peer worker.
+func (wk *Worker) broadcastNotices() {
+	for i := 0; i < wk.cfg.NumWorkers; i++ {
+		if i == wk.cfg.Index {
+			continue
+		}
+		wk.ctx.Send(node.WorkerID(i), &msg.PushNotice{Iter: wk.iter})
+	}
+}
+
+// handlePushNotice records a peer's push in the local history.
+func (wk *Worker) handlePushNotice(from node.ID) {
+	if node.WorkerIndex(from) < 0 {
+		return
+	}
+	wk.peerPushes = append(wk.peerPushes, wk.ctx.Now())
+	if len(wk.peerPushes) > broadcastPushHistoryLimit {
+		drop := len(wk.peerPushes) - broadcastPushHistoryLimit
+		wk.peerPushes = append(wk.peerPushes[:0], wk.peerPushes[drop:]...)
+	}
+}
+
+// armLocalSpeculation schedules the local CheckResync for the iteration that
+// just started computing. Called from startCompute in decentralized mode.
+func (wk *Worker) armLocalSpeculation() {
+	sc := wk.cfg.Scheme
+	start := wk.ctx.Now()
+	deadline := start.Add(sc.AbortTime)
+	iter := wk.iter
+	wk.ctx.After(sc.AbortTime, func() {
+		wk.checkLocalResync(start, deadline, iter)
+	})
+}
+
+// checkLocalResync is the worker-local version of the scheduler's
+// CheckResync: count peer pushes inside the window and self-abort when the
+// rate threshold is met.
+func (wk *Worker) checkLocalResync(start, deadline time.Time, iter int64) {
+	if wk.st != stateComputing || wk.iter != iter {
+		return
+	}
+	cnt := 0
+	for j := len(wk.peerPushes) - 1; j >= 0; j-- {
+		at := wk.peerPushes[j]
+		if !at.After(start) {
+			break
+		}
+		if at.After(deadline) {
+			continue
+		}
+		cnt++
+	}
+	if cnt < 1 || float64(cnt) < float64(wk.cfg.NumWorkers)*wk.cfg.Scheme.AbortRate {
+		return
+	}
+	// Too late to bother? Same cutoff as the scheduler-driven path.
+	elapsed := wk.ctx.Now().Sub(wk.computeStart)
+	if float64(elapsed) >= wk.cfg.AbortLateFrac*float64(wk.computeDur) {
+		return
+	}
+	if wk.computeCancel != nil {
+		wk.computeCancel()
+		wk.computeCancel = nil
+	}
+	wk.abortCount.Add(1)
+	wk.record(trace.KindAbort, int64(elapsed/time.Millisecond))
+	wk.startPull()
+}

@@ -1,0 +1,151 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"specsync/internal/des"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+	"specsync/internal/wire"
+)
+
+// peerSink records PushNotice arrivals at a fake peer worker.
+type peerSink struct {
+	ctx     node.Context
+	notices int
+}
+
+func (p *peerSink) Init(ctx node.Context) { p.ctx = ctx }
+func (p *peerSink) Receive(_ node.ID, m wire.Message) {
+	if _, ok := m.(*msg.PushNotice); ok {
+		p.notices++
+	}
+}
+
+func decentralizedScheme() scheme.Config {
+	return scheme.Config{
+		Base: scheme.ASP, Spec: scheme.SpecFixed,
+		AbortTime: 300 * time.Millisecond, AbortRate: 0.4, // threshold 1.2 of m=3
+		Decentralized: true,
+	}
+}
+
+func newBroadcastHarness(t *testing.T) (*des.Sim, *Worker, *peerSink, *peerSink, *stubScheduler) {
+	t.Helper()
+	mdl := testModel(t, 3)
+	coll := trace.NewCollector()
+	w, err := New(Config{
+		Index:      0,
+		Shards:     []ps.Range{{Lo: 0, Hi: mdl.Dim()}},
+		Model:      mdl,
+		Scheme:     decentralizedScheme(),
+		Compute:    ComputeModel{Base: time.Second, Speed: 1},
+		Tracer:     coll,
+		NumWorkers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := des.New(des.Config{Seed: 1, Registry: msg.Registry(), Net: des.NetModel{Latency: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &stubServer{dim: mdl.Dim()}
+	sched := &stubScheduler{}
+	p1, p2 := &peerSink{}, &peerSink{}
+	for id, h := range map[node.ID]node.Handler{
+		node.WorkerID(0): w,
+		node.WorkerID(1): p1,
+		node.WorkerID(2): p2,
+		node.ServerID(0): srv,
+		node.Scheduler:   sched,
+	} {
+		if err := sim.AddNode(id, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Init()
+	return sim, w, p1, p2, sched
+}
+
+func TestDecentralizedValidation(t *testing.T) {
+	mdl := testModel(t, 2)
+	base := Config{
+		Index:   0,
+		Shards:  []ps.Range{{Lo: 0, Hi: mdl.Dim()}},
+		Model:   mdl,
+		Scheme:  decentralizedScheme(),
+		Compute: ComputeModel{Base: time.Second, Speed: 1},
+	}
+	if _, err := New(base); err == nil {
+		t.Error("expected NumWorkers error")
+	}
+	cfg := base
+	cfg.NumWorkers = 1
+	if _, err := New(cfg); err == nil {
+		t.Error("expected NumWorkers >= 2 error")
+	}
+	// Decentralized + adaptive is rejected at the scheme level.
+	bad := decentralizedScheme()
+	bad.Spec = scheme.SpecAdaptive
+	if err := bad.Validate(); err == nil {
+		t.Error("expected decentralized+adaptive rejection")
+	}
+}
+
+func TestDecentralizedBroadcastsNotices(t *testing.T) {
+	sim, w, p1, p2, sched := newBroadcastHarness(t)
+	sched.ctx.Send(node.WorkerID(0), &msg.Start{})
+	sim.RunFor(3500 * time.Millisecond) // ~3 iterations
+
+	done := int(w.IterationsDone())
+	if done < 2 {
+		t.Fatalf("only %d iterations", done)
+	}
+	if p1.notices != done || p2.notices != done {
+		t.Errorf("peers saw %d/%d notices, want %d each", p1.notices, p2.notices, done)
+	}
+	// Pure ASP decentralized mode bypasses the scheduler entirely.
+	if len(sched.notifies) != 0 {
+		t.Errorf("scheduler received %d notifies in decentralized ASP mode", len(sched.notifies))
+	}
+}
+
+func TestDecentralizedSelfAbortsOnPeerBurst(t *testing.T) {
+	sim, w, _, _, sched := newBroadcastHarness(t)
+	sched.ctx.Send(node.WorkerID(0), &msg.Start{})
+	// Let the worker start computing (~10ms pull round trip), then deliver
+	// a burst of peer notices inside its 300ms window.
+	sim.RunFor(50 * time.Millisecond)
+	sched.ctx.Send(node.WorkerID(0), &msg.PushNotice{Iter: 0}) // not from a worker id: ignored
+	for peer := 1; peer <= 2; peer++ {
+		// Simulate peers pushing: notices from worker ids.
+		pctx := sim.NodeHandler(node.WorkerID(peer)).(*peerSink).ctx
+		pctx.Send(node.WorkerID(0), &msg.PushNotice{Iter: 0})
+	}
+	sim.RunFor(400 * time.Millisecond) // window expires at 350ms
+	if got := w.Aborts(); got != 1 {
+		t.Fatalf("Aborts = %d, want 1 (burst of 2 >= threshold 1.2)", got)
+	}
+	// Training continues after the self-abort.
+	sim.RunFor(5 * time.Second)
+	if w.IterationsDone() < 3 {
+		t.Errorf("IterationsDone = %d after abort", w.IterationsDone())
+	}
+}
+
+func TestDecentralizedBelowThresholdNoAbort(t *testing.T) {
+	sim, w, _, _, sched := newBroadcastHarness(t)
+	sched.ctx.Send(node.WorkerID(0), &msg.Start{})
+	sim.RunFor(50 * time.Millisecond)
+	pctx := sim.NodeHandler(node.WorkerID(1)).(*peerSink).ctx
+	pctx.Send(node.WorkerID(0), &msg.PushNotice{Iter: 0}) // 1 < 1.2
+	sim.RunFor(2 * time.Second)
+	if got := w.Aborts(); got != 0 {
+		t.Fatalf("Aborts = %d, want 0", got)
+	}
+}

@@ -1,0 +1,459 @@
+// Package worker implements the training worker of Algorithm 2: the
+// pull / compute / push loop with speculative abort-and-restart, plus the
+// gating required by the baseline schemes (BSP barrier waits, SSP bounded
+// staleness, naïve pull delays).
+//
+// The worker is an event-driven state machine over node.Context, so the
+// identical logic runs under the deterministic simulator and the live
+// runtime. Gradient math executes for real; only the *duration* of the
+// compute phase is modeled (ComputeModel), standing in for the paper's
+// measured iteration times (Table I).
+package worker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"specsync/internal/model"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/tensor"
+	"specsync/internal/trace"
+	"specsync/internal/wire"
+)
+
+// ComputeModel describes how long one gradient computation takes.
+type ComputeModel struct {
+	// Base is the nominal compute time per iteration on a speed-1 machine.
+	Base time.Duration
+	// Speed divides Base; heterogeneous clusters give workers different
+	// speeds (paper Cluster 2: m3.xlarge ... m4.2xlarge).
+	Speed float64
+	// JitterSigma is the sigma of a mean-preserving lognormal multiplier,
+	// modeling run-to-run variation. Zero disables jitter.
+	JitterSigma float64
+}
+
+// Validate reports configuration errors.
+func (c ComputeModel) Validate() error {
+	if c.Base <= 0 {
+		return fmt.Errorf("worker: compute base %v must be positive", c.Base)
+	}
+	if c.Speed <= 0 {
+		return fmt.Errorf("worker: compute speed %v must be positive", c.Speed)
+	}
+	if c.JitterSigma < 0 {
+		return fmt.Errorf("worker: negative jitter sigma")
+	}
+	return nil
+}
+
+// Sample draws one compute duration.
+func (c ComputeModel) Sample(rng *rand.Rand) time.Duration {
+	d := float64(c.Base) / c.Speed
+	if c.JitterSigma > 0 {
+		// exp(sigma*z - sigma^2/2) has mean 1.
+		d *= math.Exp(c.JitterSigma*rng.NormFloat64() - c.JitterSigma*c.JitterSigma/2)
+	}
+	if d < float64(time.Microsecond) {
+		d = float64(time.Microsecond)
+	}
+	return time.Duration(d)
+}
+
+// Config configures one worker.
+type Config struct {
+	// Index is this worker's index (also its data shard).
+	Index int
+	// Shards lists the parameter ranges owned by server/0..server/n-1.
+	Shards []ps.Range
+	// Model is the workload; Grad/SampleBatch run on this worker's shard.
+	Model model.Model
+	// Scheme selects synchronization behaviour.
+	Scheme scheme.Config
+	// Compute models gradient computation time.
+	Compute ComputeModel
+	// Tracer, if non-nil, receives pull/push/abort events.
+	Tracer trace.Tracer
+	// AbortLateFrac: a re-sync arriving after this fraction of the planned
+	// compute duration is ignored ("if that is not too late yet", paper
+	// Sec. IV-A). Zero means the default of 0.9.
+	AbortLateFrac float64
+	// MaxIters stops the worker after completing this many iterations;
+	// zero means run until stopped.
+	MaxIters int64
+	// NumWorkers is the cluster size m; required only by the decentralized
+	// (broadcast) speculation variant, which needs the peer list and the
+	// m x ABORT_RATE threshold locally.
+	NumWorkers int
+}
+
+// state is the worker's phase.
+type state int
+
+const (
+	stateIdle state = iota
+	statePulling
+	stateComputing
+	statePushing
+	stateBarrier // waiting for BSP release or SSP clock
+	stateStopped
+)
+
+// Worker is the training worker state machine.
+type Worker struct {
+	ctx node.Context
+	cfg Config
+
+	st      state
+	iter    int64
+	started bool
+
+	// Pull state.
+	pullSeq      uint64
+	pullsPending int
+	pullVersions []int64
+	w            tensor.Vec
+
+	// Compute state.
+	computeCancel node.CancelFunc
+	computeStart  time.Time
+	computeDur    time.Duration
+
+	// Push state.
+	pushSeq      uint64
+	acksPending  int
+	stalenessSum int64
+
+	// SSP state.
+	minClock int64
+
+	// BSP state.
+	releasedRound int64
+
+	// Decentralized-speculation state: local copy of peer push times.
+	peerPushes []time.Time
+
+	// Counters (atomic: read by monitoring goroutines in live mode).
+	itersDone  atomic.Int64
+	abortCount atomic.Int64
+	stopped    atomic.Bool
+}
+
+var _ node.Handler = (*Worker)(nil)
+
+// New validates cfg and builds the worker.
+func New(cfg Config) (*Worker, error) {
+	if cfg.Index < 0 {
+		return nil, fmt.Errorf("worker: negative index")
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("worker: no shards configured")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("worker: nil model")
+	}
+	if cfg.Index >= cfg.Model.NumShards() {
+		return nil, fmt.Errorf("worker: index %d exceeds %d data shards", cfg.Index, cfg.Model.NumShards())
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Compute.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AbortLateFrac == 0 {
+		cfg.AbortLateFrac = 0.9
+	}
+	if cfg.AbortLateFrac < 0 || cfg.AbortLateFrac > 1 {
+		return nil, fmt.Errorf("worker: AbortLateFrac %v outside (0,1]", cfg.AbortLateFrac)
+	}
+	if cfg.Scheme.Decentralized {
+		if cfg.NumWorkers < 2 {
+			return nil, fmt.Errorf("worker: decentralized speculation requires NumWorkers >= 2, got %d", cfg.NumWorkers)
+		}
+		if cfg.Index >= cfg.NumWorkers {
+			return nil, fmt.Errorf("worker: index %d >= NumWorkers %d", cfg.Index, cfg.NumWorkers)
+		}
+	}
+	dim := 0
+	for i, r := range cfg.Shards {
+		if r.Len() <= 0 {
+			return nil, fmt.Errorf("worker: shard %d empty", i)
+		}
+		if r.Lo != dim {
+			return nil, fmt.Errorf("worker: shard %d not contiguous at %d", i, dim)
+		}
+		dim = r.Hi
+	}
+	if dim != cfg.Model.Dim() {
+		return nil, fmt.Errorf("worker: shards cover %d params, model has %d", dim, cfg.Model.Dim())
+	}
+	return &Worker{
+		cfg:          cfg,
+		pullVersions: make([]int64, len(cfg.Shards)),
+		w:            tensor.NewVec(dim),
+	}, nil
+}
+
+// Init implements node.Handler.
+func (wk *Worker) Init(ctx node.Context) { wk.ctx = ctx }
+
+// Receive implements node.Handler.
+func (wk *Worker) Receive(from node.ID, m wire.Message) {
+	if wk.st == stateStopped {
+		return
+	}
+	switch mm := m.(type) {
+	case *msg.Start:
+		if !wk.started {
+			wk.started = true
+			wk.beginIteration()
+		}
+	case *msg.Stop:
+		wk.stop()
+	case *msg.PullResp:
+		wk.handlePullResp(from, mm)
+	case *msg.PushAck:
+		wk.handlePushAck(from, mm)
+	case *msg.ReSync:
+		wk.handleReSync(mm)
+	case *msg.BarrierRelease:
+		wk.handleBarrierRelease(mm)
+	case *msg.MinClock:
+		wk.handleMinClock(mm)
+	case *msg.PushNotice:
+		wk.handlePushNotice(from)
+	default:
+		wk.ctx.Logf("worker: unexpected message %T from %s", m, from)
+	}
+}
+
+func (wk *Worker) stop() {
+	wk.st = stateStopped
+	wk.stopped.Store(true)
+	if wk.computeCancel != nil {
+		wk.computeCancel()
+		wk.computeCancel = nil
+	}
+}
+
+// beginIteration applies the scheme's start-of-iteration gating and then
+// issues the pull.
+func (wk *Worker) beginIteration() {
+	if wk.st == stateStopped {
+		return
+	}
+	// SSP gate: may start iteration k only while k <= minClock + s.
+	if wk.cfg.Scheme.Base == scheme.SSP && wk.iter > wk.minClock+int64(wk.cfg.Scheme.Staleness) {
+		wk.st = stateBarrier
+		return
+	}
+	if d := wk.cfg.Scheme.NaiveWait; d > 0 {
+		// Naïve waiting (paper Sec. III-B): delay the pull request itself.
+		wk.st = statePulling
+		wk.ctx.After(d, func() {
+			if wk.st == statePulling {
+				wk.startPull()
+			}
+		})
+		return
+	}
+	wk.startPull()
+}
+
+// startPull requests every shard's parameters. Responses from a previous
+// (aborted) pull round carry a stale Seq and are discarded.
+func (wk *Worker) startPull() {
+	wk.st = statePulling
+	wk.pullSeq++
+	wk.pullsPending = len(wk.cfg.Shards)
+	for i := range wk.cfg.Shards {
+		wk.ctx.Send(node.ServerID(i), &msg.PullReq{Seq: wk.pullSeq})
+	}
+}
+
+func (wk *Worker) handlePullResp(from node.ID, resp *msg.PullResp) {
+	if wk.st != statePulling || resp.Seq != wk.pullSeq {
+		return // stale response from before an abort
+	}
+	si := node.ServerIndex(from)
+	if si < 0 || si >= len(wk.cfg.Shards) {
+		wk.ctx.Logf("worker: pull response from unexpected node %s", from)
+		return
+	}
+	r := wk.cfg.Shards[si]
+	if len(resp.Values) != r.Len() {
+		wk.ctx.Logf("worker: shard %d returned %d values, want %d", si, len(resp.Values), r.Len())
+		return
+	}
+	copy(wk.w[r.Lo:r.Hi], resp.Values)
+	wk.pullVersions[si] = resp.Version
+	wk.pullsPending--
+	if wk.pullsPending == 0 {
+		wk.record(trace.KindPull, 0)
+		wk.startCompute()
+	}
+}
+
+// startCompute samples this attempt's duration and schedules completion.
+// The actual gradient math runs at completion time against the parameters
+// pulled at the start of the attempt — exactly the staleness semantics of
+// asynchronous SGD.
+func (wk *Worker) startCompute() {
+	wk.st = stateComputing
+	wk.computeStart = wk.ctx.Now()
+	wk.computeDur = wk.cfg.Compute.Sample(wk.ctx.Rand())
+	wk.computeCancel = wk.ctx.After(wk.computeDur, wk.finishCompute)
+	if wk.cfg.Scheme.Decentralized {
+		wk.armLocalSpeculation()
+	}
+}
+
+// handleReSync implements the abort-and-restart path (Algorithm 2 worker
+// lines 5-7).
+func (wk *Worker) handleReSync(rs *msg.ReSync) {
+	if wk.st != stateComputing || rs.Iter != wk.iter {
+		return // too late: that iteration already completed (or never started)
+	}
+	elapsed := wk.ctx.Now().Sub(wk.computeStart)
+	if float64(elapsed) >= wk.cfg.AbortLateFrac*float64(wk.computeDur) {
+		// Nearly done; restarting now would cost more than the fresher
+		// parameters can recover.
+		return
+	}
+	if wk.computeCancel != nil {
+		wk.computeCancel()
+		wk.computeCancel = nil
+	}
+	wk.abortCount.Add(1)
+	wk.record(trace.KindAbort, int64(elapsed/time.Millisecond))
+	wk.startPull() // re-pull fresher parameters and start over
+}
+
+// finishCompute runs the gradient math and pushes the result to every shard.
+func (wk *Worker) finishCompute() {
+	if wk.st != stateComputing {
+		return
+	}
+	wk.computeCancel = nil
+	wk.st = statePushing
+
+	batch := wk.cfg.Model.SampleBatch(wk.cfg.Index, wk.ctx.Rand())
+	update := wk.cfg.Model.Grad(wk.w, batch)
+
+	wk.pushSeq++
+	wk.acksPending = len(wk.cfg.Shards)
+	wk.stalenessSum = 0
+	for si, r := range wk.cfg.Shards {
+		req := &msg.PushReq{
+			Seq:         wk.pushSeq,
+			Iter:        wk.iter,
+			PullVersion: wk.pullVersions[si],
+		}
+		if update.IsSparse() {
+			part := update.Sparse.Slice(int32(r.Lo), int32(r.Hi))
+			req.IsSparse = true
+			req.SparseIdx = part.Idx
+			req.SparseVal = part.Val
+		} else {
+			req.Dense = update.Dense[r.Lo:r.Hi]
+		}
+		wk.ctx.Send(node.ServerID(si), req)
+	}
+}
+
+func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
+	if wk.st != statePushing || ack.Seq != wk.pushSeq {
+		return
+	}
+	wk.stalenessSum += ack.Staleness
+	wk.acksPending--
+	if wk.acksPending > 0 {
+		return
+	}
+	// Iteration complete: record, notify the scheduler, move on
+	// (Algorithm 2 worker lines 8-10; the pull for the next iteration is
+	// issued immediately, so the notify timestamp doubles as the pull-time
+	// proxy the tuner uses).
+	wk.record(trace.KindPush, 0)
+	wk.record(trace.KindStaleness, wk.stalenessSum/int64(len(wk.cfg.Shards)))
+	if wk.cfg.Scheme.Decentralized {
+		// Broadcast design: announce the push to every peer. Under plain
+		// ASP the scheduler is not involved at all; under BSP/SSP it still
+		// needs the notify for its barrier/clock service.
+		wk.broadcastNotices()
+		if wk.cfg.Scheme.Base != scheme.ASP {
+			wk.ctx.Send(node.Scheduler, &msg.Notify{Iter: wk.iter})
+		}
+	} else {
+		wk.ctx.Send(node.Scheduler, &msg.Notify{Iter: wk.iter})
+	}
+
+	wk.itersDone.Add(1)
+	done := wk.iter
+	wk.iter++
+	if wk.cfg.MaxIters > 0 && wk.itersDone.Load() >= wk.cfg.MaxIters {
+		wk.stop()
+		return
+	}
+
+	switch wk.cfg.Scheme.Base {
+	case scheme.BSP:
+		// Wait for the barrier release of the round we just finished.
+		if wk.releasedRound > done {
+			wk.beginIteration()
+		} else {
+			wk.st = stateBarrier
+		}
+	default:
+		wk.beginIteration()
+	}
+}
+
+func (wk *Worker) handleBarrierRelease(br *msg.BarrierRelease) {
+	if br.Round > wk.releasedRound {
+		wk.releasedRound = br.Round
+	}
+	if wk.st == stateBarrier && wk.cfg.Scheme.Base == scheme.BSP {
+		wk.beginIteration()
+	}
+}
+
+func (wk *Worker) handleMinClock(mc *msg.MinClock) {
+	if mc.Clock > wk.minClock {
+		wk.minClock = mc.Clock
+	}
+	if wk.st == stateBarrier && wk.cfg.Scheme.Base == scheme.SSP {
+		wk.beginIteration()
+	}
+}
+
+func (wk *Worker) record(kind trace.Kind, value int64) {
+	if wk.cfg.Tracer == nil {
+		return
+	}
+	wk.cfg.Tracer.Record(trace.Event{
+		At:     wk.ctx.Now(),
+		Worker: wk.cfg.Index,
+		Kind:   kind,
+		Iter:   wk.iter,
+		Value:  value,
+	})
+}
+
+// IterationsDone returns the number of completed (pushed) iterations. It is
+// safe to call from other goroutines (live-mode monitoring).
+func (wk *Worker) IterationsDone() int64 { return wk.itersDone.Load() }
+
+// Aborts returns the number of abort-and-restart events. Safe for concurrent
+// use.
+func (wk *Worker) Aborts() int64 { return wk.abortCount.Load() }
+
+// Stopped reports whether the worker has halted. Safe for concurrent use.
+func (wk *Worker) Stopped() bool { return wk.stopped.Load() }
