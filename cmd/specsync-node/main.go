@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -59,6 +60,12 @@ func run(args []string) error {
 		iterTime   = fs.Duration("iter", 500*time.Millisecond, "nominal compute time per iteration")
 		maxIters   = fs.Int64("iters", 200, "worker iterations before stopping (0 = run forever)")
 		debug      = fs.Bool("debug", false, "verbose node logging")
+
+		checkpointDir   = fs.String("checkpoint-dir", "", "server role: directory for shard checkpoints; restored on boot if present")
+		checkpointEvery = fs.Duration("checkpoint-every", 10*time.Second, "server role: checkpoint period (0 disables; needs -checkpoint-dir)")
+		heartbeatEvery  = fs.Duration("heartbeat", 0, "worker role: liveness heartbeat period (0 disables)")
+		retryAfter      = fs.Duration("retry-after", 0, "worker role: re-issue pulls/pushes unanswered for this long (0 disables)")
+		livenessTimeout = fs.Duration("liveness-timeout", 0, "scheduler role: evict workers silent for this long (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +115,8 @@ func run(args []string) error {
 
 	var id node.ID
 	var handler node.Handler
+	var shard *ps.Server // set for the server role (checkpoint loop)
+	var ckptPath string
 	switch *role {
 	case "server":
 		if *index < 0 || *index >= *servers {
@@ -122,7 +131,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		handler, err = ps.New(ps.Config{
+		shard, err = ps.New(ps.Config{
 			Range:     ranges[*index],
 			Init:      initVec[ranges[*index].Lo:ranges[*index].Hi],
 			Optimizer: opt,
@@ -130,18 +139,32 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *checkpointDir != "" {
+			if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+				return err
+			}
+			ckptPath = filepath.Join(*checkpointDir, fmt.Sprintf("server-%d.ckpt", *index))
+			if v, ok, err := restoreCheckpoint(shard, ckptPath); err != nil {
+				return err
+			} else if ok {
+				fmt.Printf("server/%d: restored checkpoint version %d from %s\n", *index, v, ckptPath)
+			}
+		}
+		handler = shard
 	case "worker":
 		if *index < 0 || *index >= *workers {
 			return fmt.Errorf("worker index %d out of range", *index)
 		}
 		id = node.WorkerID(*index)
 		handler, err = worker.New(worker.Config{
-			Index:    *index,
-			Shards:   ranges,
-			Model:    wl.Model,
-			Scheme:   sc,
-			Compute:  worker.ComputeModel{Base: wl.IterTime, Speed: 1, JitterSigma: wl.JitterSigma},
-			MaxIters: *maxIters,
+			Index:          *index,
+			Shards:         ranges,
+			Model:          wl.Model,
+			Scheme:         sc,
+			Compute:        worker.ComputeModel{Base: wl.IterTime, Speed: 1, JitterSigma: wl.JitterSigma},
+			MaxIters:       *maxIters,
+			HeartbeatEvery: *heartbeatEvery,
+			RetryAfter:     *retryAfter,
 		})
 		if err != nil {
 			return err
@@ -149,9 +172,10 @@ func run(args []string) error {
 	case "scheduler":
 		id = node.Scheduler
 		handler, err = core.NewScheduler(core.SchedulerConfig{
-			Workers:     *workers,
-			Scheme:      sc,
-			InitialSpan: wl.IterTime,
+			Workers:         *workers,
+			Scheme:          sc,
+			InitialSpan:     wl.IterTime,
+			LivenessTimeout: *livenessTimeout,
 		})
 		if err != nil {
 			return err
@@ -181,6 +205,16 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
+	// Periodic durable checkpoints for the server role. The snapshot is
+	// taken on the node's event loop (h.Do) so it never races with applies;
+	// only the file write happens out here.
+	var ckptTick <-chan time.Time
+	if shard != nil && ckptPath != "" && *checkpointEvery > 0 {
+		ct := time.NewTicker(*checkpointEvery)
+		defer ct.Stop()
+		ckptTick = ct.C
+	}
+
 	// Periodic status for interactive runs.
 	ticker := time.NewTicker(5 * time.Second)
 	defer ticker.Stop()
@@ -189,6 +223,14 @@ func run(args []string) error {
 		case <-sig:
 			fmt.Println("shutting down")
 			return nil
+		case <-ckptTick:
+			var snap ps.Snapshot
+			h.Do(func() { snap = shard.Snapshot() })
+			if err := writeCheckpoint(ckptPath, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: checkpoint failed: %v\n", id, err)
+			} else if *debug {
+				fmt.Printf("%s: checkpointed version %d\n", id, snap.Version)
+			}
 		case <-ticker.C:
 			switch n := handler.(type) {
 			case *worker.Worker:
@@ -207,6 +249,50 @@ func run(args []string) error {
 			}
 		}
 	}
+}
+
+// restoreCheckpoint loads a prior checkpoint into the shard if one exists.
+// Called before the host starts serving, so no locking is needed.
+func restoreCheckpoint(shard *ps.Server, path string) (version int64, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	snap, err := ps.ReadSnapshot(f)
+	if err != nil {
+		return 0, false, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if err := shard.Restore(snap); err != nil {
+		return 0, false, err
+	}
+	return snap.Version, true, nil
+}
+
+// writeCheckpoint writes the snapshot durably: temp file in the same
+// directory, fsync, then rename, so a crash mid-write never clobbers the
+// previous good checkpoint.
+func writeCheckpoint(path string, snap ps.Snapshot) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := snap.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func buildWorkload(name string, workers int, seed int64) (cluster.Workload, error) {

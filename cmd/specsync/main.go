@@ -13,6 +13,7 @@ import (
 
 	"specsync/internal/cluster"
 	"specsync/internal/core"
+	"specsync/internal/faults"
 	"specsync/internal/metrics"
 	"specsync/internal/scheme"
 )
@@ -38,6 +39,11 @@ func run(args []string) error {
 		naiveWait    = fs.Duration("wait", time.Second, "naive-waiting delay")
 		curvePoints  = fs.Int("curve", 15, "learning-curve rows to print")
 		verboseTune  = fs.Bool("tuning", false, "print adaptive tuning decisions")
+
+		faultPlanPath = fs.String("fault-plan", "", "JSON fault-plan file to inject (see internal/faults)")
+		churn         = fs.Int("churn", 0, "generate this many random crash/restart events")
+		churnHorizon  = fs.Duration("churn-horizon", 5*time.Minute, "window in which generated crashes land")
+		churnDowntime = fs.Duration("churn-downtime", 30*time.Second, "mean downtime of generated crashes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +96,40 @@ func run(args []string) error {
 	if *hetero {
 		cfg.Speeds = cluster.InstanceSpeeds(*workers)
 	}
+	if *faultPlanPath != "" && *churn > 0 {
+		return fmt.Errorf("use either -fault-plan or -churn, not both")
+	}
+	if *faultPlanPath != "" {
+		data, err := os.ReadFile(*faultPlanPath)
+		if err != nil {
+			return err
+		}
+		cfg.Faults, err = faults.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+	}
+	if *churn > 0 {
+		nsrv := *servers
+		if nsrv == 0 {
+			nsrv = *workers
+			if nsrv > 8 {
+				nsrv = 8
+			}
+		}
+		plan, err := faults.Generate(*seed, faults.ChurnConfig{
+			Workers:        *workers,
+			Servers:        nsrv,
+			Crashes:        *churn,
+			Horizon:        *churnHorizon,
+			Downtime:       *churnDowntime,
+			ServerFraction: 0.25,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+	}
 	if *verboseTune {
 		cfg.OnTune = func(epoch int, t core.Tuning) {
 			if t.Enabled {
@@ -123,6 +163,11 @@ func run(args []string) error {
 	}
 	fmt.Printf("iterations=%d aborts=%d resyncs=%d epochs=%d\n",
 		res.TotalIters, res.Aborts, res.ReSyncs, res.Epochs)
+	if res.Faults != nil {
+		st := res.Faults.Stats()
+		fmt.Printf("faults: %d crashes, %d restarts (%d restored from checkpoint), %d evictions, %d readmissions, %d dropped msgs\n",
+			st.Crashes, st.Restarts, st.Restores, st.Evictions, st.Readmissions, st.Drops)
+	}
 	data, control := res.Transfer.Split()
 	fmt.Printf("transfer: data %s, control %s (%.4f%% control)\n",
 		metrics.HumanBytes(data), metrics.HumanBytes(control),

@@ -8,6 +8,7 @@ import (
 
 	"specsync/internal/core"
 	"specsync/internal/des"
+	"specsync/internal/faults"
 	"specsync/internal/metrics"
 	"specsync/internal/model"
 	"specsync/internal/msg"
@@ -68,6 +69,23 @@ type Config struct {
 	Debug io.Writer
 	// OnTune forwards scheduler tuning decisions.
 	OnTune func(epoch int, t core.Tuning)
+	// Faults, if non-nil, injects the plan's crashes, partitions, and
+	// message faults into the run. Restarted workers come back with blank
+	// training state; restarted shards restore the latest checkpoint.
+	Faults *faults.Plan
+	// CheckpointEvery is the server snapshot period when Faults is set
+	// (zero means 4x the workload iteration time).
+	CheckpointEvery time.Duration
+	// LivenessTimeout overrides the scheduler's failure-detector timeout.
+	// Zero means 4x IterTime when Faults is set, detector off otherwise.
+	LivenessTimeout time.Duration
+	// HeartbeatEvery overrides the worker heartbeat period. Zero means
+	// IterTime/2 when Faults is set, heartbeats off otherwise.
+	HeartbeatEvery time.Duration
+	// RetryAfter overrides the worker pull/push retry timeout (requests
+	// lost to a crashed shard are re-issued after this long). Zero means
+	// 2x IterTime when Faults is set, retries off otherwise.
+	RetryAfter time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -79,6 +97,21 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ConsecutiveBelow == 0 {
 		c.ConsecutiveBelow = 5
+	}
+	if c.Faults != nil {
+		it := c.Workload.IterTime
+		if c.CheckpointEvery == 0 {
+			c.CheckpointEvery = 4 * it
+		}
+		if c.LivenessTimeout == 0 {
+			c.LivenessTimeout = 4 * it
+		}
+		if c.HeartbeatEvery == 0 {
+			c.HeartbeatEvery = it / 2
+		}
+		if c.RetryAfter == 0 {
+			c.RetryAfter = 2 * it
+		}
 	}
 	zero := des.NetModel{}
 	if c.Net == zero {
@@ -136,6 +169,9 @@ type Result struct {
 	Trace *trace.Collector
 	// FinalLoss is the last probed loss.
 	FinalLoss float64
+	// Faults is the fault/recovery accounting (crashes, restarts,
+	// checkpoints, drops, evictions). Nil unless Config.Faults was set.
+	Faults *metrics.Faults
 }
 
 // Run executes one simulated training job to convergence (or MaxVirtual).
@@ -186,8 +222,11 @@ func Run(cfg Config) (*Result, error) {
 	initRng := rand.New(rand.NewSource(cfg.Seed ^ 0x1217))
 	initVec := mdl.Init(initRng)
 
-	servers := make([]*ps.Server, cfg.Servers)
-	for i, r := range ranges {
+	// makeServer / makeWorker build a node from scratch; used for initial
+	// construction and again by the fault injector for restarts (a restarted
+	// node is a fresh incarnation with the same static configuration).
+	makeServer := func(shard int) (*ps.Server, error) {
+		r := ranges[shard]
 		opt, err := optimizer.NewSGD(optimizer.SGDConfig{
 			Schedule: cfg.Workload.Schedule,
 			Momentum: cfg.Workload.Momentum,
@@ -196,11 +235,38 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv, err := ps.New(ps.Config{
+		return ps.New(ps.Config{
 			Range:     r,
 			Init:      initVec[r.Lo:r.Hi],
 			Optimizer: opt,
 		})
+	}
+	makeWorker := func(i int) (*worker.Worker, error) {
+		speed := 1.0
+		if cfg.Speeds != nil {
+			speed = cfg.Speeds[i]
+		}
+		return worker.New(worker.Config{
+			Index:  i,
+			Shards: ranges,
+			Model:  mdl,
+			Scheme: cfg.Scheme,
+			Compute: worker.ComputeModel{
+				Base:        cfg.Workload.IterTime,
+				Speed:       speed,
+				JitterSigma: cfg.Workload.JitterSigma,
+			},
+			Tracer:         collector,
+			AbortLateFrac:  cfg.AbortLateFrac,
+			NumWorkers:     cfg.Workers,
+			HeartbeatEvery: cfg.HeartbeatEvery,
+			RetryAfter:     cfg.RetryAfter,
+		})
+	}
+
+	servers := make([]*ps.Server, cfg.Servers)
+	for i := range ranges {
+		srv, err := makeServer(i)
 		if err != nil {
 			return nil, err
 		}
@@ -212,24 +278,7 @@ func Run(cfg Config) (*Result, error) {
 
 	workers := make([]*worker.Worker, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		speed := 1.0
-		if cfg.Speeds != nil {
-			speed = cfg.Speeds[i]
-		}
-		wk, err := worker.New(worker.Config{
-			Index:  i,
-			Shards: ranges,
-			Model:  mdl,
-			Scheme: cfg.Scheme,
-			Compute: worker.ComputeModel{
-				Base:        cfg.Workload.IterTime,
-				Speed:       speed,
-				JitterSigma: cfg.Workload.JitterSigma,
-			},
-			Tracer:        collector,
-			AbortLateFrac: cfg.AbortLateFrac,
-			NumWorkers:    cfg.Workers,
-		})
+		wk, err := makeWorker(i)
 		if err != nil {
 			return nil, err
 		}
@@ -243,6 +292,11 @@ func Run(cfg Config) (*Result, error) {
 	if maxAbortFrac == 0 {
 		maxAbortFrac = 0.125
 	}
+	var faultM *metrics.Faults
+	if cfg.Faults != nil {
+		faultM = metrics.NewFaults(msg.IsControl)
+	}
+
 	sched, err := core.NewScheduler(core.SchedulerConfig{
 		Workers:           cfg.Workers,
 		Scheme:            cfg.Scheme,
@@ -251,6 +305,8 @@ func Run(cfg Config) (*Result, error) {
 		OnTune:            cfg.OnTune,
 		RateMargin:        cfg.RateMargin,
 		CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
+		LivenessTimeout:   cfg.LivenessTimeout,
+		Faults:            faultM,
 		Tuner: core.TunerConfig{
 			MinAbort: 4 * cfg.Net.Latency,
 			// With the eager threshold check, an abort costs only the time
@@ -265,6 +321,37 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err := sim.AddNode(node.Scheduler, sched); err != nil {
 		return nil, err
+	}
+
+	// Iterations and aborts retired by crashed worker incarnations; the
+	// replacement starts its counters from zero.
+	var retiredIters, retiredAborts int64
+	var inj *faults.SimInjector
+	if cfg.Faults != nil {
+		inj, err = faults.AttachSim(sim, faults.SimOptions{
+			Plan:            cfg.Faults,
+			NumWorkers:      cfg.Workers,
+			NumServers:      cfg.Servers,
+			Tracer:          collector,
+			Faults:          faultM,
+			CheckpointEvery: cfg.CheckpointEvery,
+			NewWorker: func(i int) (node.Handler, error) {
+				return makeWorker(i)
+			},
+			NewServer: makeServer,
+			Server:    func(shard int) *ps.Server { return servers[shard] },
+			OnWorkerRestart: func(i int, h node.Handler) {
+				retiredIters += workers[i].IterationsDone()
+				retiredAborts += workers[i].Aborts()
+				workers[i] = h.(*worker.Worker)
+			},
+			OnServerRestart: func(shard int, srv *ps.Server) {
+				servers[shard] = srv
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sim.Init()
@@ -283,7 +370,7 @@ func Run(cfg Config) (*Result, error) {
 		return probeVec
 	}
 	totalIters := func() int64 {
-		var n int64
+		n := retiredIters
 		for _, wk := range workers {
 			n += wk.IterationsDone()
 		}
@@ -327,11 +414,18 @@ func Run(cfg Config) (*Result, error) {
 
 	sim.RunUntilIdle(cfg.MaxVirtual)
 
+	if inj != nil {
+		if errs := inj.Errs(); len(errs) > 0 {
+			return nil, fmt.Errorf("cluster: fault injector: %v", errs[0])
+		}
+	}
 	res.Elapsed = sim.Elapsed()
 	res.TotalIters = totalIters()
+	res.Aborts = retiredAborts
 	for _, wk := range workers {
 		res.Aborts += wk.Aborts()
 	}
+	res.Faults = faultM
 	res.ReSyncs = sched.ReSyncsSent()
 	res.Epochs = sched.Epoch()
 	res.FinalLoss = res.Loss.Last().V

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specsync/internal/metrics"
 	"specsync/internal/msg"
 	"specsync/internal/node"
 	"specsync/internal/scheme"
@@ -48,6 +49,15 @@ type SchedulerConfig struct {
 	// the default demands the expected gain clear the loss estimate by 2x.
 	// Set to 1 for the paper's literal threshold (ablation).
 	RateMargin float64
+	// LivenessTimeout, when positive, enables failure detection: a worker
+	// whose last sign of life (notify or heartbeat) is older than this is
+	// evicted from membership — it stops counting toward epoch boundaries,
+	// speculation thresholds, the BSP barrier, and SSP min-clock, and the
+	// tuner ignores its history. Any later message re-admits it. Zero
+	// disables liveness tracking (every worker is a permanent member).
+	LivenessTimeout time.Duration
+	// Faults, if non-nil, receives eviction/re-admission counts.
+	Faults *metrics.Faults
 }
 
 // Scheduler is the central coordinator (paper Fig. 7): it observes notify
@@ -82,6 +92,12 @@ type Scheduler struct {
 	// SSP clock state.
 	completed []int64
 	minClock  int64
+
+	// Membership / liveness state (LivenessTimeout > 0).
+	alive           []bool
+	aliveN          int
+	lastSeen        []time.Time
+	membershipEpoch atomic.Int64
 
 	resyncsSent atomic.Int64
 	tunes       int64
@@ -136,6 +152,11 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		completed:  make([]int64, cfg.Workers),
 		rates:      make([]float64, cfg.Workers),
 		windows:    make([]specWindow, cfg.Workers),
+		alive:      make([]bool, cfg.Workers),
+		aliveN:     cfg.Workers,
+	}
+	for i := range s.alive {
+		s.alive[i] = true
 	}
 	for i := range s.spanEWMA {
 		s.spanEWMA[i] = cfg.InitialSpan
@@ -156,8 +177,95 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 func (s *Scheduler) Init(ctx node.Context) {
 	s.ctx = ctx
 	s.epochStart = ctx.Now()
+	if s.cfg.LivenessTimeout > 0 {
+		s.lastSeen = make([]time.Time, s.m)
+		for i := range s.lastSeen {
+			s.lastSeen[i] = s.epochStart
+		}
+		s.armLivenessSweep()
+	}
 	for i := 0; i < s.m; i++ {
 		ctx.Send(node.WorkerID(i), &msg.Start{})
+	}
+}
+
+// armLivenessSweep schedules the periodic failure-detection pass. Sweeping at
+// half the timeout bounds detection latency to 1.5x LivenessTimeout.
+func (s *Scheduler) armLivenessSweep() {
+	s.ctx.After(s.cfg.LivenessTimeout/2, func() {
+		s.sweepLiveness(s.ctx.Now())
+		s.armLivenessSweep()
+	})
+}
+
+// touch records a sign of life from worker i, re-admitting it if it had been
+// evicted. Any message counts as proof of life — a restarted worker rejoins
+// membership on its first notify or heartbeat.
+func (s *Scheduler) touch(i int, now time.Time) {
+	if s.cfg.LivenessTimeout <= 0 {
+		return
+	}
+	s.lastSeen[i] = now
+	if s.alive[i] {
+		return
+	}
+	s.alive[i] = true
+	s.aliveN++
+	epoch := s.membershipEpoch.Add(1)
+	s.cfg.Faults.RecordReadmission()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(trace.Event{At: now, Worker: i, Kind: trace.KindRecover, Value: epoch})
+	}
+	s.ctx.Logf("scheduler: worker %d re-admitted (membership epoch %d)", i, epoch)
+}
+
+// sweepLiveness evicts every member whose last sign of life is stale.
+func (s *Scheduler) sweepLiveness(now time.Time) {
+	for i := 0; i < s.m; i++ {
+		if s.alive[i] && now.Sub(s.lastSeen[i]) > s.cfg.LivenessTimeout {
+			s.evict(i, now)
+		}
+	}
+}
+
+// evict removes worker i from membership: its speculation window is torn
+// down, it no longer counts toward epoch boundaries, speculation thresholds,
+// the BSP barrier, or the SSP min-clock, and the tuner ignores its history.
+func (s *Scheduler) evict(i int, now time.Time) {
+	s.alive[i] = false
+	s.aliveN--
+	epoch := s.membershipEpoch.Add(1)
+	s.cfg.Faults.RecordEviction()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(trace.Event{At: now, Worker: i, Kind: trace.KindEvict, Value: epoch})
+	}
+	s.ctx.Logf("scheduler: worker %d evicted (membership epoch %d)", i, epoch)
+
+	// Tear down the evicted worker's speculation window.
+	w := &s.windows[i]
+	if w.cancel != nil {
+		w.cancel()
+		w.cancel = nil
+	}
+	w.armed = false
+
+	// The epoch may now be complete without the evicted worker's push.
+	if s.pushed[i] {
+		s.pushed[i] = false
+		s.pushedN--
+	}
+	if s.aliveN > 0 && s.pushedN == s.aliveN {
+		s.epochBoundary(now)
+	}
+
+	// A BSP barrier waiting on the evicted worker must release.
+	if s.cfg.Scheme.Base == scheme.BSP && s.aliveN > 0 && s.barrierN >= s.aliveN {
+		s.releaseBarrier()
+	}
+
+	// The SSP min-clock may have been pinned by the evicted straggler.
+	if s.cfg.Scheme.Base == scheme.SSP {
+		s.broadcastMinClock()
 	}
 }
 
@@ -166,6 +274,10 @@ func (s *Scheduler) Receive(from node.ID, m wire.Message) {
 	switch mm := m.(type) {
 	case *msg.Notify:
 		s.handleNotify(from, mm)
+	case *msg.Heartbeat:
+		if i := node.WorkerIndex(from); i >= 0 && i < s.m {
+			s.touch(i, s.ctx.Now())
+		}
 	case *msg.Stop:
 		// The harness signals shutdown; nothing to tear down centrally.
 	default:
@@ -182,6 +294,7 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		return
 	}
 	now := s.ctx.Now()
+	s.touch(i, now)
 
 	// Iteration-span estimate (includes abort/restart overheads, which is
 	// what the loss model of Eq. 6 wants).
@@ -201,12 +314,12 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		s.history = append(s.history[:0], s.history[drop:]...)
 	}
 
-	// Epoch tracking: an epoch completes when every worker pushed at least
-	// once since the previous boundary (paper Sec. II-B).
+	// Epoch tracking: an epoch completes when every live member pushed at
+	// least once since the previous boundary (paper Sec. II-B).
 	if !s.pushed[i] {
 		s.pushed[i] = true
 		s.pushedN++
-		if s.pushedN == s.m {
+		if s.pushedN >= s.aliveN {
 			s.epochBoundary(now)
 		}
 	}
@@ -222,34 +335,52 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		s.armWindow(i, n.Iter+1, now)
 	}
 
-	// BSP barrier.
+	// BSP barrier (membership-aware: the barrier waits only on live members).
 	if s.cfg.Scheme.Base == scheme.BSP {
 		s.barrierN++
-		if s.barrierN == s.m {
-			s.barrierN = 0
-			s.round++
-			for w := 0; w < s.m; w++ {
-				s.ctx.Send(node.WorkerID(w), &msg.BarrierRelease{Round: s.round})
-			}
+		if s.barrierN >= s.aliveN {
+			s.releaseBarrier()
 		}
 	}
 
-	// SSP clocks.
+	// SSP clocks (the min is taken over live members only).
 	if s.cfg.Scheme.Base == scheme.SSP {
 		if c := n.Iter + 1; c > s.completed[i] {
 			s.completed[i] = c
 		}
-		min := s.completed[0]
-		for _, c := range s.completed[1:] {
-			if c < min {
-				min = c
-			}
+		s.broadcastMinClock()
+	}
+}
+
+// releaseBarrier opens the BSP barrier for the next round.
+func (s *Scheduler) releaseBarrier() {
+	s.barrierN = 0
+	s.round++
+	for w := 0; w < s.m; w++ {
+		s.ctx.Send(node.WorkerID(w), &msg.BarrierRelease{Round: s.round})
+	}
+}
+
+// broadcastMinClock recomputes the SSP min-clock over live members and
+// broadcasts it if it advanced. The clock never regresses: a re-admitted
+// straggler re-pins the min only for clocks it has yet to reach.
+func (s *Scheduler) broadcastMinClock() {
+	if s.aliveN == 0 {
+		return
+	}
+	min := int64(-1)
+	for w := 0; w < s.m; w++ {
+		if !s.alive[w] {
+			continue
 		}
-		if min != s.minClock {
-			s.minClock = min
-			for w := 0; w < s.m; w++ {
-				s.ctx.Send(node.WorkerID(w), &msg.MinClock{Clock: min})
-			}
+		if min < 0 || s.completed[w] < min {
+			min = s.completed[w]
+		}
+	}
+	if min > s.minClock {
+		s.minClock = min
+		for w := 0; w < s.m; w++ {
+			s.ctx.Send(node.WorkerID(w), &msg.MinClock{Clock: min})
 		}
 	}
 }
@@ -269,7 +400,7 @@ func (s *Scheduler) armWindow(i int, abortIter int64, now time.Time) {
 		armed:     true,
 		deadline:  now.Add(s.abortTime),
 		iter:      abortIter,
-		threshold: float64(s.m) * rate,
+		threshold: float64(s.aliveN) * rate,
 	}
 	w.cancel = s.ctx.After(s.abortTime, func() {
 		s.expireWindow(i, abortIter)
@@ -361,14 +492,24 @@ func (s *Scheduler) retune(now time.Time) {
 	copy(spans, s.spanEWMA)
 
 	tcfg := s.cfg.Tuner
+	if s.aliveN < s.m {
+		tcfg.Alive = make([]bool, s.m)
+		copy(tcfg.Alive, s.alive)
+	}
 	if tcfg.MaxAbort == 0 {
-		// Default ceiling: half the mean iteration span, mirroring the
-		// paper's grid-search bound.
+		// Default ceiling: half the mean iteration span of live members,
+		// mirroring the paper's grid-search bound.
 		var sum time.Duration
-		for _, sp := range spans {
-			sum += sp
+		n := 0
+		for i, sp := range spans {
+			if s.alive[i] {
+				sum += sp
+				n++
+			}
 		}
-		tcfg.MaxAbort = sum / time.Duration(2*s.m)
+		if n > 0 {
+			tcfg.MaxAbort = sum / time.Duration(2*n)
+		}
 	}
 
 	tuning, err := Tune(tcfg, s.history, epochPushes, lastPull, spans)
@@ -409,3 +550,18 @@ func (s *Scheduler) SpanEstimates() []time.Duration {
 	copy(out, s.spanEWMA)
 	return out
 }
+
+// MembershipEpoch returns the number of membership changes (evictions plus
+// re-admissions) observed so far. Safe for concurrent use.
+func (s *Scheduler) MembershipEpoch() int64 { return s.membershipEpoch.Load() }
+
+// Alive reports current membership (only meaningful from the scheduler's own
+// goroutine/mailbox, e.g. in tests after the sim has drained).
+func (s *Scheduler) Alive() []bool {
+	out := make([]bool, len(s.alive))
+	copy(out, s.alive)
+	return out
+}
+
+// AliveCount returns the current live-member count (same caveat as Alive).
+func (s *Scheduler) AliveCount() int { return s.aliveN }

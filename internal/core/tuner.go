@@ -31,6 +31,11 @@ type TunerConfig struct {
 	// MaxCandidates caps the candidate set by even sub-sampling, bounding
 	// tuning cost on epochs with many pushes. Zero means unlimited.
 	MaxCandidates int
+	// Alive[i], when non-nil, marks which workers are current cluster
+	// members. Evicted workers contribute nothing: their stale pulls seed no
+	// candidate windows, their historical pushes are not counted as expected
+	// gains, and their rates come back zero. Nil means all Workers alive.
+	Alive []bool
 }
 
 // Tuning is the tuner's output: the new hyperparameters for one epoch.
@@ -72,11 +77,24 @@ func Tune(cfg TunerConfig, history, epochPushes []PushRecord, lastPull []time.Ti
 	if m < 2 {
 		return Tuning{}, fmt.Errorf("core: tuner needs at least 2 workers, got %d", m)
 	}
+	if cfg.Alive != nil && len(cfg.Alive) != m {
+		return Tuning{}, fmt.Errorf("core: Alive sized %d, want %d", len(cfg.Alive), m)
+	}
+	alive := func(i int) bool { return cfg.Alive == nil || cfg.Alive[i] }
+	aliveN := 0
+	for i := 0; i < m; i++ {
+		if alive(i) {
+			aliveN++
+		}
+	}
+	if aliveN < 2 {
+		return Tuning{}, fmt.Errorf("core: tuner needs at least 2 live workers, got %d", aliveN)
+	}
 	if len(lastPull) != m || len(iterSpan) != m {
 		return Tuning{}, fmt.Errorf("core: tuner inputs sized %d/%d, want %d", len(lastPull), len(iterSpan), m)
 	}
 	for i, span := range iterSpan {
-		if span <= 0 {
+		if alive(i) && span <= 0 {
 			return Tuning{}, fmt.Errorf("core: worker %d has non-positive iteration span %v", i, span)
 		}
 	}
@@ -90,10 +108,14 @@ func Tune(cfg TunerConfig, history, epochPushes []PushRecord, lastPull []time.Ti
 	}
 
 	// Index pushes for O(log n) window counting: all pushes and per-worker.
-	allTimes := make([]time.Time, len(history))
+	// Pushes from evicted workers predict no future gain and are excluded.
+	allTimes := make([]time.Time, 0, len(history))
 	perWorker := make(map[int][]time.Time, m)
-	for i, p := range history {
-		allTimes[i] = p.At
+	for _, p := range history {
+		if p.Worker >= 0 && p.Worker < m && !alive(p.Worker) {
+			continue
+		}
+		allTimes = append(allTimes, p.At)
 		perWorker[p.Worker] = append(perWorker[p.Worker], p.At)
 	}
 
@@ -107,9 +129,12 @@ func Tune(cfg TunerConfig, history, epochPushes []PushRecord, lastPull []time.Ti
 	for _, delta := range candidates {
 		var f float64
 		for i := 0; i < m; i++ {
+			if !alive(i) {
+				continue
+			}
 			hi := lastPull[i].Add(delta)
 			gain := countIn(allTimes, lastPull[i], hi) - countIn(perWorker[i], lastPull[i], hi)
-			loss := float64(delta) * float64(m-1) / float64(iterSpan[i])
+			loss := float64(delta) * float64(aliveN-1) / float64(iterSpan[i])
 			f += float64(gain) - loss
 		}
 		if !best.Enabled || f > best.Improvement {
@@ -126,7 +151,10 @@ func Tune(cfg TunerConfig, history, epochPushes []PushRecord, lastPull []time.Ti
 
 	best.Rates = make([]float64, m)
 	for i := 0; i < m; i++ {
-		best.Rates[i] = float64(best.AbortTime) * float64(m-1) / (float64(iterSpan[i]) * float64(m))
+		if !alive(i) {
+			continue // evicted workers keep a zero rate
+		}
+		best.Rates[i] = float64(best.AbortTime) * float64(aliveN-1) / (float64(iterSpan[i]) * float64(aliveN))
 	}
 	return best, nil
 }
@@ -140,9 +168,16 @@ func Tune(cfg TunerConfig, history, epochPushes []PushRecord, lastPull []time.Ti
 // same set under its pull-follows-push proxy; using push-pull gaps keeps the
 // search exact even when the two diverge.)
 func candidateWindows(cfg TunerConfig, pushes []PushRecord, lastPull []time.Time) []time.Duration {
+	alive := func(i int) bool { return cfg.Alive == nil || cfg.Alive[i] }
 	set := make(map[time.Duration]struct{})
 	for _, p := range pushes {
-		for _, lp := range lastPull {
+		if p.Worker >= 0 && p.Worker < len(lastPull) && !alive(p.Worker) {
+			continue
+		}
+		for w, lp := range lastPull {
+			if !alive(w) {
+				continue
+			}
 			d := p.At.Sub(lp)
 			if d <= 0 {
 				continue

@@ -181,3 +181,49 @@ func TestCandidateClampAndCap(t *testing.T) {
 		}
 	}
 }
+
+func TestTuneAliveFilter(t *testing.T) {
+	// Three workers, but worker 2 is evicted. The tuner must behave exactly
+	// as the two-live-worker problem: worker 2's pushes predict no gain,
+	// its stale pull seeds no candidates, and its rate comes back zero.
+	history := []PushRecord{
+		{At: at(0), Worker: 0},
+		{At: at(50), Worker: 2},  // evicted worker's push: ignored
+		{At: at(100), Worker: 1},
+	}
+	lastPull := []time.Time{at(0), at(100), at(900)} // worker 2's pull is stale
+	spans := []time.Duration{time.Second, time.Second, time.Second}
+	alive := []bool{true, true, false}
+
+	got, err := Tune(TunerConfig{Workers: 3, Alive: alive}, history, history, lastPull, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Enabled {
+		t.Fatal("expected speculation enabled")
+	}
+	// Identical numbers to TestTuneSimpleScenario's two-worker problem.
+	if got.AbortTime != 100*time.Millisecond {
+		t.Errorf("AbortTime = %v, want 100ms", got.AbortTime)
+	}
+	if got.Improvement < 0.79 || got.Improvement > 0.81 {
+		t.Errorf("Improvement = %v, want 0.8", got.Improvement)
+	}
+	for i := 0; i < 2; i++ {
+		if r := got.Rates[i]; r < 0.049 || r > 0.051 {
+			t.Errorf("Rates[%d] = %v, want 0.05", i, r)
+		}
+	}
+	if got.Rates[2] != 0 {
+		t.Errorf("Rates[2] = %v, want 0 (evicted)", got.Rates[2])
+	}
+
+	// Fewer than two live members cannot tune.
+	if _, err := Tune(TunerConfig{Workers: 3, Alive: []bool{true, false, false}}, history, history, lastPull, spans); err == nil {
+		t.Error("expected error for <2 live workers")
+	}
+	// Mis-sized Alive is rejected.
+	if _, err := Tune(TunerConfig{Workers: 3, Alive: []bool{true, true}}, history, history, lastPull, spans); err == nil {
+		t.Error("expected error for mis-sized Alive")
+	}
+}

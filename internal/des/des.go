@@ -64,6 +64,25 @@ type TransferRecorder interface {
 	RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time)
 }
 
+// FaultAction tells the simulator what to do with one message. The zero
+// value delivers normally.
+type FaultAction struct {
+	// Drop discards the message (it still consumed no link time).
+	Drop bool
+	// Duplicate transmits a second copy (both pass through the bandwidth
+	// model, so they serialize on the link like a real retransmission).
+	Duplicate bool
+	// Delay adds this much extra latency, reordering the message past
+	// later traffic on the same link.
+	Delay time.Duration
+}
+
+// FaultHook decides the fault action for each message at send time. It runs
+// on the simulator goroutine; any randomness inside must come from a seeded
+// stream so runs stay reproducible. internal/faults builds hooks from
+// declarative fault plans.
+type FaultHook func(from, to node.ID, kind wire.Kind, at time.Time) FaultAction
+
 // Config configures a simulation.
 type Config struct {
 	// Seed drives all simulator randomness (jitter) and derives per-node
@@ -77,6 +96,9 @@ type Config struct {
 	Start time.Time
 	// Transfer, if non-nil, receives a record per message sent.
 	Transfer TransferRecorder
+	// Fault, if non-nil, is consulted for every message (see also
+	// Sim.SetFault, which fault injectors use after construction).
+	Fault FaultHook
 	// Debug, if non-nil, receives node log lines.
 	Debug io.Writer
 }
@@ -124,6 +146,11 @@ type Sim struct {
 	started  bool
 	stopped  bool
 	delivers uint64 // count of delivered messages, for stats/tests
+	fault    FaultHook
+	// Fault-induced drop counts: injected by the hook vs. lost because the
+	// destination was down (or a different incarnation) at arrival.
+	faultDrops uint64
+	deadDrops  uint64
 
 	// Hiccup windows generated so far, in time order, and the RNG stream
 	// that extends them (independent of other randomness for determinism).
@@ -159,8 +186,13 @@ func New(cfg Config) (*Sim, error) {
 		netRand:     rand.New(rand.NewSource(cfg.Seed ^ 0x5ec5)),
 		hiccupRand:  rand.New(rand.NewSource(cfg.Seed ^ 0x41cc)),
 		hiccupFront: start,
+		fault:       cfg.Fault,
 	}, nil
 }
+
+// SetFault installs (or replaces) the message fault hook. Fault injectors
+// call it after the simulation is built but before (or during) the run.
+func (s *Sim) SetFault(f FaultHook) { s.fault = f }
 
 // deferPastHiccup returns the delivery time adjusted for cluster stalls: a
 // message that would arrive during a hiccup window is held until the window
@@ -318,16 +350,36 @@ func (s *Sim) RunUntilIdle(maxVirtual time.Duration) string {
 	return "stopped"
 }
 
-// send routes a marshaled message through the network model.
+// send routes a marshaled message through the fault hook and network model.
 func (s *Sim) send(from, to node.ID, m wire.Message) {
 	dst, ok := s.nodes[to]
 	if !ok {
 		s.logf(from, "send to unknown node %s dropped (kind %s)", to, s.cfg.Registry.Name(m.Kind()))
 		return
 	}
+	var act FaultAction
+	if s.fault != nil {
+		act = s.fault(from, to, m.Kind(), s.now)
+	}
+	if act.Drop {
+		s.faultDrops++
+		s.logf(from, "fault: dropped %s to %s", s.cfg.Registry.Name(m.Kind()), to)
+		return
+	}
 	data := wire.Marshal(m)
+	copies := 1
+	if act.Duplicate {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		s.transmit(from, to, dst, m.Kind(), data, act.Delay)
+	}
+}
+
+// transmit sends one copy of an encoded message through the network model.
+func (s *Sim) transmit(from, to node.ID, dst *simContext, kind wire.Kind, data []byte, extraDelay time.Duration) {
 	if s.cfg.Transfer != nil {
-		s.cfg.Transfer.RecordTransfer(from, to, m.Kind(), len(data), s.now)
+		s.cfg.Transfer.RecordTransfer(from, to, kind, len(data), s.now)
 	}
 
 	arrive := s.now
@@ -345,10 +397,19 @@ func (s *Sim) send(from, to node.ID, m wire.Message) {
 	if j := s.cfg.Net.Jitter; j > 0 {
 		arrive = arrive.Add(time.Duration(s.netRand.Int63n(int64(j))))
 	}
+	arrive = arrive.Add(extraDelay)
 	arrive = s.deferPastHiccup(arrive)
 
-	kindName := s.cfg.Registry.Name(m.Kind())
+	kindName := s.cfg.Registry.Name(kind)
+	gen := dst.gen
 	s.scheduleAt(arrive, func() {
+		if dst.down || dst.gen != gen {
+			// The destination crashed (or restarted as a new incarnation)
+			// while the message was in flight: it is lost, exactly as a
+			// closed TCP connection would lose it.
+			s.deadDrops++
+			return
+		}
 		decoded, err := s.cfg.Registry.Unmarshal(data)
 		if err != nil {
 			// A decode failure under the simulator is a codec bug; surface
@@ -359,6 +420,80 @@ func (s *Sim) send(from, to node.ID, m wire.Message) {
 		dst.handler.Receive(from, decoded)
 	})
 }
+
+// Crash marks a node as failed. While down, every message addressed to it is
+// lost, its pending timers never fire, and in-flight messages sent to the
+// previous incarnation are dropped on arrival. A crashed node can be brought
+// back with Restart.
+func (s *Sim) Crash(id node.ID) error {
+	nc, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("des: Crash(%s): unknown node", id)
+	}
+	if nc.down {
+		return fmt.Errorf("des: Crash(%s): already down", id)
+	}
+	nc.down = true
+	nc.gen++
+	s.logf(id, "crashed")
+	return nil
+}
+
+// Restart revives a crashed node as a fresh incarnation. A non-nil handler
+// replaces the node's state machine (the usual case: crash loses state); nil
+// keeps the existing handler object (for handlers whose state is restored
+// out of band before the restart). Init runs immediately.
+func (s *Sim) Restart(id node.ID, h node.Handler) error {
+	nc, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("des: Restart(%s): unknown node", id)
+	}
+	if !nc.down {
+		return fmt.Errorf("des: Restart(%s): not down", id)
+	}
+	if h != nil {
+		nc.handler = h
+	}
+	nc.down = false
+	nc.gen++
+	s.logf(id, "restarted (incarnation %d)", nc.gen)
+	nc.handler.Init(nc)
+	return nil
+}
+
+// Down reports whether a node is currently crashed.
+func (s *Sim) Down(id node.ID) bool {
+	nc, ok := s.nodes[id]
+	return ok && nc.down
+}
+
+// Inject delivers a message to a node as if sent by from, bypassing the
+// network model (mirrors live.Network.Inject). Fault injectors use it to
+// re-issue Start to restarted workers.
+func (s *Sim) Inject(from, to node.ID, m wire.Message) error {
+	dst, ok := s.nodes[to]
+	if !ok {
+		return fmt.Errorf("des: inject: unknown node %s", to)
+	}
+	data := wire.Marshal(m)
+	decoded, err := s.cfg.Registry.Unmarshal(data)
+	if err != nil {
+		return fmt.Errorf("des: inject: %w", err)
+	}
+	gen := dst.gen
+	s.scheduleAt(s.now, func() {
+		if dst.down || dst.gen != gen {
+			s.deadDrops++
+			return
+		}
+		s.delivers++
+		dst.handler.Receive(from, decoded)
+	})
+	return nil
+}
+
+// FaultDrops returns (hook-injected drops, deliveries lost to down nodes).
+func (s *Sim) FaultDrops() (injected, dead uint64) { return s.faultDrops, s.deadDrops }
 
 func (s *Sim) logf(id node.ID, format string, args ...any) {
 	if s.cfg.Debug == nil {
@@ -374,6 +509,11 @@ type simContext struct {
 	id      node.ID
 	handler node.Handler
 	rng     *rand.Rand
+	// down marks the node crashed; gen counts incarnations. Timers and
+	// in-flight deliveries capture gen and are discarded on mismatch, so a
+	// restarted node never observes callbacks from a previous life.
+	down bool
+	gen  uint64
 }
 
 var _ node.Context = (*simContext)(nil)
@@ -390,7 +530,13 @@ func (c *simContext) After(d time.Duration, f func()) node.CancelFunc {
 	if d < 0 {
 		d = 0
 	}
-	return c.sim.scheduleAt(c.sim.now.Add(d), f)
+	gen := c.gen
+	return c.sim.scheduleAt(c.sim.now.Add(d), func() {
+		if c.down || c.gen != gen {
+			return // timer from a crashed (or previous) incarnation
+		}
+		f()
+	})
 }
 
 func (c *simContext) Logf(format string, args ...any) {

@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"specsync/internal/live"
+	"specsync/internal/metrics"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/ps"
+	"specsync/internal/trace"
+	"specsync/internal/wire"
+)
+
+// LiveOptions wires a plan into a live (goroutine-per-node) network.
+type LiveOptions struct {
+	// Plan is the fault schedule. Required.
+	Plan *Plan
+	// NumWorkers / NumServers bound the plan's node indices.
+	NumWorkers, NumServers int
+	// Tracer, if non-nil, records crash/recover events.
+	Tracer trace.Tracer
+	// Faults, if non-nil, counts fault activity.
+	Faults *metrics.Faults
+	// NewWorker / NewServer build fresh handlers for restarts (required
+	// when the plan restarts the respective node type).
+	NewWorker func(i int) (node.Handler, error)
+	NewServer func(shard int) (*ps.Server, error)
+	// OnWorkerRestart / OnServerRestart let the harness swap references.
+	OnWorkerRestart func(i int, h node.Handler)
+	OnServerRestart func(shard int, srv *ps.Server)
+	// Checkpoint, if non-nil, returns the snapshot to restore into a
+	// restarted shard (e.g. read from the checkpoint directory); returning
+	// ok=false restarts the shard blank.
+	Checkpoint func(shard int) (ps.Snapshot, bool)
+}
+
+// LiveInjector executes a plan against a live.Network in wall-clock time.
+// Build it first, pass Hook into NetworkConfig.Fault, then call Start once
+// the network is running.
+type LiveInjector struct {
+	opts   LiveOptions
+	filter *Filter
+
+	mu      sync.Mutex
+	net     *live.Network
+	start   time.Time
+	timers  []*time.Timer
+	errs    []error
+	stopped bool
+}
+
+// NewLive validates the plan and builds the injector.
+func NewLive(opts LiveOptions) (*LiveInjector, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("faults: nil plan")
+	}
+	if err := opts.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	for i, ev := range opts.Plan.Events {
+		switch ev.Kind {
+		case KindCrashWorker:
+			if ev.Node >= opts.NumWorkers {
+				return nil, fmt.Errorf("faults: event %d: worker %d out of range (m=%d)", i, ev.Node, opts.NumWorkers)
+			}
+			if ev.RestartAfter > 0 && opts.NewWorker == nil {
+				return nil, fmt.Errorf("faults: event %d restarts a worker but NewWorker is nil", i)
+			}
+		case KindCrashServer:
+			if ev.Node >= opts.NumServers {
+				return nil, fmt.Errorf("faults: event %d: server %d out of range (n=%d)", i, ev.Node, opts.NumServers)
+			}
+			if ev.RestartAfter > 0 && opts.NewServer == nil {
+				return nil, fmt.Errorf("faults: event %d restarts a server but NewServer is nil", i)
+			}
+		}
+	}
+	return &LiveInjector{opts: opts, filter: NewFilter(opts.Plan, opts.Faults)}, nil
+}
+
+// Hook adapts the plan's message faults to live.NetworkConfig.Fault. It is
+// safe to install before Start; until Start it treats elapsed time as zero.
+func (l *LiveInjector) Hook() live.FaultHook {
+	if l.filter.Empty() {
+		return nil
+	}
+	return func(from, to node.ID, kind wire.Kind) live.FaultAction {
+		l.mu.Lock()
+		start := l.start
+		l.mu.Unlock()
+		var elapsed time.Duration
+		if !start.IsZero() {
+			elapsed = time.Since(start)
+		}
+		a := l.filter.Action(from, to, kind, elapsed)
+		return live.FaultAction{Drop: a.Drop, Duplicate: a.Duplicate, Delay: a.Delay}
+	}
+}
+
+// Start arms the plan's crash/restart timers against net. Call after
+// net.Start.
+func (l *LiveInjector) Start(net *live.Network) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.net = net
+	l.start = time.Now()
+	for _, ev := range l.opts.Plan.Crashes() {
+		ev := ev
+		l.timers = append(l.timers, time.AfterFunc(ev.At, func() { l.crash(ev) }))
+	}
+}
+
+// Stop cancels pending fault timers (already-fired crashes stay crashed).
+func (l *LiveInjector) Stop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stopped = true
+	for _, t := range l.timers {
+		t.Stop()
+	}
+	l.timers = nil
+}
+
+func (l *LiveInjector) crash(ev Event) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	net := l.net
+	l.mu.Unlock()
+
+	var id node.ID
+	traceWorker := ev.Node
+	if ev.Kind == KindCrashWorker {
+		id = node.WorkerID(ev.Node)
+	} else {
+		id = node.ServerID(ev.Node)
+		traceWorker = -(ev.Node + 1)
+	}
+	if err := net.Crash(id); err != nil {
+		l.fail(err)
+		return
+	}
+	l.opts.Faults.RecordCrash()
+	if l.opts.Tracer != nil {
+		l.opts.Tracer.Record(trace.Event{At: time.Now(), Worker: traceWorker, Kind: trace.KindCrash})
+	}
+	if ev.RestartAfter > 0 {
+		l.mu.Lock()
+		if !l.stopped {
+			l.timers = append(l.timers, time.AfterFunc(ev.RestartAfter, func() { l.restart(ev, id, traceWorker) }))
+		}
+		l.mu.Unlock()
+	}
+}
+
+func (l *LiveInjector) restart(ev Event, id node.ID, traceWorker int) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	net := l.net
+	l.mu.Unlock()
+
+	var h node.Handler
+	restored := int64(0)
+	if ev.Kind == KindCrashWorker {
+		wk, err := l.opts.NewWorker(ev.Node)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		h = wk
+	} else {
+		srv, err := l.opts.NewServer(ev.Node)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		if l.opts.Checkpoint != nil {
+			if snap, ok := l.opts.Checkpoint(ev.Node); ok {
+				if err := srv.Restore(snap); err != nil {
+					l.fail(err)
+					return
+				}
+				l.opts.Faults.RecordRestore()
+				restored = snap.Version
+			}
+		}
+		h = srv
+		if l.opts.OnServerRestart != nil {
+			l.opts.OnServerRestart(ev.Node, srv)
+		}
+	}
+	if err := net.Restart(id, h); err != nil {
+		l.fail(err)
+		return
+	}
+	l.opts.Faults.RecordRestart()
+	if l.opts.Tracer != nil {
+		l.opts.Tracer.Record(trace.Event{At: time.Now(), Worker: traceWorker, Kind: trace.KindRecover, Value: restored})
+	}
+	if ev.Kind == KindCrashWorker {
+		if l.opts.OnWorkerRestart != nil {
+			l.opts.OnWorkerRestart(ev.Node, h)
+		}
+		if err := net.Inject(node.Scheduler, id, &msg.Start{}); err != nil {
+			l.fail(err)
+		}
+	}
+}
+
+func (l *LiveInjector) fail(err error) {
+	l.mu.Lock()
+	l.errs = append(l.errs, err)
+	l.mu.Unlock()
+}
+
+// Errs returns runtime errors hit while executing the plan.
+func (l *LiveInjector) Errs() []error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]error, len(l.errs))
+	copy(out, l.errs)
+	return out
+}

@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"specsync/internal/live"
+	"specsync/internal/metrics"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/ps"
+	"specsync/internal/trace"
+	"specsync/internal/wire"
+)
+
+// liveStarter is starterHandler's concurrency-safe twin: the live runtime
+// drives handlers from network goroutines, so the test-facing counters need
+// locking.
+type liveStarter struct {
+	ctx node.Context
+
+	mu     sync.Mutex
+	starts int
+	acks   int
+}
+
+func (h *liveStarter) Init(ctx node.Context) { h.ctx = ctx }
+
+func (h *liveStarter) Receive(from node.ID, m wire.Message) {
+	switch m.(type) {
+	case *msg.Start:
+		h.mu.Lock()
+		h.starts++
+		seq := uint64(h.starts)
+		h.mu.Unlock()
+		h.ctx.Send(node.ServerID(0), &msg.PushReq{Seq: seq, Iter: 1, Dense: []float64{1, 1}})
+	case *msg.PushAck:
+		h.mu.Lock()
+		h.acks++
+		h.mu.Unlock()
+	}
+}
+
+func (h *liveStarter) counts() (starts, acks int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.starts, h.acks
+}
+
+func waitUntil(t *testing.T, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+func TestLiveInjectorCrashCheckpointRestore(t *testing.T) {
+	srv := newShard(t)
+	wk := &liveStarter{}
+	collector := trace.NewCollector()
+	fm := metrics.NewFaults(msg.IsControl)
+
+	var mu sync.Mutex
+	current := srv
+	var currentWk node.Handler = wk
+
+	plan := &Plan{Events: []Event{
+		// Server crash at 100ms, back at 200ms from the checkpoint.
+		{Kind: KindCrashServer, At: 100 * time.Millisecond, Node: 0, RestartAfter: 100 * time.Millisecond},
+		// Worker crash at 300ms, back at 400ms with a fresh Start.
+		{Kind: KindCrashWorker, At: 300 * time.Millisecond, Node: 0, RestartAfter: 100 * time.Millisecond},
+	}}
+	inj, err := NewLive(LiveOptions{
+		Plan:       plan,
+		NumWorkers: 1,
+		NumServers: 1,
+		Tracer:     collector,
+		Faults:     fm,
+		NewWorker:  func(i int) (node.Handler, error) { return &liveStarter{}, nil },
+		NewServer:  func(shard int) (*ps.Server, error) { return newShard(t), nil },
+		// The crashed incarnation's event loop is stopped, so reading its
+		// state stands in for a checkpoint read from durable storage.
+		Checkpoint: func(shard int) (ps.Snapshot, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			return current.Snapshot(), true
+		},
+		OnServerRestart: func(shard int, s *ps.Server) {
+			mu.Lock()
+			current = s
+			mu.Unlock()
+		},
+		OnWorkerRestart: func(i int, h node.Handler) {
+			mu.Lock()
+			currentWk = h
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := live.NewNetwork(live.NetworkConfig{Registry: msg.Registry(), Seed: 1, Fault: inj.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(node.ServerID(0), srv); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(node.WorkerID(0), wk); err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	defer net.Close()
+
+	if err := net.Inject(node.Scheduler, node.WorkerID(0), &msg.Start{}); err != nil {
+		t.Fatal(err)
+	}
+	// The first push must land before the server crash at 100ms.
+	if !waitUntil(t, func() bool { _, acks := wk.counts(); return acks == 1 }) {
+		t.Fatal("initial push never acknowledged")
+	}
+	inj.Start(net)
+	defer inj.Stop()
+
+	// Wait for the whole plan: the restarted worker pushed to the restored
+	// server and got its ack.
+	ok := waitUntil(t, func() bool {
+		mu.Lock()
+		h := currentWk
+		mu.Unlock()
+		fresh, isStarter := h.(*liveStarter)
+		if !isStarter || fresh == wk {
+			return false
+		}
+		starts, acks := fresh.counts()
+		return starts == 1 && acks == 1
+	})
+	if !ok {
+		t.Fatal("restarted worker never completed a push to the restored server")
+	}
+
+	if errs := inj.Errs(); len(errs) != 0 {
+		t.Fatalf("injector errors: %v", errs)
+	}
+	st := fm.Stats()
+	if st.Crashes != 2 || st.Restarts != 2 || st.Restores != 1 {
+		t.Errorf("crashes/restarts/restores = %d/%d/%d, want 2/2/1", st.Crashes, st.Restarts, st.Restores)
+	}
+	if collector.Count(trace.KindCrash) != 2 || collector.Count(trace.KindRecover) != 2 {
+		t.Errorf("trace crash/recover = %d/%d, want 2/2",
+			collector.Count(trace.KindCrash), collector.Count(trace.KindRecover))
+	}
+
+	// Quiesce the network before touching server state directly.
+	net.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if current == srv {
+		t.Error("server was not replaced on restart")
+	}
+	// Version 2: one restored from the checkpoint, one from the restarted
+	// worker's push.
+	if v := current.Version(); v != 2 {
+		t.Errorf("final server version = %d, want 2", v)
+	}
+}

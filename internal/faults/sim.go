@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"specsync/internal/des"
+	"specsync/internal/metrics"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/ps"
+	"specsync/internal/trace"
+	"specsync/internal/wire"
+)
+
+// SimOptions wires a plan into one simulation.
+type SimOptions struct {
+	// Plan is the fault schedule. Required.
+	Plan *Plan
+	// NumWorkers / NumServers bound the plan's node indices.
+	NumWorkers, NumServers int
+	// Tracer, if non-nil, records crash/recover events.
+	Tracer trace.Tracer
+	// Faults, if non-nil, counts fault activity.
+	Faults *metrics.Faults
+	// NewWorker builds a fresh worker handler for a restart (same config,
+	// blank state — the training state died with the old incarnation).
+	// Required when the plan restarts a worker.
+	NewWorker func(i int) (node.Handler, error)
+	// NewServer builds a fresh parameter-server shard for a restart.
+	// Required when the plan restarts a server.
+	NewServer func(shard int) (*ps.Server, error)
+	// Server returns the shard's current server (for checkpointing).
+	// Required when CheckpointEvery > 0.
+	Server func(shard int) *ps.Server
+	// OnWorkerRestart / OnServerRestart let the harness swap its references
+	// to the replaced node (result accounting reads counters off them).
+	OnWorkerRestart func(i int, h node.Handler)
+	OnServerRestart func(shard int, srv *ps.Server)
+	// CheckpointEvery snapshots every live server shard on this period;
+	// restarts restore the most recent snapshot. Zero disables
+	// checkpointing — restarted shards come back at their initial values.
+	CheckpointEvery time.Duration
+}
+
+// SimInjector executes a plan against a des.Sim in virtual time.
+type SimInjector struct {
+	sim  *des.Sim
+	opts SimOptions
+	// snaps holds the latest in-memory checkpoint per shard.
+	snaps map[int]ps.Snapshot
+	errs  []error
+}
+
+// AttachSim validates the plan against the cluster shape, installs the
+// message-fault hook, and schedules every crash/restart and checkpoint tick.
+// Call before running the simulation.
+func AttachSim(sim *des.Sim, opts SimOptions) (*SimInjector, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("faults: nil plan")
+	}
+	if err := opts.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	for i, ev := range opts.Plan.Events {
+		switch ev.Kind {
+		case KindCrashWorker:
+			if ev.Node >= opts.NumWorkers {
+				return nil, fmt.Errorf("faults: event %d: worker %d out of range (m=%d)", i, ev.Node, opts.NumWorkers)
+			}
+			if ev.RestartAfter > 0 && opts.NewWorker == nil {
+				return nil, fmt.Errorf("faults: event %d restarts a worker but NewWorker is nil", i)
+			}
+		case KindCrashServer:
+			if ev.Node >= opts.NumServers {
+				return nil, fmt.Errorf("faults: event %d: server %d out of range (n=%d)", i, ev.Node, opts.NumServers)
+			}
+			if ev.RestartAfter > 0 && opts.NewServer == nil {
+				return nil, fmt.Errorf("faults: event %d restarts a server but NewServer is nil", i)
+			}
+		}
+	}
+	if opts.CheckpointEvery > 0 && opts.Server == nil {
+		return nil, fmt.Errorf("faults: CheckpointEvery set but Server accessor is nil")
+	}
+
+	inj := &SimInjector{sim: sim, opts: opts, snaps: make(map[int]ps.Snapshot)}
+
+	filter := NewFilter(opts.Plan, opts.Faults)
+	if !filter.Empty() {
+		start := sim.Now()
+		sim.SetFault(func(from, to node.ID, kind wire.Kind, at time.Time) des.FaultAction {
+			a := filter.Action(from, to, kind, at.Sub(start))
+			return des.FaultAction{Drop: a.Drop, Duplicate: a.Duplicate, Delay: a.Delay}
+		})
+	}
+
+	for _, ev := range opts.Plan.Crashes() {
+		ev := ev
+		sim.Schedule(ev.At, func() { inj.crash(ev) })
+	}
+	if opts.CheckpointEvery > 0 {
+		inj.armCheckpoint()
+	}
+	return inj, nil
+}
+
+func (inj *SimInjector) crash(ev Event) {
+	var id node.ID
+	traceWorker := ev.Node
+	if ev.Kind == KindCrashWorker {
+		id = node.WorkerID(ev.Node)
+	} else {
+		id = node.ServerID(ev.Node)
+		traceWorker = -(ev.Node + 1)
+	}
+	if err := inj.sim.Crash(id); err != nil {
+		inj.errs = append(inj.errs, err)
+		return
+	}
+	inj.opts.Faults.RecordCrash()
+	if inj.opts.Tracer != nil {
+		inj.opts.Tracer.Record(trace.Event{At: inj.sim.Now(), Worker: traceWorker, Kind: trace.KindCrash})
+	}
+	if ev.RestartAfter > 0 {
+		inj.sim.Schedule(ev.RestartAfter, func() { inj.restart(ev, id, traceWorker) })
+	}
+}
+
+func (inj *SimInjector) restart(ev Event, id node.ID, traceWorker int) {
+	var h node.Handler
+	restored := int64(0)
+	if ev.Kind == KindCrashWorker {
+		wk, err := inj.opts.NewWorker(ev.Node)
+		if err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		h = wk
+	} else {
+		srv, err := inj.opts.NewServer(ev.Node)
+		if err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if snap, ok := inj.snaps[ev.Node]; ok {
+			if err := srv.Restore(snap); err != nil {
+				inj.errs = append(inj.errs, err)
+				return
+			}
+			inj.opts.Faults.RecordRestore()
+			restored = snap.Version
+		}
+		h = srv
+		if inj.opts.OnServerRestart != nil {
+			inj.opts.OnServerRestart(ev.Node, srv)
+		}
+	}
+	if err := inj.sim.Restart(id, h); err != nil {
+		inj.errs = append(inj.errs, err)
+		return
+	}
+	inj.opts.Faults.RecordRestart()
+	if inj.opts.Tracer != nil {
+		inj.opts.Tracer.Record(trace.Event{At: inj.sim.Now(), Worker: traceWorker, Kind: trace.KindRecover, Value: restored})
+	}
+	if ev.Kind == KindCrashWorker {
+		if inj.opts.OnWorkerRestart != nil {
+			inj.opts.OnWorkerRestart(ev.Node, h)
+		}
+		// The scheduler only starts workers at Init; a restarted worker
+		// needs its Start re-issued to re-enter the training loop.
+		if err := inj.sim.Inject(node.Scheduler, id, &msg.Start{}); err != nil {
+			inj.errs = append(inj.errs, err)
+		}
+	}
+}
+
+// armCheckpoint snapshots every live shard on the period. Snapshots are
+// in-memory (the simulated analogue of writing to durable storage).
+func (inj *SimInjector) armCheckpoint() {
+	inj.sim.Schedule(inj.opts.CheckpointEvery, func() {
+		for shard := 0; shard < inj.opts.NumServers; shard++ {
+			if inj.sim.Down(node.ServerID(shard)) {
+				continue
+			}
+			if srv := inj.opts.Server(shard); srv != nil {
+				inj.snaps[shard] = srv.Snapshot()
+				inj.opts.Faults.RecordCheckpoint()
+			}
+		}
+		inj.armCheckpoint()
+	})
+}
+
+// Errs returns runtime errors the injector hit while executing the plan
+// (mis-scheduled crashes, failed restores). Empty on a clean run.
+func (inj *SimInjector) Errs() []error { return inj.errs }

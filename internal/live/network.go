@@ -23,6 +23,20 @@ type TransferRecorder interface {
 	RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time)
 }
 
+// FaultAction tells the live network what to do with one message; the zero
+// value delivers normally. It mirrors des.FaultAction so the same fault
+// plans drive both runtimes.
+type FaultAction struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// FaultHook decides the fault action for each message at send time. It is
+// called from sender goroutines, possibly concurrently, and must be safe
+// for concurrent use.
+type FaultHook func(from, to node.ID, kind wire.Kind) FaultAction
+
 // NetworkConfig configures an in-process live network.
 type NetworkConfig struct {
 	// Registry decodes messages. Required.
@@ -31,6 +45,8 @@ type NetworkConfig struct {
 	Seed int64
 	// Transfer, if non-nil, receives one record per message.
 	Transfer TransferRecorder
+	// Fault, if non-nil, is consulted for every message.
+	Fault FaultHook
 	// Debug enables stderr logging from node Logf calls.
 	Debug bool
 }
@@ -103,7 +119,12 @@ func (n *Network) Start() {
 	// send from Init and still have every peer's mailbox accepting.
 	for _, ln := range nodes {
 		ln := ln
-		ln.inbox.push(func() { ln.handler.Init(ln) })
+		gen := ln.currentGen()
+		ln.inbox.push(func() {
+			if h, ok := ln.alive(gen); ok {
+				h.Init(ln)
+			}
+		})
 	}
 	for _, ln := range nodes {
 		ln := ln
@@ -151,12 +172,83 @@ func (n *Network) Inject(from, to node.ID, m wire.Message) error {
 	if err != nil {
 		return fmt.Errorf("live: inject: %w", err)
 	}
-	dst.inbox.push(func() { dst.handler.Receive(from, decoded) })
+	gen := dst.currentGen()
+	dst.inbox.push(func() {
+		if h, ok := dst.alive(gen); ok {
+			h.Receive(from, decoded)
+		}
+	})
 	return nil
 }
 
+// Crash marks a node as failed: its pending timers are stopped, messages
+// addressed to it are lost, and queued deliveries to the old incarnation are
+// discarded when the mailbox reaches them. Revive it with Restart.
+func (n *Network) Crash(id node.ID) error {
+	n.mu.RLock()
+	ln, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("live: Crash(%s): unknown node", id)
+	}
+	ln.stateMu.Lock()
+	if ln.down {
+		ln.stateMu.Unlock()
+		return fmt.Errorf("live: Crash(%s): already down", id)
+	}
+	ln.down = true
+	ln.gen++
+	ln.stateMu.Unlock()
+	ln.stopTimers()
+	return nil
+}
+
+// Restart revives a crashed node as a fresh incarnation. A non-nil handler
+// replaces the state machine (crash loses state); nil keeps the existing
+// handler object (for state restored out of band). Init runs as the next
+// mailbox item.
+func (n *Network) Restart(id node.ID, h node.Handler) error {
+	n.mu.RLock()
+	ln, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("live: Restart(%s): unknown node", id)
+	}
+	ln.stateMu.Lock()
+	if !ln.down {
+		ln.stateMu.Unlock()
+		return fmt.Errorf("live: Restart(%s): not down", id)
+	}
+	if h != nil {
+		ln.handler = h
+	}
+	ln.down = false
+	ln.gen++
+	gen := ln.gen
+	ln.stateMu.Unlock()
+	ln.inbox.push(func() {
+		if h2, ok := ln.alive(gen); ok {
+			h2.Init(ln)
+		}
+	})
+	return nil
+}
+
+// Down reports whether a node is currently crashed.
+func (n *Network) Down(id node.ID) bool {
+	n.mu.RLock()
+	ln, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	ln.stateMu.Lock()
+	defer ln.stateMu.Unlock()
+	return ln.down
+}
+
 // send routes a message between nodes (marshal at the sender, decode at the
-// receiver's mailbox).
+// receiver's mailbox), applying the fault hook.
 func (n *Network) send(from, to node.ID, m wire.Message) {
 	n.mu.RLock()
 	dst, ok := n.nodes[to]
@@ -167,11 +259,40 @@ func (n *Network) send(from, to node.ID, m wire.Message) {
 		}
 		return
 	}
-	data := wire.Marshal(m)
-	if n.cfg.Transfer != nil {
-		n.cfg.Transfer.RecordTransfer(from, to, m.Kind(), len(data), time.Now())
+	var act FaultAction
+	if n.cfg.Fault != nil {
+		act = n.cfg.Fault(from, to, m.Kind())
 	}
-	dst.inbox.push(func() {
+	if act.Drop {
+		return
+	}
+	data := wire.Marshal(m)
+	copies := 1
+	if act.Duplicate {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		if n.cfg.Transfer != nil {
+			n.cfg.Transfer.RecordTransfer(from, to, m.Kind(), len(data), time.Now())
+		}
+		deliver := func() { dst.enqueue(from, to, data, n) }
+		if act.Delay > 0 {
+			time.AfterFunc(act.Delay, deliver)
+		} else {
+			deliver()
+		}
+	}
+}
+
+// enqueue queues one encoded message for delivery, gated on the receiver
+// still being the same live incarnation when the mailbox reaches it.
+func (ln *liveNode) enqueue(from, to node.ID, data []byte, n *Network) {
+	gen := ln.currentGen()
+	ln.inbox.push(func() {
+		h, ok := ln.alive(gen)
+		if !ok {
+			return // receiver crashed (or restarted) after the send
+		}
 		decoded, err := n.cfg.Registry.Unmarshal(data)
 		if err != nil {
 			if n.cfg.Debug {
@@ -179,20 +300,44 @@ func (n *Network) send(from, to node.ID, m wire.Message) {
 			}
 			return
 		}
-		dst.handler.Receive(from, decoded)
+		h.Receive(from, decoded)
 	})
 }
 
 // liveNode implements node.Context over a mailbox and real timers.
 type liveNode struct {
-	net     *Network
-	id      node.ID
+	net   *Network
+	id    node.ID
+	inbox *queue
+	rng   *rand.Rand
+
+	// stateMu guards the crash/restart state. down marks the node failed;
+	// gen counts incarnations, so queued deliveries and timers from a
+	// previous life are discarded (see enqueue / alive).
+	stateMu sync.Mutex
 	handler node.Handler
-	inbox   *queue
-	rng     *rand.Rand
+	down    bool
+	gen     uint64
 
 	timerMu sync.Mutex
 	timers  map[*time.Timer]struct{}
+}
+
+// currentGen reads the node's incarnation counter.
+func (ln *liveNode) currentGen() uint64 {
+	ln.stateMu.Lock()
+	defer ln.stateMu.Unlock()
+	return ln.gen
+}
+
+// alive returns the handler iff the node is up and still incarnation gen.
+func (ln *liveNode) alive(gen uint64) (node.Handler, bool) {
+	ln.stateMu.Lock()
+	defer ln.stateMu.Unlock()
+	if ln.down || ln.gen != gen {
+		return nil, false
+	}
+	return ln.handler, true
 }
 
 var _ node.Context = (*liveNode)(nil)
@@ -209,12 +354,20 @@ func (ln *liveNode) After(d time.Duration, f func()) node.CancelFunc {
 	if d < 0 {
 		d = 0
 	}
+	gen := ln.currentGen()
 	var canceled bool
-	var mu sync.Mutex
+	var mu sync.Mutex // guards canceled and t
 	var t *time.Timer
+	mu.Lock()
 	t = time.AfterFunc(d, func() {
-		ln.forgetTimer(t)
+		mu.Lock()
+		tt := t
+		mu.Unlock()
+		ln.forgetTimer(tt)
 		ln.inbox.push(func() {
+			if _, ok := ln.alive(gen); !ok {
+				return // timer from a crashed (or previous) incarnation
+			}
 			mu.Lock()
 			c := canceled
 			mu.Unlock()
@@ -223,6 +376,7 @@ func (ln *liveNode) After(d time.Duration, f func()) node.CancelFunc {
 			}
 		})
 	})
+	mu.Unlock()
 	ln.rememberTimer(t)
 	return func() {
 		mu.Lock()

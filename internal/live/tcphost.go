@@ -105,6 +105,18 @@ func (h *TCPHost) Inject(from node.ID, m wire.Message) {
 	h.inbox.push(func() { h.cfg.Handler.Receive(from, m) })
 }
 
+// Do runs f on the mailbox goroutine, serialized with message handling, and
+// waits for it to finish. Checkpointing uses this to snapshot handler state
+// without racing the message loop.
+func (h *TCPHost) Do(f func()) {
+	done := make(chan struct{})
+	h.inbox.push(func() {
+		f()
+		close(done)
+	})
+	<-done
+}
+
 // Close stops the mailbox, timers, and transport.
 func (h *TCPHost) Close() {
 	h.timerMu.Lock()
@@ -153,10 +165,14 @@ func (h *TCPHost) After(d time.Duration, f func()) node.CancelFunc {
 		d = 0
 	}
 	var canceled bool
-	var mu sync.Mutex
+	var mu sync.Mutex // guards canceled and t
 	var t *time.Timer
+	mu.Lock()
 	t = time.AfterFunc(d, func() {
-		h.forgetTimer(t)
+		mu.Lock()
+		tt := t
+		mu.Unlock()
+		h.forgetTimer(tt)
 		h.inbox.push(func() {
 			mu.Lock()
 			c := canceled
@@ -166,6 +182,7 @@ func (h *TCPHost) After(d time.Duration, f func()) node.CancelFunc {
 			}
 		})
 	})
+	mu.Unlock()
 	h.rememberTimer(t)
 	return func() {
 		mu.Lock()

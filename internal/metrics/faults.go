@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"sync"
+
+	"specsync/internal/wire"
+)
+
+// Faults accumulates fault-injection and recovery counters: injected message
+// faults (drops, duplicates, delays) with the same message-class accounting
+// as Transfer, transport-level send retries, scheduler membership churn
+// (evictions, readmissions), and checkpoint activity. It is safe for
+// concurrent use; the live TCP stack records from multiple goroutines.
+type Faults struct {
+	mu      sync.Mutex
+	drops   map[wire.Kind]int64
+	dups    map[wire.Kind]int64
+	delays  map[wire.Kind]int64
+	classOf func(wire.Kind) bool // true = control (as in NewTransfer)
+
+	retries     int64
+	crashes     int64
+	restarts    int64
+	evictions   int64
+	readmits    int64
+	checkpoints int64
+	restores    int64
+}
+
+// NewFaults builds a Faults counter set; isControl classifies message kinds
+// into control vs data traffic (use msg.IsControl), matching Transfer.
+func NewFaults(isControl func(wire.Kind) bool) *Faults {
+	return &Faults{
+		drops:   make(map[wire.Kind]int64),
+		dups:    make(map[wire.Kind]int64),
+		delays:  make(map[wire.Kind]int64),
+		classOf: isControl,
+	}
+}
+
+// RecordDrop counts one injected (or fault-induced) message drop. Recording
+// on a nil *Faults is a no-op so call sites need no guards.
+func (f *Faults) RecordDrop(kind wire.Kind) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.drops[kind]++
+	f.mu.Unlock()
+}
+
+// RecordDuplicate counts one injected message duplication.
+func (f *Faults) RecordDuplicate(kind wire.Kind) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.dups[kind]++
+	f.mu.Unlock()
+}
+
+// RecordDelay counts one injected message delay (reordering).
+func (f *Faults) RecordDelay(kind wire.Kind) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.delays[kind]++
+	f.mu.Unlock()
+}
+
+// RecordRetry counts one transport send retry.
+func (f *Faults) RecordRetry() {
+	if f != nil {
+		f.add(&f.retries)
+	}
+}
+
+// RecordCrash counts one injected node crash.
+func (f *Faults) RecordCrash() {
+	if f != nil {
+		f.add(&f.crashes)
+	}
+}
+
+// RecordRestart counts one node restart after a crash.
+func (f *Faults) RecordRestart() {
+	if f != nil {
+		f.add(&f.restarts)
+	}
+}
+
+// RecordEviction counts one scheduler liveness eviction.
+func (f *Faults) RecordEviction() {
+	if f != nil {
+		f.add(&f.evictions)
+	}
+}
+
+// RecordReadmission counts one scheduler readmission of a returned worker.
+func (f *Faults) RecordReadmission() {
+	if f != nil {
+		f.add(&f.readmits)
+	}
+}
+
+// RecordCheckpoint counts one completed shard checkpoint.
+func (f *Faults) RecordCheckpoint() {
+	if f != nil {
+		f.add(&f.checkpoints)
+	}
+}
+
+// RecordRestore counts one checkpoint restore on restart.
+func (f *Faults) RecordRestore() {
+	if f != nil {
+		f.add(&f.restores)
+	}
+}
+
+func (f *Faults) add(p *int64) {
+	f.mu.Lock()
+	*p++
+	f.mu.Unlock()
+}
+
+// FaultStats is a point-in-time copy of the scalar counters.
+type FaultStats struct {
+	Drops, Duplicates, Delays int64
+	Retries                   int64
+	Crashes, Restarts         int64
+	Evictions, Readmissions   int64
+	Checkpoints, Restores     int64
+}
+
+// Stats returns a snapshot of every counter (drop/dup/delay totals summed
+// over kinds). A nil *Faults reports zeros.
+func (f *Faults) Stats() FaultStats {
+	if f == nil {
+		return FaultStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FaultStats{
+		Retries:      f.retries,
+		Crashes:      f.crashes,
+		Restarts:     f.restarts,
+		Evictions:    f.evictions,
+		Readmissions: f.readmits,
+		Checkpoints:  f.checkpoints,
+		Restores:     f.restores,
+	}
+	for _, n := range f.drops {
+		st.Drops += n
+	}
+	for _, n := range f.dups {
+		st.Duplicates += n
+	}
+	for _, n := range f.delays {
+		st.Delays += n
+	}
+	return st
+}
+
+// DropSplit returns dropped-message counts as (data, control) according to
+// the classifier, mirroring Transfer.Split.
+func (f *Faults) DropSplit() (dataMsgs, controlMsgs int64) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for kind, n := range f.drops {
+		if f.classOf != nil && f.classOf(kind) {
+			controlMsgs += n
+		} else {
+			dataMsgs += n
+		}
+	}
+	return dataMsgs, controlMsgs
+}
+
+// KindDrops returns the number of injected drops for one message kind.
+func (f *Faults) KindDrops(kind wire.Kind) int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops[kind]
+}

@@ -30,6 +30,7 @@ const (
 	KindMinClock       wire.Kind = 10
 	KindWorkerReady    wire.Kind = 11
 	KindPushNotice     wire.Kind = 12
+	KindHeartbeat      wire.Kind = 13
 )
 
 // PullReq asks a server shard for its current parameter block.
@@ -280,6 +281,25 @@ func (m *PushNotice) Encode(w *wire.Writer) { w.Varint(m.Iter) }
 // Decode implements wire.Message.
 func (m *PushNotice) Decode(r *wire.Reader) { m.Iter = r.Varint() }
 
+// Heartbeat is a worker's periodic liveness beacon to the scheduler. The
+// scheduler treats any message from a worker as proof of life; Heartbeat
+// keeps that signal flowing while a worker computes a long iteration (or
+// sits at a barrier), so failure detection does not depend on push cadence.
+type Heartbeat struct {
+	Iter int64 // worker's current iteration (diagnostic)
+}
+
+var _ wire.Message = (*Heartbeat)(nil)
+
+// Kind implements wire.Message.
+func (m *Heartbeat) Kind() wire.Kind { return KindHeartbeat }
+
+// Encode implements wire.Message.
+func (m *Heartbeat) Encode(w *wire.Writer) { w.Varint(m.Iter) }
+
+// Decode implements wire.Message.
+func (m *Heartbeat) Decode(r *wire.Reader) { m.Iter = r.Varint() }
+
 // Registry returns a fresh registry covering every protocol message.
 func Registry() *wire.Registry {
 	return wire.NewRegistry([]wire.RegistryEntry{
@@ -295,6 +315,7 @@ func Registry() *wire.Registry {
 		{Kind: KindMinClock, Name: "MinClock", New: func() wire.Message { return &MinClock{} }},
 		{Kind: KindWorkerReady, Name: "WorkerReady", New: func() wire.Message { return &WorkerReady{} }},
 		{Kind: KindPushNotice, Name: "PushNotice", New: func() wire.Message { return &PushNotice{} }},
+		{Kind: KindHeartbeat, Name: "Heartbeat", New: func() wire.Message { return &Heartbeat{} }},
 	})
 }
 

@@ -35,6 +35,7 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&MinClock{Clock: 11},
 		&WorkerReady{},
 		&PushNotice{Iter: 2},
+		&Heartbeat{Iter: 8},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -47,8 +48,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 12 {
-		t.Errorf("registry has %d kinds, want 12", len(kinds))
+	if len(kinds) != 13 {
+		t.Errorf("registry has %d kinds, want 13", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)
@@ -108,7 +109,7 @@ func TestIsControlClassification(t *testing.T) {
 			t.Errorf("kind %d misclassified as control", k)
 		}
 	}
-	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice}
+	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat}
 	for _, k := range control {
 		if !IsControl(k) {
 			t.Errorf("kind %d misclassified as data", k)
@@ -119,7 +120,7 @@ func TestIsControlClassification(t *testing.T) {
 func TestControlMessagesAreTiny(t *testing.T) {
 	// The paper's centralized design relies on control messages being a few
 	// bytes; regression-guard their encoded sizes.
-	small := []wire.Message{&Notify{Iter: 1 << 40}, &ReSync{Iter: 1 << 40}, &Start{}, &Stop{}, &MinClock{Clock: 99}}
+	small := []wire.Message{&Notify{Iter: 1 << 40}, &ReSync{Iter: 1 << 40}, &Start{}, &Stop{}, &MinClock{Clock: 99}, &Heartbeat{Iter: 1 << 40}}
 	for _, m := range small {
 		if n := wire.EncodedSize(m); n > 16 {
 			t.Errorf("%T encodes to %d bytes, want <= 16", m, n)

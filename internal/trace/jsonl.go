@@ -25,6 +25,9 @@ var kindNames = map[Kind]string{
 	KindReSync:    "resync",
 	KindStaleness: "staleness",
 	KindEpoch:     "epoch",
+	KindCrash:     "crash",
+	KindRecover:   "recover",
+	KindEvict:     "evict",
 }
 
 var kindByName = func() map[string]Kind {

@@ -18,6 +18,9 @@ func TestJSONLRoundtrip(t *testing.T) {
 		{At: ts(400), Worker: -1, Kind: KindEpoch, Iter: 4},
 		{At: ts(500), Worker: 3, Kind: KindStaleness, Iter: 5, Value: 17},
 		{At: ts(600), Worker: 0, Kind: KindReSync, Iter: 6, Value: 9},
+		{At: ts(700), Worker: 2, Kind: KindCrash, Iter: 7},
+		{At: ts(800), Worker: -1, Kind: KindEvict, Iter: 8, Value: 1},
+		{At: ts(900), Worker: 2, Kind: KindRecover, Iter: 9},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, in); err != nil {
@@ -39,7 +42,7 @@ func TestJSONLRoundtrip(t *testing.T) {
 }
 
 func TestQuickJSONLRoundtrip(t *testing.T) {
-	kinds := []Kind{KindPull, KindPush, KindAbort, KindReSync, KindStaleness, KindEpoch}
+	kinds := []Kind{KindPull, KindPush, KindAbort, KindReSync, KindStaleness, KindEpoch, KindCrash, KindRecover, KindEvict}
 	f := func(seed int64, nRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := int(nRaw % 64)

@@ -29,6 +29,16 @@ const (
 	KindStaleness
 	// KindEpoch marks a scheduler epoch boundary (all workers pushed).
 	KindEpoch
+	// KindCrash marks a node failing (fault injection). Worker holds the
+	// worker index, or -(shard+1) for server shards.
+	KindCrash
+	// KindRecover marks a crashed node restarting (and, for the scheduler,
+	// an evicted worker being re-admitted). Worker follows the KindCrash
+	// convention.
+	KindRecover
+	// KindEvict marks the scheduler removing a dead worker from membership;
+	// Value carries the new membership epoch.
+	KindEvict
 )
 
 // String returns a short name for the kind.
@@ -46,6 +56,12 @@ func (k Kind) String() string {
 		return "staleness"
 	case KindEpoch:
 		return "epoch"
+	case KindCrash:
+		return "crash"
+	case KindRecover:
+		return "recover"
+	case KindEvict:
+		return "evict"
 	default:
 		return "unknown"
 	}

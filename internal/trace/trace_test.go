@@ -63,6 +63,7 @@ func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindPull: "pull", KindPush: "push", KindAbort: "abort",
 		KindReSync: "resync", KindStaleness: "staleness", KindEpoch: "epoch",
+		KindCrash: "crash", KindRecover: "recover", KindEvict: "evict",
 		Kind(99): "unknown",
 	}
 	for k, want := range names {

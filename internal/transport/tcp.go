@@ -47,6 +47,19 @@ type TCPConfig struct {
 	Transfer TransferRecorder
 	// DialTimeout bounds connection establishment; zero means 5 s.
 	DialTimeout time.Duration
+	// MaxAttempts bounds Send attempts per message (initial try + retries
+	// after dial or write failures). Zero or one means no retries,
+	// preserving fail-fast semantics for callers that handle errors
+	// themselves.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff. Zero means 50 ms.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero means 2 s.
+	MaxBackoff time.Duration
+	// OnRetry, if non-nil, is invoked (possibly concurrently) before each
+	// retry sleep with the attempt number just failed.
+	OnRetry func(to node.ID, attempt int, err error)
 }
 
 // TCP is one endpoint of the mesh.
@@ -122,8 +135,42 @@ func (t *TCP) AddPeer(id node.ID, addr string) {
 	t.peers[id] = addr
 }
 
-// Send frames and writes m to the destination, dialing on first use.
+// Send frames and writes m to the destination, dialing on first use. When
+// MaxAttempts > 1, transient dial/write failures are retried with bounded
+// exponential backoff — a worker outliving a server-shard restart keeps
+// training instead of erroring out.
 func (t *TCP) Send(to node.ID, m wire.Message) error {
+	attempts := t.cfg.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := t.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := t.cfg.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = t.sendOnce(to, m)
+		if err == nil || errors.Is(err, ErrClosed) || attempt >= attempts {
+			return err
+		}
+		if t.cfg.OnRetry != nil {
+			t.cfg.OnRetry(to, attempt, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// sendOnce performs a single framed write, dialing if needed.
+func (t *TCP) sendOnce(to node.ID, m wire.Message) error {
 	pc, err := t.conn(to)
 	if err != nil {
 		return err

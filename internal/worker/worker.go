@@ -91,6 +91,20 @@ type Config struct {
 	// (broadcast) speculation variant, which needs the peer list and the
 	// m x ABORT_RATE threshold locally.
 	NumWorkers int
+	// HeartbeatEvery, when positive, makes the worker send a periodic
+	// msg.Heartbeat to the scheduler as proof of life between pushes, so a
+	// slow (but healthy) worker is not mistaken for a dead one by the
+	// scheduler's failure detector. Zero disables heartbeats.
+	HeartbeatEvery time.Duration
+	// RetryAfter, when positive, re-issues an in-flight pull or push whose
+	// responses have not all arrived within this duration. Requests sent to
+	// a crashed shard die with it; without retries the worker would wait on
+	// the lost response forever. Pushes resend only to unacknowledged
+	// shards, giving at-least-once delivery (a shard that applied the
+	// update but whose ack was lost applies it twice — acceptable for
+	// SGD, where a duplicated gradient perturbs rather than corrupts).
+	// Zero disables retries.
+	RetryAfter time.Duration
 }
 
 // state is the worker's phase.
@@ -129,6 +143,8 @@ type Worker struct {
 	pushSeq      uint64
 	acksPending  int
 	stalenessSum int64
+	pushUpdate   model.Update
+	pushAcked    []bool
 
 	// SSP state.
 	minClock int64
@@ -194,15 +210,37 @@ func New(cfg Config) (*Worker, error) {
 	if dim != cfg.Model.Dim() {
 		return nil, fmt.Errorf("worker: shards cover %d params, model has %d", dim, cfg.Model.Dim())
 	}
+	if cfg.RetryAfter < 0 {
+		return nil, fmt.Errorf("worker: negative RetryAfter")
+	}
 	return &Worker{
 		cfg:          cfg,
 		pullVersions: make([]int64, len(cfg.Shards)),
+		pushAcked:    make([]bool, len(cfg.Shards)),
 		w:            tensor.NewVec(dim),
 	}, nil
 }
 
 // Init implements node.Handler.
-func (wk *Worker) Init(ctx node.Context) { wk.ctx = ctx }
+func (wk *Worker) Init(ctx node.Context) {
+	wk.ctx = ctx
+	if wk.cfg.HeartbeatEvery > 0 {
+		wk.armHeartbeat()
+	}
+}
+
+// armHeartbeat schedules the periodic liveness beacon. It keeps beating from
+// Init until the worker stops, independent of training progress — the beat
+// asserts the process is alive, not that it is making progress.
+func (wk *Worker) armHeartbeat() {
+	wk.ctx.After(wk.cfg.HeartbeatEvery, func() {
+		if wk.st == stateStopped {
+			return
+		}
+		wk.ctx.Send(node.Scheduler, &msg.Heartbeat{Iter: wk.iter})
+		wk.armHeartbeat()
+	})
+}
 
 // Receive implements node.Handler.
 func (wk *Worker) Receive(from node.ID, m wire.Message) {
@@ -276,6 +314,17 @@ func (wk *Worker) startPull() {
 	for i := range wk.cfg.Shards {
 		wk.ctx.Send(node.ServerID(i), &msg.PullReq{Seq: wk.pullSeq})
 	}
+	if wk.cfg.RetryAfter > 0 {
+		seq := wk.pullSeq
+		wk.ctx.After(wk.cfg.RetryAfter, func() {
+			// Still waiting on this pull round: a shard crashed (or the
+			// responses were dropped). Re-pull everything — reads are
+			// idempotent and the Seq bump invalidates stragglers.
+			if wk.st == statePulling && wk.pullSeq == seq && wk.pullsPending > 0 {
+				wk.startPull()
+			}
+		})
+	}
 }
 
 func (wk *Worker) handlePullResp(from node.ID, resp *msg.PullResp) {
@@ -342,29 +391,49 @@ func (wk *Worker) finishCompute() {
 		return
 	}
 	wk.computeCancel = nil
-	wk.st = statePushing
 
 	batch := wk.cfg.Model.SampleBatch(wk.cfg.Index, wk.ctx.Rand())
-	update := wk.cfg.Model.Grad(wk.w, batch)
-
-	wk.pushSeq++
-	wk.acksPending = len(wk.cfg.Shards)
+	wk.pushUpdate = wk.cfg.Model.Grad(wk.w, batch)
+	for si := range wk.pushAcked {
+		wk.pushAcked[si] = false
+	}
 	wk.stalenessSum = 0
+	wk.sendPush()
+}
+
+// sendPush sends the computed update to every shard that has not yet
+// acknowledged it, and (with RetryAfter set) arms a retry for the round.
+func (wk *Worker) sendPush() {
+	wk.st = statePushing
+	wk.pushSeq++
+	wk.acksPending = 0
 	for si, r := range wk.cfg.Shards {
+		if wk.pushAcked[si] {
+			continue
+		}
+		wk.acksPending++
 		req := &msg.PushReq{
 			Seq:         wk.pushSeq,
 			Iter:        wk.iter,
 			PullVersion: wk.pullVersions[si],
 		}
-		if update.IsSparse() {
-			part := update.Sparse.Slice(int32(r.Lo), int32(r.Hi))
+		if wk.pushUpdate.IsSparse() {
+			part := wk.pushUpdate.Sparse.Slice(int32(r.Lo), int32(r.Hi))
 			req.IsSparse = true
 			req.SparseIdx = part.Idx
 			req.SparseVal = part.Val
 		} else {
-			req.Dense = update.Dense[r.Lo:r.Hi]
+			req.Dense = wk.pushUpdate.Dense[r.Lo:r.Hi]
 		}
 		wk.ctx.Send(node.ServerID(si), req)
+	}
+	if wk.cfg.RetryAfter > 0 {
+		seq := wk.pushSeq
+		wk.ctx.After(wk.cfg.RetryAfter, func() {
+			if wk.st == statePushing && wk.pushSeq == seq && wk.acksPending > 0 {
+				wk.sendPush()
+			}
+		})
 	}
 }
 
@@ -372,6 +441,11 @@ func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
 	if wk.st != statePushing || ack.Seq != wk.pushSeq {
 		return
 	}
+	si := node.ServerIndex(from)
+	if si < 0 || si >= len(wk.cfg.Shards) || wk.pushAcked[si] {
+		return
+	}
+	wk.pushAcked[si] = true
 	wk.stalenessSum += ack.Staleness
 	wk.acksPending--
 	if wk.acksPending > 0 {
