@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -30,8 +31,10 @@ import (
 	"specsync/internal/cluster"
 	"specsync/internal/core"
 	"specsync/internal/live"
+	"specsync/internal/metrics"
 	"specsync/internal/msg"
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/optimizer"
 	"specsync/internal/ps"
 	"specsync/internal/scheme"
@@ -60,6 +63,8 @@ func run(args []string) error {
 		iterTime   = fs.Duration("iter", 500*time.Millisecond, "nominal compute time per iteration")
 		maxIters   = fs.Int64("iters", 200, "worker iterations before stopping (0 = run forever)")
 		debug      = fs.Bool("debug", false, "verbose node logging")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address (\":0\" picks a port)")
 
 		checkpointDir   = fs.String("checkpoint-dir", "", "server role: directory for shard checkpoints; restored on boot if present")
 		checkpointEvery = fs.Duration("checkpoint-every", 10*time.Second, "server role: checkpoint period (0 disables; needs -checkpoint-dir)")
@@ -113,6 +118,15 @@ func run(args []string) error {
 		return err
 	}
 
+	// One observability instance per process; role-specific handles feed the
+	// same registry that -metrics-addr exposes. Outbound wire bytes are
+	// accounted per message kind with wall-clock throughput windows.
+	o := obs.New(obs.Options{})
+	transfer := metrics.NewTransfer(msg.IsControl)
+	o.Registry().SetCollector("transfer", func(w io.Writer) {
+		transfer.WritePrometheus(w, msg.Registry().Name)
+	})
+
 	var id node.ID
 	var handler node.Handler
 	var shard *ps.Server // set for the server role (checkpoint loop)
@@ -135,6 +149,7 @@ func run(args []string) error {
 			Range:     ranges[*index],
 			Init:      initVec[ranges[*index].Lo:ranges[*index].Hi],
 			Optimizer: opt,
+			Obs:       o.Server(*index),
 		})
 		if err != nil {
 			return err
@@ -165,6 +180,7 @@ func run(args []string) error {
 			MaxIters:       *maxIters,
 			HeartbeatEvery: *heartbeatEvery,
 			RetryAfter:     *retryAfter,
+			Obs:            o.Worker(*index),
 		})
 		if err != nil {
 			return err
@@ -176,6 +192,7 @@ func run(args []string) error {
 			Scheme:          sc,
 			InitialSpan:     wl.IterTime,
 			LivenessTimeout: *livenessTimeout,
+			Obs:             o.Scheduler(),
 		})
 		if err != nil {
 			return err
@@ -193,6 +210,8 @@ func run(args []string) error {
 		Peers:      peers,
 		Registry:   msg.Registry(),
 		Seed:       *seed,
+		Transfer:   transfer,
+		Metrics:    o.Registry(),
 		Debug:      *debug,
 	})
 	if err != nil {
@@ -201,6 +220,19 @@ func run(args []string) error {
 	defer h.Close()
 	fmt.Printf("%s listening on %s (%d workers, %d servers, scheme %s, workload %s)\n",
 		id, listen, *workers, *servers, sc.Name(), wl.Name)
+
+	if *metricsAddr != "" {
+		cfgHTTP := obs.HTTPConfig{Registry: o.Registry(), Health: healthFunc(id, handler)}
+		if _, isSched := handler.(*core.Scheduler); isSched {
+			cfgHTTP.Cluster = o.ClusterSnapshot
+		}
+		srv, maddr, err := obs.Serve(*metricsAddr, obs.NewHandler(cfgHTTP))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("%s metrics on http://%s/metrics\n", id, maddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -248,6 +280,37 @@ func run(args []string) error {
 					id, n.Epoch(), n.ReSyncsSent(), enabled, abortTime.Round(time.Millisecond))
 			}
 		}
+	}
+}
+
+// healthFunc builds the role-appropriate /healthz payload. All fields it
+// reads are atomics on the handlers, safe from the HTTP goroutine.
+func healthFunc(id node.ID, handler node.Handler) func() obs.Health {
+	name := string(id)
+	switch n := handler.(type) {
+	case *worker.Worker:
+		return func() obs.Health {
+			h := obs.Health{Status: "ok", Node: name, Iterations: n.IterationsDone()}
+			if n.Stopped() {
+				h.Status = "stopped"
+			}
+			return h
+		}
+	case *ps.Server:
+		return func() obs.Health {
+			return obs.Health{Status: "ok", Node: name, Version: n.Version()}
+		}
+	case *core.Scheduler:
+		return func() obs.Health {
+			return obs.Health{
+				Status:          "ok",
+				Node:            name,
+				Epoch:           int64(n.Epoch()),
+				MembershipEpoch: n.MembershipEpoch(),
+			}
+		}
+	default:
+		return func() obs.Health { return obs.Health{Status: "ok", Node: name} }
 	}
 }
 

@@ -8,9 +8,15 @@
 //
 //	specsync-trace pap -in trace.jsonl -interval 1s -buckets 10
 //
-// Summarize a trace (event counts, per-worker activity, staleness stats):
+// Summarize a trace (event counts, per-worker activity, staleness and fault
+// stats):
 //
 //	specsync-trace summary -in trace.jsonl
+//
+// Convert a trace to Chrome trace-event JSON, viewable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing:
+//
+//	specsync-trace spans -in trace.jsonl -out spans.json
 package main
 
 import (
@@ -22,13 +28,14 @@ import (
 
 	"specsync/internal/cluster"
 	"specsync/internal/metrics"
+	"specsync/internal/obs"
 	"specsync/internal/scheme"
 	"specsync/internal/trace"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: specsync-trace record|pap|summary [flags]")
+		fmt.Fprintln(os.Stderr, "usage: specsync-trace record|pap|summary|spans [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -39,6 +46,8 @@ func main() {
 		err = pap(os.Args[2:])
 	case "summary":
 		err = summary(os.Args[2:])
+	case "spans":
+		err = spans(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -57,6 +66,7 @@ func record(args []string) error {
 		seed         = fs.Int64("seed", 1, "master seed")
 		maxVirtual   = fs.Duration("max", 30*time.Minute, "virtual duration to record")
 		out          = fs.String("out", "trace.jsonl", "output JSONL path")
+		spanOut      = fs.String("span-out", "", "also write Chrome trace-event JSON spans to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,7 +127,54 @@ func record(args []string) error {
 		return err
 	}
 	fmt.Printf("recorded %d events over %v (virtual) to %s\n", len(events), res.Elapsed, *out)
+	if *spanOut != "" {
+		if err := writeSpans(*spanOut, events); err != nil {
+			return err
+		}
+		fmt.Printf("spans written to %s (open in Perfetto / chrome://tracing)\n", *spanOut)
+	}
 	return nil
+}
+
+// spans converts a recorded JSONL trace into Chrome trace-event JSON.
+func spans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "trace.jsonl", "input JSONL trace")
+		out = fs.String("out", "spans.json", "output Chrome trace-event JSON path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	events, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	if err := writeSpans(*out, events); err != nil {
+		return err
+	}
+	fmt.Printf("%d events -> %s (open in Perfetto / chrome://tracing)\n", len(events), *out)
+	return nil
+}
+
+func writeSpans(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, obs.SpansFromTrace(events)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func load(path string) (*trace.Collector, error) {
@@ -174,7 +231,11 @@ func summary(args []string) error {
 		return fmt.Errorf("empty trace")
 	}
 
-	kinds := []trace.Kind{trace.KindPull, trace.KindPush, trace.KindAbort, trace.KindReSync, trace.KindStaleness, trace.KindEpoch}
+	kinds := []trace.Kind{
+		trace.KindPull, trace.KindPush, trace.KindAbort, trace.KindReSync,
+		trace.KindStaleness, trace.KindEpoch,
+		trace.KindCrash, trace.KindRecover, trace.KindEvict,
+	}
 	fmt.Printf("trace %s: %d events, span %v\n", *in, len(events),
 		events[len(events)-1].At.Sub(events[0].At))
 	for _, k := range kinds {
@@ -202,6 +263,45 @@ func summary(args []string) error {
 	fmt.Println("pushes per worker:")
 	for _, w := range workers {
 		fmt.Printf("  worker %-3d %d\n", w, byWorker[w])
+	}
+
+	// Fault activity per node (fault-injection runs; empty otherwise).
+	type faultRow struct{ crashes, recovers, evicts int }
+	faults := map[int]*faultRow{}
+	get := func(w int) *faultRow {
+		r, ok := faults[w]
+		if !ok {
+			r = &faultRow{}
+			faults[w] = r
+		}
+		return r
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindCrash:
+			get(ev.Worker).crashes++
+		case trace.KindRecover:
+			get(ev.Worker).recovers++
+		case trace.KindEvict:
+			get(ev.Worker).evicts++
+		}
+	}
+	if len(faults) > 0 {
+		nodes := make([]int, 0, len(faults))
+		for w := range faults {
+			nodes = append(nodes, w)
+		}
+		sort.Ints(nodes)
+		fmt.Println("fault activity per node:")
+		for _, w := range nodes {
+			r := faults[w]
+			// Negative indexes are server shards, per the trace convention.
+			name := fmt.Sprintf("worker %d", w)
+			if w < 0 {
+				name = fmt.Sprintf("server %d", -w-1)
+			}
+			fmt.Printf("  %-10s crashes=%d recovers=%d evicts=%d\n", name, r.crashes, r.recovers, r.evicts)
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"specsync/internal/core"
 	"specsync/internal/faults"
 	"specsync/internal/metrics"
+	"specsync/internal/obs"
 	"specsync/internal/scheme"
 )
 
@@ -39,6 +40,8 @@ func run(args []string) error {
 		naiveWait    = fs.Duration("wait", time.Second, "naive-waiting delay")
 		curvePoints  = fs.Int("curve", 15, "learning-curve rows to print")
 		verboseTune  = fs.Bool("tuning", false, "print adaptive tuning decisions")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address while running")
+		spanOut      = fs.String("span-out", "", "write iteration spans as Chrome trace-event JSON to this file")
 
 		faultPlanPath = fs.String("fault-plan", "", "JSON fault-plan file to inject (see internal/faults)")
 		churn         = fs.Int("churn", 0, "generate this many random crash/restart events")
@@ -141,12 +144,45 @@ func run(args []string) error {
 		}
 	}
 
+	o := obs.New(obs.Options{Spans: *spanOut != ""})
+	cfg.Obs = o
+	if *metricsAddr != "" {
+		handler := obs.NewHandler(obs.HTTPConfig{
+			Registry: o.Registry(),
+			Health: func() obs.Health {
+				return obs.Health{Status: "ok", Node: "driver"}
+			},
+			Cluster: o.ClusterSnapshot,
+		})
+		srv, addr, err := obs.Serve(*metricsAddr, handler)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
+
 	fmt.Printf("workload=%s scheme=%s workers=%d params=%d target=%.4f\n",
 		wl.Name, sc.Name(), *workers, wl.Model.Dim(), wl.TargetLoss)
 	start := time.Now()
 	res, err := cluster.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Spans().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spans: %d written to %s (open in Perfetto / chrome://tracing)\n",
+			o.Spans().Len(), *spanOut)
 	}
 
 	fmt.Printf("\n%-12s %s\n", "virtual time", "eval loss")
@@ -172,6 +208,19 @@ func run(args []string) error {
 	fmt.Printf("transfer: data %s, control %s (%.4f%% control)\n",
 		metrics.HumanBytes(data), metrics.HumanBytes(control),
 		100*float64(control)/float64(data+control))
+	if s := res.Obs; s != nil && s.Push.Count > 0 {
+		fmt.Printf("latency: pull p50=%s push p50=%s compute mean=%s staleness p95=%.0f\n",
+			secs(s.Pull.Quantile(0.5)), secs(s.Push.Quantile(0.5)),
+			secs(s.Compute.Mean()), s.Staleness.Quantile(0.95))
+	}
 	fmt.Printf("wall time %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// secs renders a histogram-quantile value (seconds) as a duration.
+func secs(v float64) string {
+	if v != v { // NaN: empty histogram
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
 }

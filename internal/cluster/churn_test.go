@@ -75,7 +75,7 @@ func TestChurnRunReproducible(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if !reflect.DeepEqual(a.Loss, b.Loss) {
+	if !reflect.DeepEqual(a.Loss.Snapshot(), b.Loss.Snapshot()) {
 		t.Error("loss series differ across identical faulted runs")
 	}
 	if a.TotalIters != b.TotalIters || a.Aborts != b.Aborts || a.Epochs != b.Epochs {

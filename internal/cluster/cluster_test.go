@@ -236,7 +236,7 @@ func TestTransferAccountedAndControlSmall(t *testing.T) {
 	}
 	// Accumulated series must be non-decreasing.
 	prev := -1.0
-	for _, p := range res.TransferSeries.Points {
+	for _, p := range res.TransferSeries.Snapshot() {
 		if p.V < prev {
 			t.Fatal("transfer series decreased")
 		}

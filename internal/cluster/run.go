@@ -13,6 +13,7 @@ import (
 	"specsync/internal/model"
 	"specsync/internal/msg"
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/optimizer"
 	"specsync/internal/ps"
 	"specsync/internal/scheme"
@@ -86,6 +87,11 @@ type Config struct {
 	// lost to a crashed shard are re-issued after this long). Zero means
 	// 2x IterTime when Faults is set, retries off otherwise.
 	RetryAfter time.Duration
+	// Obs, if non-nil, receives runtime telemetry (latency histograms, span
+	// traces, the /clusterz snapshot). Nil builds an internal registry-only
+	// instance so Result.Obs is always populated; pass obs.New with
+	// Options{Spans: true} to also retain span traces for export.
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults() {
@@ -172,6 +178,10 @@ type Result struct {
 	// Faults is the fault/recovery accounting (crashes, restarts,
 	// checkpoints, drops, evictions). Nil unless Config.Faults was set.
 	Faults *metrics.Faults
+	// Obs is the condensed observability summary: pull/compute/push and
+	// abort-to-restart latency histograms, staleness distribution, and the
+	// counter totals.
+	Obs *obs.Summary
 }
 
 // Run executes one simulated training job to convergence (or MaxVirtual).
@@ -206,12 +216,21 @@ func Run(cfg Config) (*Result, error) {
 
 	transfer := metrics.NewTransfer(msg.IsControl)
 	collector := trace.NewCollector()
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(obs.Options{})
+	}
+	registry := msg.Registry()
+	o.Registry().SetCollector("transfer", func(w io.Writer) {
+		transfer.WritePrometheus(w, registry.Name)
+	})
 
 	sim, err := des.New(des.Config{
 		Seed:     cfg.Seed,
 		Net:      cfg.Net,
-		Registry: msg.Registry(),
+		Registry: registry,
 		Transfer: transfer,
+		Metrics:  o.Registry(),
 		Debug:    cfg.Debug,
 	})
 	if err != nil {
@@ -239,6 +258,7 @@ func Run(cfg Config) (*Result, error) {
 			Range:     r,
 			Init:      initVec[r.Lo:r.Hi],
 			Optimizer: opt,
+			Obs:       o.Server(shard),
 		})
 	}
 	makeWorker := func(i int) (*worker.Worker, error) {
@@ -257,6 +277,7 @@ func Run(cfg Config) (*Result, error) {
 				JitterSigma: cfg.Workload.JitterSigma,
 			},
 			Tracer:         collector,
+			Obs:            o.Worker(i),
 			AbortLateFrac:  cfg.AbortLateFrac,
 			NumWorkers:     cfg.Workers,
 			HeartbeatEvery: cfg.HeartbeatEvery,
@@ -307,6 +328,7 @@ func Run(cfg Config) (*Result, error) {
 		CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
 		LivenessTimeout:   cfg.LivenessTimeout,
 		Faults:            faultM,
+		Obs:               o.Scheduler(),
 		Tuner: core.TunerConfig{
 			MinAbort: 4 * cfg.Net.Latency,
 			// With the eager threshold check, an abort costs only the time
@@ -436,5 +458,6 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.KeepTrace {
 		res.Trace = collector
 	}
+	res.Obs = o.Summary()
 	return res, nil
 }

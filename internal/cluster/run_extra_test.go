@@ -49,7 +49,7 @@ func TestRecordAccuracySeries(t *testing.T) {
 	if res.Accuracy.Len() == 0 {
 		t.Fatal("no accuracy samples recorded")
 	}
-	for _, p := range res.Accuracy.Points {
+	for _, p := range res.Accuracy.Snapshot() {
 		if p.V < 0 || p.V > 1 {
 			t.Fatalf("accuracy %v out of range", p.V)
 		}

@@ -24,7 +24,7 @@ func TestSmokeTinyASP(t *testing.T) {
 	}
 	t.Logf("converged=%v at %v, iters=%d, loss %v -> %v, epochs=%d",
 		res.Converged, res.ConvergeTime, res.TotalIters,
-		res.Loss.Points[0].V, res.FinalLoss, res.Epochs)
+		res.Loss.Snapshot()[0].V, res.FinalLoss, res.Epochs)
 	if !res.Converged {
 		t.Fatalf("tiny ASP did not converge; final loss %v", res.FinalLoss)
 	}

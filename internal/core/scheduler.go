@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"specsync/internal/metrics"
 	"specsync/internal/msg"
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/scheme"
 	"specsync/internal/trace"
 	"specsync/internal/wire"
@@ -58,6 +60,9 @@ type SchedulerConfig struct {
 	LivenessTimeout time.Duration
 	// Faults, if non-nil, receives eviction/re-admission counts.
 	Faults *metrics.Faults
+	// Obs, if non-nil, receives re-sync/epoch/membership telemetry and
+	// publishes the aggregated cluster snapshot served at /clusterz.
+	Obs *obs.SchedulerObs
 }
 
 // Scheduler is the central coordinator (paper Fig. 7): it observes notify
@@ -177,6 +182,8 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 func (s *Scheduler) Init(ctx node.Context) {
 	s.ctx = ctx
 	s.epochStart = ctx.Now()
+	s.cfg.Obs.Tune(s.specEnabled, s.abortTime, metrics.Mean(s.rates))
+	s.cfg.Obs.AliveWorkers(s.aliveN)
 	if s.cfg.LivenessTimeout > 0 {
 		s.lastSeen = make([]time.Time, s.m)
 		for i := range s.lastSeen {
@@ -213,6 +220,8 @@ func (s *Scheduler) touch(i int, now time.Time) {
 	s.aliveN++
 	epoch := s.membershipEpoch.Add(1)
 	s.cfg.Faults.RecordReadmission()
+	s.cfg.Obs.Readmit(now, i, epoch)
+	s.cfg.Obs.AliveWorkers(s.aliveN)
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Record(trace.Event{At: now, Worker: i, Kind: trace.KindRecover, Value: epoch})
 	}
@@ -236,6 +245,8 @@ func (s *Scheduler) evict(i int, now time.Time) {
 	s.aliveN--
 	epoch := s.membershipEpoch.Add(1)
 	s.cfg.Faults.RecordEviction()
+	s.cfg.Obs.Evict(now, i, epoch)
+	s.cfg.Obs.AliveWorkers(s.aliveN)
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Record(trace.Event{At: now, Worker: i, Kind: trace.KindEvict, Value: epoch})
 	}
@@ -350,6 +361,53 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		}
 		s.broadcastMinClock()
 	}
+
+	s.publishCluster(now)
+}
+
+// publishCluster refreshes the /clusterz snapshot: per-worker push rates over
+// the retained history window, the current speculation hyperparameters, and
+// each worker's spec-window state. Nothing is sent and no timer is scheduled,
+// so publishing cannot perturb simulated runs.
+func (s *Scheduler) publishCluster(now time.Time) {
+	if s.cfg.Obs == nil {
+		return
+	}
+	counts := make([]int, s.m)
+	for _, rec := range s.history {
+		counts[rec.Worker]++
+	}
+	var window time.Duration
+	if len(s.history) > 0 {
+		window = now.Sub(s.history[0].At)
+	}
+	workers := make([]obs.WorkerState, s.m)
+	for i := range workers {
+		w := &s.windows[i]
+		rate := 0.0
+		if window > 0 {
+			rate = float64(counts[i]) / window.Seconds()
+		}
+		workers[i] = obs.WorkerState{
+			Index:           i,
+			Alive:           s.alive[i],
+			PushRate:        rate,
+			AbortRate:       s.rates[i],
+			IterSpanSeconds: s.spanEWMA[i].Seconds(),
+			WindowArmed:     w.armed,
+			WindowCount:     w.cnt,
+			WindowThreshold: int(math.Ceil(w.threshold)),
+		}
+	}
+	s.cfg.Obs.PublishCluster(obs.ClusterSnapshot{
+		At:               now,
+		Epoch:            s.epoch.Load(),
+		MembershipEpoch:  s.membershipEpoch.Load(),
+		SpecEnabled:      s.specEnabled,
+		AbortTimeSeconds: s.abortTime.Seconds(),
+		AliveWorkers:     s.aliveN,
+		Workers:          workers,
+	})
 }
 
 // releaseBarrier opens the BSP barrier for the next round.
@@ -458,6 +516,7 @@ func (s *Scheduler) fireResync(i int, w *specWindow) {
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Record(trace.Event{At: s.ctx.Now(), Worker: i, Kind: trace.KindReSync, Iter: w.iter, Value: int64(w.cnt)})
 	}
+	s.cfg.Obs.ReSync(s.ctx.Now(), i, w.iter, w.cnt)
 	s.ctx.Send(node.WorkerID(i), &msg.ReSync{Iter: w.iter})
 }
 
@@ -468,6 +527,7 @@ func (s *Scheduler) epochBoundary(now time.Time) {
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Record(trace.Event{At: now, Worker: -1, Kind: trace.KindEpoch, Iter: epoch})
 	}
+	s.cfg.Obs.Epoch(now, epoch)
 	if s.cfg.Scheme.Spec == scheme.SpecAdaptive {
 		s.retune(now)
 	}
@@ -524,6 +584,7 @@ func (s *Scheduler) retune(now time.Time) {
 		s.abortTime = tuning.AbortTime
 		copy(s.rates, tuning.Rates)
 	}
+	s.cfg.Obs.Tune(s.specEnabled, s.abortTime, metrics.Mean(s.rates))
 	if s.cfg.OnTune != nil {
 		s.cfg.OnTune(int(s.epoch.Load()), tuning)
 	}

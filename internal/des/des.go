@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/wire"
 )
 
@@ -99,6 +100,10 @@ type Config struct {
 	// Fault, if non-nil, is consulted for every message (see also
 	// Sim.SetFault, which fault injectors use after construction).
 	Fault FaultHook
+	// Metrics, if non-nil, receives simulator-level gauges and counters
+	// (event-queue depth, steps executed, deliveries, virtual clock).
+	// Recording only reads simulator state, so it cannot perturb the run.
+	Metrics *obs.Registry
 	// Debug, if non-nil, receives node log lines.
 	Debug io.Writer
 }
@@ -157,6 +162,12 @@ type Sim struct {
 	hiccups     []window
 	hiccupRand  *rand.Rand
 	hiccupFront time.Time // schedule generated up to here
+
+	// Optional simulator telemetry (Config.Metrics).
+	metSteps     *obs.Counter
+	metDelivered *obs.Counter
+	metQueue     *obs.Gauge
+	metVirtual   *obs.Gauge
 }
 
 type window struct {
@@ -178,7 +189,7 @@ func New(cfg Config) (*Sim, error) {
 	if start.IsZero() {
 		start = time.Unix(0, 0).UTC()
 	}
-	return &Sim{
+	s := &Sim{
 		cfg:         cfg,
 		now:         start,
 		nodes:       make(map[node.ID]*simContext),
@@ -187,7 +198,14 @@ func New(cfg Config) (*Sim, error) {
 		hiccupRand:  rand.New(rand.NewSource(cfg.Seed ^ 0x41cc)),
 		hiccupFront: start,
 		fault:       cfg.Fault,
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.metSteps = reg.Counter("specsync_sim_steps_total", "Simulator events executed.")
+		s.metDelivered = reg.Counter("specsync_sim_delivered_total", "Messages delivered by the simulator.")
+		s.metQueue = reg.Gauge("specsync_sim_queue_depth", "Pending events in the simulator queue.")
+		s.metVirtual = reg.Gauge("specsync_sim_virtual_seconds", "Virtual time elapsed since the simulation epoch.")
+	}
+	return s, nil
 }
 
 // SetFault installs (or replaces) the message fault hook. Fault injectors
@@ -318,6 +336,9 @@ func (s *Sim) Step() bool {
 		s.now = ev.at
 	}
 	ev.fn()
+	s.metSteps.Inc()
+	s.metQueue.Set(float64(s.queue.Len()))
+	s.metVirtual.Set(s.Elapsed().Seconds())
 	return true
 }
 
@@ -417,6 +438,7 @@ func (s *Sim) transmit(from, to node.ID, dst *simContext, kind wire.Kind, data [
 			panic(fmt.Sprintf("des: decode %s from %s to %s: %v", kindName, from, to, err))
 		}
 		s.delivers++
+		s.metDelivered.Inc()
 		dst.handler.Receive(from, decoded)
 	})
 }

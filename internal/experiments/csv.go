@@ -26,8 +26,10 @@ func WriteSeriesCSV(w io.Writer, xLabel string, names []string, series []*metric
 	// Union of sample times.
 	seen := map[time.Duration]struct{}{}
 	var times []time.Duration
-	for _, s := range series {
-		for _, p := range s.Points {
+	snapshots := make([][]metrics.Point, len(series))
+	for i, s := range series {
+		snapshots[i] = s.Snapshot()
+		for _, p := range snapshots[i] {
 			if _, dup := seen[p.T]; !dup {
 				seen[p.T] = struct{}{}
 				times = append(times, p.T)
@@ -39,8 +41,8 @@ func WriteSeriesCSV(w io.Writer, xLabel string, names []string, series []*metric
 	for _, at := range times {
 		row := make([]string, 0, len(series)+1)
 		row = append(row, strconv.FormatFloat(at.Seconds(), 'f', 3, 64))
-		for _, s := range series {
-			if s.Len() == 0 || s.Points[0].T > at {
+		for i, s := range series {
+			if len(snapshots[i]) == 0 || snapshots[i][0].T > at {
 				row = append(row, "")
 				continue
 			}

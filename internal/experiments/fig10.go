@@ -43,9 +43,8 @@ func Fig10(o Options) (*Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		loss := run.Loss
 		res.Names = append(res.Names, c.name)
-		res.Loss = append(res.Loss, &loss)
+		res.Loss = append(res.Loss, &run.Loss)
 		res.Converge = append(res.Converge, run.ConvergeTime)
 		res.OK = append(res.OK, run.Converged)
 	}

@@ -49,12 +49,11 @@ func Fig12(o Options) (*Fig12Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		to, ta := orig.TransferSeries, adapt.TransferSeries
 		data, control := adapt.Transfer.Split()
 		res.PerWorkload = append(res.PerWorkload, Fig12Workload{
 			Workload:         id,
-			TransferOriginal: &to,
-			TransferAdaptive: &ta,
+			TransferOriginal: &orig.TransferSeries,
+			TransferAdaptive: &adapt.TransferSeries,
 			TotalOriginal:    orig.Transfer.TotalBytes(),
 			TotalAdaptive:    adapt.Transfer.TotalBytes(),
 			Breakdown:        adapt.Transfer.Breakdown(),

@@ -50,8 +50,7 @@ func Fig5(o Options) (*Fig5Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			loss := run.Loss
-			fw.Loss = append(fw.Loss, &loss)
+			fw.Loss = append(fw.Loss, &run.Loss)
 			fw.Converge = append(fw.Converge, run.ConvergeTime)
 			fw.OK = append(fw.OK, run.Converged)
 		}

@@ -54,10 +54,9 @@ func RunFig8(o Options) (*Fig8Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			loss, iters := run.Loss, run.IterSeries
 			fw.Schemes = append(fw.Schemes, s.name)
-			fw.Loss = append(fw.Loss, &loss)
-			fw.Iters = append(fw.Iters, &iters)
+			fw.Loss = append(fw.Loss, &run.Loss)
+			fw.Iters = append(fw.Iters, &run.IterSeries)
 			fw.Converge = append(fw.Converge, run.ConvergeTime)
 			fw.OK = append(fw.OK, run.Converged)
 			fw.ItersAtConverge = append(fw.ItersAtConverge, run.ItersAtConverge)

@@ -141,13 +141,14 @@ func renderIterSeriesTable(w io.Writer, title string, names []string, loss, iter
 // lossAtIters looks up the loss at the probe where the cumulative iteration
 // count first reached target.
 func lossAtIters(loss, iters *metrics.Series, target float64) string {
-	if loss.Len() == 0 || iters.Len() == 0 {
+	lossPts, iterPts := loss.Snapshot(), iters.Snapshot()
+	if len(lossPts) == 0 || len(iterPts) == 0 {
 		return "-"
 	}
-	for i, p := range iters.Points {
+	for i, p := range iterPts {
 		if p.V >= target {
-			if i < len(loss.Points) {
-				return fmtF(loss.Points[i].V)
+			if i < len(lossPts) {
+				return fmtF(lossPts[i].V)
 			}
 			break
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/wire"
 )
 
@@ -47,6 +48,9 @@ type NetworkConfig struct {
 	Transfer TransferRecorder
 	// Fault, if non-nil, is consulted for every message.
 	Fault FaultHook
+	// Metrics, if non-nil, receives transport counters (messages delivered,
+	// aggregate mailbox depth).
+	Metrics *obs.Registry
 	// Debug enables stderr logging from node Logf calls.
 	Debug bool
 }
@@ -61,6 +65,10 @@ type Network struct {
 	started bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	// Optional transport telemetry (NetworkConfig.Metrics).
+	metDelivered *obs.Counter
+	metMailbox   *obs.Gauge
 }
 
 // NewNetwork builds an empty network.
@@ -68,7 +76,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("live: config requires a wire registry")
 	}
-	return &Network{cfg: cfg, nodes: make(map[node.ID]*liveNode)}, nil
+	n := &Network{cfg: cfg, nodes: make(map[node.ID]*liveNode)}
+	if reg := cfg.Metrics; reg != nil {
+		n.metDelivered = reg.Counter("specsync_live_delivered_total", "Messages delivered to node mailboxes.")
+		n.metMailbox = reg.Gauge("specsync_live_mailbox_depth", "Messages queued across all node mailboxes.")
+	}
+	return n, nil
 }
 
 // AddNode registers a handler. All nodes must be added before Start.
@@ -288,7 +301,9 @@ func (n *Network) send(from, to node.ID, m wire.Message) {
 // still being the same live incarnation when the mailbox reaches it.
 func (ln *liveNode) enqueue(from, to node.ID, data []byte, n *Network) {
 	gen := ln.currentGen()
+	n.metMailbox.Add(1)
 	ln.inbox.push(func() {
+		n.metMailbox.Add(-1)
 		h, ok := ln.alive(gen)
 		if !ok {
 			return // receiver crashed (or restarted) after the send
@@ -300,6 +315,7 @@ func (ln *liveNode) enqueue(from, to node.ID, data []byte, n *Network) {
 			}
 			return
 		}
+		n.metDelivered.Inc()
 		h.Receive(from, decoded)
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/transport"
 	"specsync/internal/wire"
 )
@@ -29,6 +30,9 @@ type TCPHostConfig struct {
 	Seed int64
 	// Transfer, if non-nil, records outbound bytes.
 	Transfer TransferRecorder
+	// Metrics, if non-nil, receives transport counters (frames received,
+	// mailbox depth).
+	Metrics *obs.Registry
 	// Debug enables stderr logging.
 	Debug bool
 }
@@ -45,6 +49,10 @@ type TCPHost struct {
 	timerMu sync.Mutex
 	timers  map[*time.Timer]struct{}
 	closed  bool
+
+	// Optional transport telemetry (TCPHostConfig.Metrics).
+	metReceived *obs.Counter
+	metMailbox  *obs.Gauge
 }
 
 var _ node.Context = (*TCPHost)(nil)
@@ -64,6 +72,10 @@ func NewTCPHost(cfg TCPHostConfig) (*TCPHost, error) {
 		rng:    rand.New(rand.NewSource(node.RandSeed(cfg.Seed, cfg.ID))),
 		timers: make(map[*time.Timer]struct{}),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		h.metReceived = reg.Counter("specsync_live_delivered_total", "Messages delivered to the node mailbox.")
+		h.metMailbox = reg.Gauge("specsync_live_mailbox_depth", "Messages queued in the node mailbox.")
+	}
 	tr, err := transport.ListenTCP(transport.TCPConfig{
 		ID:         cfg.ID,
 		ListenAddr: cfg.ListenAddr,
@@ -71,7 +83,12 @@ func NewTCPHost(cfg TCPHostConfig) (*TCPHost, error) {
 		Registry:   cfg.Registry,
 		Transfer:   cfg.Transfer,
 		OnMessage: func(from node.ID, m wire.Message) {
-			h.inbox.push(func() { cfg.Handler.Receive(from, m) })
+			h.metMailbox.Add(1)
+			h.inbox.push(func() {
+				h.metMailbox.Add(-1)
+				h.metReceived.Inc()
+				cfg.Handler.Receive(from, m)
+			})
 		},
 	})
 	if err != nil {

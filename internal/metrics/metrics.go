@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -21,33 +22,55 @@ type Point struct {
 	V float64
 }
 
-// Series is an append-only time series of loss (or any metric) samples.
-// It is not safe for concurrent use; under the simulator a single goroutine
-// appends.
+// Series is an append-only time series of loss (or any metric) samples. It
+// is safe for concurrent use: the live stack appends from transport callback
+// goroutines while monitoring endpoints read. The zero value is ready to use.
+// Series values must not be copied after first use (the mutex); share a
+// *Series instead.
 type Series struct {
-	Points []Point
+	mu     sync.Mutex
+	points []Point
 }
 
 // Add appends an observation.
 func (s *Series) Add(t time.Duration, v float64) {
-	s.Points = append(s.Points, Point{T: t, V: v})
+	s.mu.Lock()
+	s.points = append(s.points, Point{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of all observations in append order.
+func (s *Series) Snapshot() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
 }
 
 // Len returns the number of observations.
-func (s *Series) Len() int { return len(s.Points) }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
 
 // Last returns the final observation, or a zero Point for an empty series.
 func (s *Series) Last() Point {
-	if len(s.Points) == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
 		return Point{}
 	}
-	return s.Points[len(s.Points)-1]
+	return s.points[len(s.points)-1]
 }
 
 // Min returns the smallest value seen, or +Inf for an empty series.
 func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := math.Inf(1)
-	for _, p := range s.Points {
+	for _, p := range s.points {
 		if p.V < m {
 			m = p.V
 		}
@@ -58,14 +81,16 @@ func (s *Series) Min() float64 {
 // ValueAt returns the latest value observed at or before t, or the first
 // value if t precedes all samples.
 func (s *Series) ValueAt(t time.Duration) float64 {
-	if len(s.Points) == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
 		return math.NaN()
 	}
-	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
 	if i == 0 {
-		return s.Points[0].V
+		return s.points[0].V
 	}
-	return s.Points[i-1].V
+	return s.points[i-1].V
 }
 
 // TimeToConverge returns the elapsed time at which the series first stayed
@@ -76,9 +101,11 @@ func (s *Series) TimeToConverge(target float64, consecutive int) (time.Duration,
 	if consecutive < 1 {
 		consecutive = 1
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	streak := 0
 	var start time.Duration
-	for _, p := range s.Points {
+	for _, p := range s.points {
 		if p.V < target {
 			if streak == 0 {
 				start = p.T
@@ -97,17 +124,16 @@ func (s *Series) TimeToConverge(target float64, consecutive int) (time.Duration,
 // Downsample returns at most n points, evenly spaced over the series, always
 // including the last. Rendering helpers use it.
 func (s *Series) Downsample(n int) []Point {
-	if n <= 0 || len(s.Points) <= n {
-		out := make([]Point, len(s.Points))
-		copy(out, s.Points)
-		return out
+	points := s.Snapshot()
+	if n <= 0 || len(points) <= n {
+		return points
 	}
 	out := make([]Point, 0, n)
-	step := float64(len(s.Points)-1) / float64(n-1)
+	step := float64(len(points)-1) / float64(n-1)
 	for i := 0; i < n; i++ {
-		out = append(out, s.Points[int(float64(i)*step+0.5)])
+		out = append(out, points[int(float64(i)*step+0.5)])
 	}
-	out[len(out)-1] = s.Points[len(s.Points)-1]
+	out[len(out)-1] = points[len(points)-1]
 	return out
 }
 
@@ -182,6 +208,11 @@ type Transfer struct {
 type kindStats struct {
 	bytes int64
 	msgs  int64
+	// First/last-seen timestamps for throughput: virtual time under the
+	// simulator, wall time live.
+	first time.Time
+	last  time.Time
+	seen  bool
 }
 
 // NewTransfer builds a Transfer; isControl classifies kinds into control vs
@@ -201,6 +232,13 @@ func (t *Transfer) RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, a
 	}
 	ks.bytes += int64(bytes)
 	ks.msgs++
+	if !ks.seen || at.Before(ks.first) {
+		ks.first = at
+	}
+	if !ks.seen || at.After(ks.last) {
+		ks.last = at
+	}
+	ks.seen = true
 	t.total += int64(bytes)
 }
 
@@ -220,6 +258,77 @@ func (t *Transfer) KindBytes(kind wire.Kind) (bytes, msgs int64) {
 		return 0, 0
 	}
 	return ks.bytes, ks.msgs
+}
+
+// KindWindow returns the first/last record timestamps for one kind; ok is
+// false when the kind has never been recorded.
+func (t *Transfer) KindWindow(kind wire.Kind) (first, last time.Time, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ks, found := t.byKind[kind]
+	if !found || !ks.seen {
+		return time.Time{}, time.Time{}, false
+	}
+	return ks.first, ks.last, true
+}
+
+// KindThroughput returns one kind's mean throughput in bytes/sec over its
+// observed [first, last] window. A kind seen fewer than twice (or whose
+// records all share one timestamp) has no measurable window and returns 0.
+func (t *Transfer) KindThroughput(kind wire.Kind) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byKind[kind].throughput()
+}
+
+func (ks *kindStats) throughput() float64 {
+	if ks == nil || !ks.seen {
+		return 0
+	}
+	window := ks.last.Sub(ks.first)
+	if window <= 0 {
+		return 0
+	}
+	return float64(ks.bytes) / window.Seconds()
+}
+
+// WritePrometheus writes per-kind transfer counters and throughput gauges in
+// the Prometheus text format, sorted by kind number for deterministic output.
+// name maps a wire kind to its registered label (use msg.Registry().Name).
+func (t *Transfer) WritePrometheus(w io.Writer, name func(wire.Kind) string) {
+	t.mu.Lock()
+	kinds := make([]wire.Kind, 0, len(t.byKind))
+	for k := range t.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	type row struct {
+		label       string
+		bytes, msgs int64
+		bytesPerSec float64
+	}
+	rows := make([]row, 0, len(kinds))
+	for _, k := range kinds {
+		ks := t.byKind[k]
+		rows = append(rows, row{label: name(k), bytes: ks.bytes, msgs: ks.msgs, bytesPerSec: ks.throughput()})
+	}
+	t.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP specsync_transfer_bytes_total Wire bytes sent, by message kind.\n")
+	fmt.Fprintf(w, "# TYPE specsync_transfer_bytes_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "specsync_transfer_bytes_total{kind=%q} %d\n", r.label, r.bytes)
+	}
+	fmt.Fprintf(w, "# HELP specsync_transfer_msgs_total Messages sent, by message kind.\n")
+	fmt.Fprintf(w, "# TYPE specsync_transfer_msgs_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "specsync_transfer_msgs_total{kind=%q} %d\n", r.label, r.msgs)
+	}
+	fmt.Fprintf(w, "# HELP specsync_transfer_bytes_per_sec Mean throughput over each kind's observed window.\n")
+	fmt.Fprintf(w, "# TYPE specsync_transfer_bytes_per_sec gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "specsync_transfer_bytes_per_sec{kind=%q} %g\n", r.label, r.bytesPerSec)
+	}
 }
 
 // Split returns (dataBytes, controlBytes) according to the classifier.

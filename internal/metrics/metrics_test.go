@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -173,5 +174,130 @@ func TestHumanBytes(t *testing.T) {
 		if got := HumanBytes(in); got != want {
 			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestSeriesConcurrent exercises Series under the race detector: concurrent
+// appenders (the live probe loop) against concurrent readers (monitoring
+// endpoints).
+func TestSeriesConcurrent(t *testing.T) {
+	var s Series
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 250
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Add(time.Duration(w*perWriter+i)*time.Millisecond, float64(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Len()
+				s.Last()
+				s.Min()
+				s.ValueAt(time.Duration(i) * time.Millisecond)
+				s.Snapshot()
+				s.Downsample(10)
+				s.TimeToConverge(0.5, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Errorf("lost samples: %d, want %d", s.Len(), writers*perWriter)
+	}
+	snap := s.Snapshot()
+	if len(snap) != s.Len() {
+		t.Errorf("snapshot length %d != len %d", len(snap), s.Len())
+	}
+	// Snapshot is a copy: mutating it must not affect the series.
+	snap[0].V = -1
+	if s.Snapshot()[0].V == -1 {
+		t.Error("Snapshot aliases internal storage")
+	}
+}
+
+func TestTransferThroughput(t *testing.T) {
+	tr := NewTransfer(nil)
+	base := time.Unix(0, 0).UTC()
+	kind := wire.Kind(1)
+
+	if _, _, ok := tr.KindWindow(kind); ok {
+		t.Error("window reported before any record")
+	}
+	if tp := tr.KindThroughput(kind); tp != 0 {
+		t.Errorf("throughput before records = %v", tp)
+	}
+
+	tr.RecordTransfer("a", "b", kind, 1000, base)
+	// One record: a zero-width window has no measurable rate.
+	if tp := tr.KindThroughput(kind); tp != 0 {
+		t.Errorf("single-record throughput = %v, want 0", tp)
+	}
+	first, last, ok := tr.KindWindow(kind)
+	if !ok || !first.Equal(base) || !last.Equal(base) {
+		t.Errorf("window = %v..%v (%v)", first, last, ok)
+	}
+
+	tr.RecordTransfer("a", "b", kind, 3000, base.Add(2*time.Second))
+	first, last, ok = tr.KindWindow(kind)
+	if !ok || !first.Equal(base) || !last.Equal(base.Add(2*time.Second)) {
+		t.Errorf("window = %v..%v (%v)", first, last, ok)
+	}
+	// 4000 bytes over 2 seconds.
+	if tp := tr.KindThroughput(kind); math.Abs(tp-2000) > 1e-9 {
+		t.Errorf("throughput = %v, want 2000", tp)
+	}
+
+	// Out-of-order timestamps (live transport goroutines) extend the window
+	// backwards rather than corrupting it.
+	tr.RecordTransfer("a", "b", kind, 1000, base.Add(-1*time.Second))
+	first, _, _ = tr.KindWindow(kind)
+	if !first.Equal(base.Add(-1 * time.Second)) {
+		t.Errorf("first not extended backwards: %v", first)
+	}
+}
+
+func TestTransferWritePrometheus(t *testing.T) {
+	tr := NewTransfer(nil)
+	base := time.Unix(0, 0).UTC()
+	tr.RecordTransfer("a", "b", wire.Kind(2), 100, base)
+	tr.RecordTransfer("a", "b", wire.Kind(2), 100, base.Add(time.Second))
+	tr.RecordTransfer("a", "b", wire.Kind(1), 50, base)
+
+	name := func(k wire.Kind) string {
+		if k == 1 {
+			return "PullReq"
+		}
+		return "PushReq"
+	}
+	var sb strings.Builder
+	tr.WritePrometheus(&sb, name)
+	out := sb.String()
+	for _, want := range []string{
+		`specsync_transfer_bytes_total{kind="PullReq"} 50`,
+		`specsync_transfer_bytes_total{kind="PushReq"} 200`,
+		`specsync_transfer_msgs_total{kind="PushReq"} 2`,
+		`specsync_transfer_bytes_per_sec{kind="PushReq"} 200`,
+		`specsync_transfer_bytes_per_sec{kind="PullReq"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Kinds render in numeric order for deterministic output.
+	if strings.Index(out, "PullReq") > strings.Index(out, "PushReq") {
+		t.Error("kinds not sorted numerically")
+	}
+	var sb2 strings.Builder
+	tr.WritePrometheus(&sb2, name)
+	if sb2.String() != out {
+		t.Error("two exposition writes differ")
 	}
 }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Health is the /healthz payload.
+type Health struct {
+	Status          string `json:"status"` // "ok" or a short problem string
+	Node            string `json:"node,omitempty"`
+	MembershipEpoch int64  `json:"membership_epoch"`
+	Epoch           int64  `json:"epoch,omitempty"`
+	Iterations      int64  `json:"iterations,omitempty"`
+	Version         int64  `json:"version,omitempty"` // server shard parameter version
+}
+
+// WorkerState is one worker's row in a ClusterSnapshot.
+type WorkerState struct {
+	Index           int     `json:"index"`
+	Alive           bool    `json:"alive"`
+	PushRate        float64 `json:"push_rate"` // pushes/sec over the scheduler's history window
+	AbortRate       float64 `json:"abort_rate"`
+	IterSpanSeconds float64 `json:"iter_span_seconds"` // EWMA iteration span estimate
+	WindowArmed     bool    `json:"window_armed"`
+	WindowCount     int     `json:"window_count"`
+	WindowThreshold int     `json:"window_threshold"`
+}
+
+// ClusterSnapshot is the scheduler-aggregated /clusterz payload: push-rate
+// dynamics, the current speculation hyperparameters, and per-worker
+// spec-window state.
+type ClusterSnapshot struct {
+	At               time.Time     `json:"at"`
+	Epoch            int64         `json:"epoch"`
+	MembershipEpoch  int64         `json:"membership_epoch"`
+	SpecEnabled      bool          `json:"spec_enabled"`
+	AbortTimeSeconds float64       `json:"abort_time_seconds"`
+	AliveWorkers     int           `json:"alive_workers"`
+	Workers          []WorkerState `json:"workers"`
+}
+
+// HTTPConfig assembles the exposition endpoints.
+type HTTPConfig struct {
+	Registry *Registry
+	// Health supplies the /healthz payload; nil serves a static "ok".
+	Health func() Health
+	// Cluster supplies /clusterz; nil (or ok=false) yields 404 — only the
+	// scheduler aggregates a cluster view.
+	Cluster func() (ClusterSnapshot, bool)
+}
+
+// NewHandler builds the /metrics, /healthz, and /clusterz handler.
+func NewHandler(cfg HTTPConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Status: "ok"}
+		if cfg.Health != nil {
+			h = cfg.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/clusterz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Cluster == nil {
+			http.Error(w, "no cluster view on this node (ask the scheduler)", http.StatusNotFound)
+			return
+		}
+		snap, ok := cfg.Cluster()
+		if !ok {
+			http.Error(w, "cluster view not published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves h in the background.
+// It returns the server for shutdown and the bound address for logs/tests.
+func Serve(addr string, h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,401 @@
+// Package obs is the runtime observability layer: a low-overhead metrics
+// registry (atomic counters, gauges, and fixed-bucket histograms with
+// Prometheus text exposition), per-iteration span tracing of the
+// pull→compute→push/abort lifecycle with abort-causality links back to the
+// triggering re-sync, and HTTP exposition (/metrics, /healthz, /clusterz).
+//
+// Components record through nil-safe handles (WorkerObs, SchedulerObs,
+// ServerObs) using timestamps from their node.Context, so the same code path
+// produces virtual-time telemetry under the DES simulator and wall-clock
+// telemetry in live deployments. Recording never sends messages or schedules
+// timers, so instrumentation cannot perturb simulated runs: two sim runs
+// with the same seed export byte-identical span traces.
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an Obs instance.
+type Options struct {
+	// Spans retains per-phase span records in memory for later export as
+	// Chrome trace-event JSON. Off by default — a long run produces three
+	// spans per iteration per worker.
+	Spans bool
+}
+
+// Obs bundles the metrics registry, the optional span log, and the latest
+// scheduler cluster snapshot. A nil *Obs yields nil handles, so wiring is
+// optional at every layer.
+type Obs struct {
+	reg   *Registry
+	spans *SpanLog
+
+	pullH    *Histogram
+	computeH *Histogram
+	pushH    *Histogram
+	restartH *Histogram
+	staleH   *Histogram
+
+	cluster atomic.Pointer[ClusterSnapshot]
+}
+
+// New builds an Obs with the standard SpecSync metric families registered.
+func New(opts Options) *Obs {
+	reg := NewRegistry()
+	o := &Obs{reg: reg}
+	if opts.Spans {
+		o.spans = NewSpanLog()
+	}
+	o.pullH = reg.Histogram("specsync_pull_seconds",
+		"Latency of one parameter pull (request fan-out to last shard response).", LatencyBuckets)
+	o.computeH = reg.Histogram("specsync_compute_seconds",
+		"Duration of one gradient computation (pull completion to push start).", LatencyBuckets)
+	o.pushH = reg.Histogram("specsync_push_seconds",
+		"Latency of one gradient push (fan-out to last shard ack).", LatencyBuckets)
+	o.restartH = reg.Histogram("specsync_abort_restart_seconds",
+		"Abort-to-restart latency (re-sync abort to completion of the fresh pull).", LatencyBuckets)
+	o.staleH = reg.Histogram("specsync_push_staleness",
+		"Mean per-shard staleness of each acknowledged push (peer updates applied between pull and push).", StalenessBuckets)
+	return o
+}
+
+// Registry returns the underlying metrics registry (nil on a nil Obs).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Spans returns the span log, or nil when span retention is disabled.
+func (o *Obs) Spans() *SpanLog {
+	if o == nil {
+		return nil
+	}
+	return o.spans
+}
+
+// ClusterSnapshot returns the most recent scheduler-published cluster view.
+func (o *Obs) ClusterSnapshot() (ClusterSnapshot, bool) {
+	if o == nil {
+		return ClusterSnapshot{}, false
+	}
+	p := o.cluster.Load()
+	if p == nil {
+		return ClusterSnapshot{}, false
+	}
+	return *p, true
+}
+
+// WorkerObs instruments one worker's iteration lifecycle. Its phase-state
+// fields are only touched from that worker's event loop (single-threaded in
+// both stacks), while the shared histograms and counters are atomic. All
+// methods are nil-safe.
+type WorkerObs struct {
+	o      *Obs
+	index  int
+	node   string
+	iters  *Counter
+	aborts *Counter
+
+	pulling      bool
+	pullStart    time.Time
+	pullIter     int64
+	computing    bool
+	computeStart time.Time
+	pushing      bool
+	pushStart    time.Time
+	aborted      bool
+	abortAt      time.Time
+}
+
+// Worker returns the handle for worker i. Handles share registry series, so
+// a restarted worker incarnation keeps accumulating into the same metrics.
+func (o *Obs) Worker(i int) *WorkerObs {
+	if o == nil {
+		return nil
+	}
+	idx := strconv.Itoa(i)
+	return &WorkerObs{
+		o:     o,
+		index: i,
+		node:  "worker/" + idx,
+		iters: o.reg.Counter("specsync_worker_iterations_total",
+			"Completed (fully acknowledged) iterations.", "worker", idx),
+		aborts: o.reg.Counter("specsync_worker_aborts_total",
+			"Speculative abort-and-restart events.", "worker", idx),
+	}
+}
+
+// PullStart marks the fan-out of pull requests. Re-issues of an already
+// in-flight pull round (retry timers) keep the original start time.
+func (w *WorkerObs) PullStart(at time.Time, iter int64) {
+	if w == nil {
+		return
+	}
+	if w.pulling && w.pullIter == iter {
+		return
+	}
+	w.pulling, w.pullStart, w.pullIter = true, at, iter
+	w.computing, w.pushing = false, false
+}
+
+// PullDone marks the last shard response of a pull round and the start of
+// computation. If the pull followed an abort, it closes the abort-to-restart
+// latency window.
+func (w *WorkerObs) PullDone(at time.Time, iter int64) {
+	if w == nil || !w.pulling {
+		return
+	}
+	w.pulling = false
+	w.o.pullH.Observe(at.Sub(w.pullStart).Seconds())
+	w.o.spans.Add(Span{Node: w.node, Name: "pull", Start: w.pullStart, End: at, Iter: iter})
+	if w.aborted {
+		w.aborted = false
+		w.o.restartH.Observe(at.Sub(w.abortAt).Seconds())
+	}
+	w.computing, w.computeStart = true, at
+}
+
+// Abort marks an accepted re-sync: the in-flight computation (if any) is
+// recorded as an aborted slice flow-linked to the scheduler's re-sync span.
+func (w *WorkerObs) Abort(at time.Time, iter int64) {
+	if w == nil {
+		return
+	}
+	w.aborts.Inc()
+	if w.computing {
+		w.computing = false
+		w.o.spans.Add(Span{
+			Node: w.node, Name: "compute (aborted)",
+			Start: w.computeStart, End: at, Iter: iter,
+			Link: FlowID(w.index, iter),
+		})
+	}
+	w.pulling, w.pushing = false, false
+	w.aborted, w.abortAt = true, at
+}
+
+// ComputeDone marks the end of gradient computation and the start of a push.
+func (w *WorkerObs) ComputeDone(at time.Time, iter int64) {
+	if w == nil || !w.computing {
+		return
+	}
+	w.computing = false
+	w.o.computeH.Observe(at.Sub(w.computeStart).Seconds())
+	w.o.spans.Add(Span{Node: w.node, Name: "compute", Start: w.computeStart, End: at, Iter: iter})
+	w.pushing, w.pushStart = true, at
+}
+
+// PushDone marks the last shard ack of a push; staleness is the mean
+// server-measured staleness across shards.
+func (w *WorkerObs) PushDone(at time.Time, iter int64, staleness int64) {
+	if w == nil || !w.pushing {
+		return
+	}
+	w.pushing = false
+	w.iters.Inc()
+	w.o.pushH.Observe(at.Sub(w.pushStart).Seconds())
+	w.o.staleH.Observe(float64(staleness))
+	w.o.spans.Add(Span{Node: w.node, Name: "push", Start: w.pushStart, End: at, Iter: iter, Value: staleness})
+}
+
+// SchedulerObs instruments the scheduler. All methods are nil-safe.
+type SchedulerObs struct {
+	o            *Obs
+	resyncs      *Counter
+	epochs       *Counter
+	evictions    *Counter
+	readmissions *Counter
+	specEnabled  *Gauge
+	abortTime    *Gauge
+	meanRate     *Gauge
+	membership   *Gauge
+	alive        *Gauge
+}
+
+// Scheduler returns the scheduler handle.
+func (o *Obs) Scheduler() *SchedulerObs {
+	if o == nil {
+		return nil
+	}
+	return &SchedulerObs{
+		o: o,
+		resyncs: o.reg.Counter("specsync_resyncs_total",
+			"Re-sync instructions issued by the scheduler."),
+		epochs: o.reg.Counter("specsync_epochs_total",
+			"Scheduler epoch boundaries (every alive worker pushed)."),
+		evictions: o.reg.Counter("specsync_evictions_total",
+			"Workers evicted from membership by liveness timeout."),
+		readmissions: o.reg.Counter("specsync_readmissions_total",
+			"Evicted workers re-admitted after reappearing."),
+		specEnabled: o.reg.Gauge("specsync_spec_enabled",
+			"1 when speculative synchronization is active, 0 when paused."),
+		abortTime: o.reg.Gauge("specsync_abort_time_seconds",
+			"Current ABORT_TIME window length."),
+		meanRate: o.reg.Gauge("specsync_abort_rate_mean",
+			"Mean per-worker ABORT_RATE threshold fraction."),
+		membership: o.reg.Gauge("specsync_membership_epoch",
+			"Monotonic membership epoch (bumped by evictions and readmissions)."),
+		alive: o.reg.Gauge("specsync_alive_workers",
+			"Workers currently considered alive."),
+	}
+}
+
+// ReSync records one re-sync instruction as a flow-originating span.
+func (s *SchedulerObs) ReSync(at time.Time, worker int, iter int64, count int) {
+	if s == nil {
+		return
+	}
+	s.resyncs.Inc()
+	s.o.spans.Add(Span{
+		Node: "scheduler", Name: "resync", Start: at,
+		Iter: iter, Value: int64(count),
+		Link: FlowID(worker, iter), LinkStart: true,
+	})
+}
+
+// Epoch records an epoch boundary.
+func (s *SchedulerObs) Epoch(at time.Time, epoch int64) {
+	if s == nil {
+		return
+	}
+	s.epochs.Inc()
+	s.o.spans.Add(Span{Node: "scheduler", Name: "epoch", Start: at, Iter: epoch})
+}
+
+// Tune publishes the current speculation hyperparameters.
+func (s *SchedulerObs) Tune(enabled bool, abortTime time.Duration, meanRate float64) {
+	if s == nil {
+		return
+	}
+	if enabled {
+		s.specEnabled.Set(1)
+	} else {
+		s.specEnabled.Set(0)
+	}
+	s.abortTime.Set(abortTime.Seconds())
+	s.meanRate.Set(meanRate)
+}
+
+// Evict records a membership eviction.
+func (s *SchedulerObs) Evict(at time.Time, worker int, membershipEpoch int64) {
+	if s == nil {
+		return
+	}
+	s.evictions.Inc()
+	s.membership.Set(float64(membershipEpoch))
+	s.o.spans.Add(Span{Node: "scheduler", Name: "evict", Start: at, Value: membershipEpoch})
+}
+
+// Readmit records an evicted worker rejoining.
+func (s *SchedulerObs) Readmit(at time.Time, worker int, membershipEpoch int64) {
+	if s == nil {
+		return
+	}
+	s.readmissions.Inc()
+	s.membership.Set(float64(membershipEpoch))
+	s.o.spans.Add(Span{Node: "scheduler", Name: "readmit", Start: at, Value: membershipEpoch})
+}
+
+// AliveWorkers publishes the current alive-worker count.
+func (s *SchedulerObs) AliveWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.alive.Set(float64(n))
+}
+
+// PublishCluster stores the latest cluster snapshot for /clusterz.
+func (s *SchedulerObs) PublishCluster(snap ClusterSnapshot) {
+	if s == nil {
+		return
+	}
+	s.o.cluster.Store(&snap)
+}
+
+// ServerObs instruments one parameter-server shard. Nil-safe.
+type ServerObs struct {
+	pulls   *Counter
+	pushes  *Counter
+	version *Gauge
+	stale   *Histogram
+}
+
+// Server returns the handle for one shard.
+func (o *Obs) Server(shard int) *ServerObs {
+	if o == nil {
+		return nil
+	}
+	idx := strconv.Itoa(shard)
+	return &ServerObs{
+		pulls: o.reg.Counter("specsync_server_pulls_total",
+			"Parameter pull requests served.", "shard", idx),
+		pushes: o.reg.Counter("specsync_server_pushes_total",
+			"Gradient pushes applied.", "shard", idx),
+		version: o.reg.Gauge("specsync_server_version",
+			"Shard parameter version (applied updates).", "shard", idx),
+		stale: o.reg.Histogram("specsync_server_push_staleness",
+			"Per-shard staleness of each applied push.", StalenessBuckets, "shard", idx),
+	}
+}
+
+// Pull records one served pull request.
+func (s *ServerObs) Pull() {
+	if s == nil {
+		return
+	}
+	s.pulls.Inc()
+}
+
+// Push records one applied push with the shard's new version and the
+// measured staleness of the update.
+func (s *ServerObs) Push(version, staleness int64) {
+	if s == nil {
+		return
+	}
+	s.pushes.Inc()
+	s.version.Set(float64(version))
+	s.stale.Observe(float64(staleness))
+}
+
+// Summary is the condensed end-of-run view attached to cluster.Result.
+type Summary struct {
+	Pull      HistSnapshot
+	Compute   HistSnapshot
+	Push      HistSnapshot
+	Restart   HistSnapshot // abort-to-restart latency
+	Staleness HistSnapshot
+
+	Iterations   int64
+	Aborts       int64
+	ReSyncs      int64
+	Epochs       int64
+	Evictions    int64
+	Readmissions int64
+	Spans        int
+}
+
+// Summary snapshots the registry into a Summary (nil on a nil Obs).
+func (o *Obs) Summary() *Summary {
+	if o == nil {
+		return nil
+	}
+	return &Summary{
+		Pull:         o.pullH.Snapshot(),
+		Compute:      o.computeH.Snapshot(),
+		Push:         o.pushH.Snapshot(),
+		Restart:      o.restartH.Snapshot(),
+		Staleness:    o.staleH.Snapshot(),
+		Iterations:   o.reg.SumCounters("specsync_worker_iterations_total"),
+		Aborts:       o.reg.SumCounters("specsync_worker_aborts_total"),
+		ReSyncs:      o.reg.SumCounters("specsync_resyncs_total"),
+		Epochs:       o.reg.SumCounters("specsync_epochs_total"),
+		Evictions:    o.reg.SumCounters("specsync_evictions_total"),
+		Readmissions: o.reg.SumCounters("specsync_readmissions_total"),
+		Spans:        o.spans.Len(),
+	}
+}

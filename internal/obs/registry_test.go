@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A value exactly on a bound lands in that bound's bucket (le semantics).
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.1, 2}, {5, 2}, {5.1, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{2, 2, 2, 2}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.5 + 2 + 2.1 + 5 + 5.1 + 100
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	a, _ := NewHistogram([]float64{1, 2})
+	b, _ := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(1.5)
+	b.Observe(10)
+
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Counts, []int64{1, 2, 1}; len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("merged counts = %v, want %v", got, want)
+	}
+	if m.Count != 4 {
+		t.Errorf("merged count = %d, want 4", m.Count)
+	}
+	if math.Abs(m.Sum-13.5) > 1e-9 {
+		t.Errorf("merged sum = %v, want 13.5", m.Sum)
+	}
+
+	// Merging with an empty snapshot passes the other side through.
+	if m2, err := (HistSnapshot{}).Merge(a.Snapshot()); err != nil || m2.Count != a.Snapshot().Count {
+		t.Errorf("empty merge: %v, %v", m2, err)
+	}
+
+	// Mismatched bounds are an error.
+	c, _ := NewHistogram([]float64{1, 3})
+	c.Observe(1)
+	if _, err := a.Snapshot().Merge(c.Snapshot()); err == nil {
+		t.Error("mismatched bounds merged without error")
+	}
+	d, _ := NewHistogram([]float64{1})
+	d.Observe(1)
+	if _, err := a.Snapshot().Merge(d.Snapshot()); err == nil {
+		t.Error("different bucket counts merged without error")
+	}
+}
+
+func TestHistSnapshotQuantileAndMean(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 2, 5})
+	if !math.IsNaN(h.Snapshot().Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // bucket le=1
+	}
+	h.Observe(4) // bucket le=5
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	if q := s.Quantile(1); q != 5 {
+		t.Errorf("p100 = %v, want 5", q)
+	}
+	h.Observe(100) // overflow maps to the largest finite bound
+	if q := h.Snapshot().Quantile(1); q != 5 {
+		t.Errorf("overflow quantile = %v, want 5", q)
+	}
+	if m := h.Snapshot().Mean(); math.Abs(m-(10*0.5+4+100)/12) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	var l *SpanLog
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	l.Add(Span{})
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 || l.Len() != 0 {
+		t.Error("nil instruments returned non-zero values")
+	}
+	if r.Counter("x", "") != nil || r.SumCounters("x") != 0 {
+		t.Error("nil registry not inert")
+	}
+	r.WritePrometheus(nil)
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "help", "worker", "0")
+	b := r.Counter("requests_total", "help", "worker", "0")
+	if a != b {
+		t.Error("same (name, labels) returned different counters")
+	}
+	other := r.Counter("requests_total", "help", "worker", "1")
+	if a == other {
+		t.Error("different labels returned the same counter")
+	}
+	a.Add(2)
+	other.Inc()
+	if got := r.SumCounters("requests_total"); got != 3 {
+		t.Errorf("SumCounters = %d, want 3", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("requests_total", "help")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b counter", "worker", "1").Add(7)
+	r.Counter("b_total", "b counter", "worker", "0").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(2.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	r.SetCollector("extra", func(w io.Writer) { io.WriteString(w, "extra_metric 1\n") })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP a_gauge a gauge\n# TYPE a_gauge gauge\na_gauge 2.5\n",
+		"# TYPE b_total counter\n",
+		"b_total{worker=\"0\"} 3\n",
+		"b_total{worker=\"1\"} 7\n",
+		"lat_seconds_bucket{le=\"0.1\"} 1\n",
+		"lat_seconds_bucket{le=\"1\"} 2\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 3\n",
+		"lat_seconds_sum 10.55\n",
+		"lat_seconds_count 3\n",
+		"extra_metric 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: a_gauge before b_total before lat_seconds.
+	if ai, bi := strings.Index(out, "a_gauge"), strings.Index(out, "b_total"); ai > bi {
+		t.Error("families not sorted by name")
+	}
+	// Label variants sorted within a family.
+	if i0, i1 := strings.Index(out, `worker="0"`), strings.Index(out, `worker="1"`); i0 > i1 {
+		t.Error("label variants not sorted")
+	}
+	// Deterministic: a second write produces identical bytes.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Error("two exposition writes differ")
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"specsync/internal/trace"
+)
+
+// chromeDoc mirrors the trace-event JSON for round-trip checks.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name  string         `json:"name"`
+		Ph    string         `json:"ph"`
+		Ts    int64          `json:"ts"`
+		Dur   *int64         `json:"dur"`
+		Pid   int            `json:"pid"`
+		Tid   int            `json:"tid"`
+		Scope string         `json:"s"`
+		Cat   string         `json:"cat"`
+		ID    string         `json:"id"`
+		BP    string         `json:"bp"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func epoch(d time.Duration) time.Time { return time.Unix(0, 0).UTC().Add(d) }
+
+func TestWriteChromeTraceRoundTrip(t *testing.T) {
+	id := FlowID(0, 7)
+	spans := []Span{
+		{Node: "worker/0", Name: "pull", Start: epoch(time.Second), End: epoch(1100 * time.Millisecond), Iter: 7},
+		{Node: "worker/0", Name: "compute (aborted)", Start: epoch(1100 * time.Millisecond), End: epoch(2 * time.Second), Iter: 7, Link: id},
+		{Node: "scheduler", Name: "resync", Start: epoch(1900 * time.Millisecond), Iter: 7, Value: 3, Link: id, LinkStart: true},
+		{Node: "scheduler", Name: "epoch", Start: epoch(3 * time.Second), Iter: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	byPhName := func(ph, name string) (found []int) {
+		for i, ev := range doc.TraceEvents {
+			if ev.Ph == ph && ev.Name == name {
+				found = append(found, i)
+			}
+		}
+		return
+	}
+
+	// Metadata: one process name, one thread name per node, tids assigned by
+	// sorted node name (scheduler < worker/0).
+	if len(byPhName("M", "process_name")) != 1 {
+		t.Error("missing process_name metadata")
+	}
+	threads := byPhName("M", "thread_name")
+	if len(threads) != 2 {
+		t.Fatalf("want 2 thread_name events, got %d", len(threads))
+	}
+	tids := map[string]int{}
+	for _, i := range threads {
+		ev := doc.TraceEvents[i]
+		tids[ev.Args["name"].(string)] = ev.Tid
+	}
+	if tids["scheduler"] != 1 || tids["worker/0"] != 2 {
+		t.Errorf("tids = %v, want scheduler:1 worker/0:2", tids)
+	}
+
+	// The pull slice: complete event with the right ts/dur in microseconds.
+	pulls := byPhName("X", "pull")
+	if len(pulls) != 1 {
+		t.Fatalf("want 1 pull slice, got %d", len(pulls))
+	}
+	p := doc.TraceEvents[pulls[0]]
+	if p.Ts != 1_000_000 || p.Dur == nil || *p.Dur != 100_000 {
+		t.Errorf("pull ts=%d dur=%v, want ts=1000000 dur=100000", p.Ts, p.Dur)
+	}
+	if p.Args["iter"].(float64) != 7 {
+		t.Errorf("pull iter arg = %v", p.Args["iter"])
+	}
+
+	// Flow pairing: one "s" on the scheduler, one "f" (bp=e) on the worker,
+	// sharing the deterministic id. The linked resync marker must be a slice
+	// (zero-duration X), not an instant, so the flow can bind to it.
+	starts := byPhName("s", "abort")
+	finishes := byPhName("f", "abort")
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("flow events: %d starts, %d finishes", len(starts), len(finishes))
+	}
+	s, f := doc.TraceEvents[starts[0]], doc.TraceEvents[finishes[0]]
+	if s.ID != id || f.ID != id {
+		t.Errorf("flow ids %q / %q, want %q", s.ID, f.ID, id)
+	}
+	if s.Cat != "abort-causality" || f.Cat != "abort-causality" || f.BP != "e" {
+		t.Errorf("flow cat/bp wrong: %+v %+v", s, f)
+	}
+	if f.Ts != 2_000_000 { // binds to the aborted slice's end
+		t.Errorf("flow finish ts = %d, want 2000000", f.Ts)
+	}
+	resyncs := byPhName("X", "resync")
+	if len(resyncs) != 1 {
+		t.Fatalf("resync not exported as a slice")
+	}
+	if d := doc.TraceEvents[resyncs[0]].Dur; d == nil || *d != 0 {
+		t.Error("linked resync marker should be a zero-duration slice")
+	}
+
+	// The unlinked epoch marker stays a thread-scoped instant.
+	epochs := byPhName("i", "epoch")
+	if len(epochs) != 1 || doc.TraceEvents[epochs[0]].Scope != "t" {
+		t.Error("epoch should be a thread-scoped instant")
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	spans := []Span{
+		{Node: "worker/1", Name: "iter", Start: epoch(2 * time.Second), End: epoch(3 * time.Second), Iter: 2},
+		{Node: "worker/0", Name: "iter", Start: epoch(time.Second), End: epoch(2 * time.Second), Iter: 1},
+		{Node: "scheduler", Name: "epoch", Start: epoch(time.Second)},
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same spans differ")
+	}
+}
+
+func TestSpansFromTrace(t *testing.T) {
+	events := []trace.Event{
+		{At: epoch(1 * time.Second), Kind: trace.KindPull, Worker: 0, Iter: 1},
+		{At: epoch(2 * time.Second), Kind: trace.KindPush, Worker: 0, Iter: 1},
+		{At: epoch(2 * time.Second), Kind: trace.KindStaleness, Worker: 0, Iter: 1, Value: 4},
+		{At: epoch(3 * time.Second), Kind: trace.KindPull, Worker: 0, Iter: 2},
+		{At: epoch(3500 * time.Millisecond), Kind: trace.KindReSync, Worker: 0, Iter: 2, Value: 5},
+		{At: epoch(4 * time.Second), Kind: trace.KindAbort, Worker: 0, Iter: 2},
+		{At: epoch(5 * time.Second), Kind: trace.KindEpoch, Iter: 1},
+		{At: epoch(6 * time.Second), Kind: trace.KindCrash, Worker: -1},
+		{At: epoch(7 * time.Second), Kind: trace.KindRecover, Worker: -1},
+		{At: epoch(8 * time.Second), Kind: trace.KindEvict, Worker: 1, Value: 2},
+	}
+	spans := SpansFromTrace(events)
+
+	find := func(name string) *Span {
+		for i := range spans {
+			if spans[i].Name == name {
+				return &spans[i]
+			}
+		}
+		return nil
+	}
+
+	iter := find("iter")
+	if iter == nil || iter.Node != "worker/0" || iter.Start != epoch(time.Second) || iter.End != epoch(2*time.Second) {
+		t.Fatalf("iter span wrong: %+v", iter)
+	}
+	if iter.Value != 4 {
+		t.Errorf("staleness backfill: iter.Value = %d, want 4", iter.Value)
+	}
+
+	aborted := find("iter (aborted)")
+	if aborted == nil || aborted.Link != FlowID(0, 2) || aborted.LinkStart {
+		t.Fatalf("aborted span wrong: %+v", aborted)
+	}
+	resync := find("resync")
+	if resync == nil || resync.Link != FlowID(0, 2) || !resync.LinkStart {
+		t.Fatalf("resync span wrong: %+v", resync)
+	}
+	if resync.Link != aborted.Link {
+		t.Error("resync and aborted spans do not share a flow id")
+	}
+
+	crash := find("crash")
+	if crash == nil || crash.Node != "server/0" {
+		t.Errorf("crash with Worker=-1 should land on server/0, got %+v", crash)
+	}
+	if ev := find("evict"); ev == nil || ev.Node != "scheduler" || ev.Value != 2 {
+		t.Errorf("evict span wrong: %+v", ev)
+	}
+}

@@ -29,7 +29,7 @@ type Snapshot struct {
 func (s *Server) Snapshot() Snapshot {
 	return Snapshot{
 		Range:   s.cfg.Range,
-		Version: s.version,
+		Version: s.version.Load(),
 		Params:  s.params.Clone(),
 	}
 }
@@ -44,7 +44,7 @@ func (s *Server) Restore(snap Snapshot) error {
 		return fmt.Errorf("ps: snapshot has %d params, shard needs %d", len(snap.Params), s.cfg.Range.Len())
 	}
 	copy(s.params, snap.Params)
-	s.version = snap.Version
+	s.version.Store(snap.Version)
 	return nil
 }
 

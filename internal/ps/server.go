@@ -8,10 +8,12 @@ package ps
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"specsync/internal/msg"
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/optimizer"
 	"specsync/internal/tensor"
 	"specsync/internal/wire"
@@ -65,16 +67,20 @@ type Config struct {
 	Optimizer *optimizer.SGD
 	// Staleness, if non-nil, observes per-push staleness.
 	Staleness StalenessObserver
+	// Obs, if non-nil, receives pull/push counters and the shard version.
+	Obs *obs.ServerObs
 }
 
-// Server is the shard state machine.
+// Server is the shard state machine. The counters are atomic so live-mode
+// monitoring goroutines (status tickers, /healthz) can read them while the
+// shard's event loop applies updates.
 type Server struct {
 	ctx     node.Context
 	cfg     Config
 	params  tensor.Vec
-	version int64 // number of pushes applied
-	pulls   int64
-	pushes  int64
+	version atomic.Int64 // number of pushes applied
+	pulls   atomic.Int64
+	pushes  atomic.Int64
 }
 
 var _ node.Handler = (*Server)(nil)
@@ -100,10 +106,11 @@ func (s *Server) Init(ctx node.Context) { s.ctx = ctx }
 func (s *Server) Receive(from node.ID, m wire.Message) {
 	switch req := m.(type) {
 	case *msg.PullReq:
-		s.pulls++
+		s.pulls.Add(1)
+		s.cfg.Obs.Pull()
 		s.ctx.Send(from, &msg.PullResp{
 			Seq:     req.Seq,
-			Version: s.version,
+			Version: s.version.Load(),
 			Values:  s.params, // Send marshals synchronously; no aliasing escapes
 		})
 	case *msg.PushReq:
@@ -118,7 +125,7 @@ func (s *Server) Receive(from node.ID, m wire.Message) {
 
 func (s *Server) apply(from node.ID, req *msg.PushReq) {
 	// Key the LR schedule on this shard's total push count.
-	s.cfg.Optimizer.SetStep(s.version)
+	s.cfg.Optimizer.SetStep(s.version.Load())
 	if req.IsSparse {
 		s.cfg.Optimizer.ApplySparse(s.params, req.Sparse())
 	} else {
@@ -129,27 +136,29 @@ func (s *Server) apply(from node.ID, req *msg.PushReq) {
 		}
 		s.cfg.Optimizer.ApplyDense(s.params, req.Dense)
 	}
-	s.version++
-	s.pushes++
-	staleness := s.version - 1 - req.PullVersion // pushes applied since the pull
+	version := s.version.Add(1)
+	s.pushes.Add(1)
+	staleness := version - 1 - req.PullVersion // pushes applied since the pull
 	if staleness < 0 {
 		staleness = 0
 	}
+	s.cfg.Obs.Push(version, staleness)
 	if s.cfg.Staleness != nil {
 		s.cfg.Staleness.ObserveStaleness(from, staleness, s.ctx.Now())
 	}
-	s.ctx.Send(from, &msg.PushAck{Seq: req.Seq, Version: s.version, Staleness: staleness})
+	s.ctx.Send(from, &msg.PushAck{Seq: req.Seq, Version: version, Staleness: staleness})
 }
 
 // Params returns the live parameter block. Probes under the single-threaded
 // simulator read it directly; it must not be mutated by callers.
 func (s *Server) Params() tensor.Vec { return s.params }
 
-// Version returns the number of pushes applied so far.
-func (s *Server) Version() int64 { return s.version }
+// Version returns the number of pushes applied so far. Safe for concurrent
+// use.
+func (s *Server) Version() int64 { return s.version.Load() }
 
 // Range returns the shard's parameter range.
 func (s *Server) Range() Range { return s.cfg.Range }
 
-// Stats returns cumulative pull and push counts.
-func (s *Server) Stats() (pulls, pushes int64) { return s.pulls, s.pushes }
+// Stats returns cumulative pull and push counts. Safe for concurrent use.
+func (s *Server) Stats() (pulls, pushes int64) { return s.pulls.Load(), s.pushes.Load() }

@@ -20,6 +20,7 @@ import (
 	"specsync/internal/model"
 	"specsync/internal/msg"
 	"specsync/internal/node"
+	"specsync/internal/obs"
 	"specsync/internal/ps"
 	"specsync/internal/scheme"
 	"specsync/internal/tensor"
@@ -80,6 +81,10 @@ type Config struct {
 	Compute ComputeModel
 	// Tracer, if non-nil, receives pull/push/abort events.
 	Tracer trace.Tracer
+	// Obs, if non-nil, receives phase transitions for latency histograms and
+	// span tracing. Timestamps come from node.Context, so the same hook works
+	// under the simulator (virtual time) and live (wall time).
+	Obs *obs.WorkerObs
 	// AbortLateFrac: a re-sync arriving after this fraction of the planned
 	// compute duration is ignored ("if that is not too late yet", paper
 	// Sec. IV-A). Zero means the default of 0.9.
@@ -309,6 +314,7 @@ func (wk *Worker) beginIteration() {
 // (aborted) pull round carry a stale Seq and are discarded.
 func (wk *Worker) startPull() {
 	wk.st = statePulling
+	wk.cfg.Obs.PullStart(wk.ctx.Now(), wk.iter)
 	wk.pullSeq++
 	wk.pullsPending = len(wk.cfg.Shards)
 	for i := range wk.cfg.Shards {
@@ -346,6 +352,7 @@ func (wk *Worker) handlePullResp(from node.ID, resp *msg.PullResp) {
 	wk.pullsPending--
 	if wk.pullsPending == 0 {
 		wk.record(trace.KindPull, 0)
+		wk.cfg.Obs.PullDone(wk.ctx.Now(), wk.iter)
 		wk.startCompute()
 	}
 }
@@ -382,6 +389,7 @@ func (wk *Worker) handleReSync(rs *msg.ReSync) {
 	}
 	wk.abortCount.Add(1)
 	wk.record(trace.KindAbort, int64(elapsed/time.Millisecond))
+	wk.cfg.Obs.Abort(wk.ctx.Now(), wk.iter)
 	wk.startPull() // re-pull fresher parameters and start over
 }
 
@@ -398,6 +406,7 @@ func (wk *Worker) finishCompute() {
 		wk.pushAcked[si] = false
 	}
 	wk.stalenessSum = 0
+	wk.cfg.Obs.ComputeDone(wk.ctx.Now(), wk.iter)
 	wk.sendPush()
 }
 
@@ -457,6 +466,7 @@ func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
 	// proxy the tuner uses).
 	wk.record(trace.KindPush, 0)
 	wk.record(trace.KindStaleness, wk.stalenessSum/int64(len(wk.cfg.Shards)))
+	wk.cfg.Obs.PushDone(wk.ctx.Now(), wk.iter, wk.stalenessSum/int64(len(wk.cfg.Shards)))
 	if wk.cfg.Scheme.Decentralized {
 		// Broadcast design: announce the push to every peer. Under plain
 		// ASP the scheduler is not involved at all; under BSP/SSP it still
