@@ -66,11 +66,14 @@ func run(args []string) error {
 
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address (\":0\" picks a port)")
 
-		checkpointDir   = fs.String("checkpoint-dir", "", "server role: directory for shard checkpoints; restored on boot if present")
-		checkpointEvery = fs.Duration("checkpoint-every", 10*time.Second, "server role: checkpoint period (0 disables; needs -checkpoint-dir)")
+		checkpointDir   = fs.String("checkpoint-dir", "", "server/scheduler role: directory for checkpoints; restored on boot if present")
+		checkpointEvery = fs.Duration("checkpoint-every", 10*time.Second, "server/scheduler role: checkpoint period (0 disables; needs -checkpoint-dir)")
 		heartbeatEvery  = fs.Duration("heartbeat", 0, "worker role: liveness heartbeat period (0 disables)")
 		retryAfter      = fs.Duration("retry-after", 0, "worker role: re-issue pulls/pushes unanswered for this long (0 disables)")
 		livenessTimeout = fs.Duration("liveness-timeout", 0, "scheduler role: evict workers silent for this long (0 disables)")
+		schedTimeout    = fs.Duration("scheduler-timeout", 0, "worker role: enter degraded mode when the scheduler is silent this long (0 disables)")
+		beaconEvery     = fs.Duration("beacon-every", 0, "scheduler role: broadcast liveness beacons on this period (0 disables)")
+		generation      = fs.Int64("generation", 0, "scheduler role: incarnation number; >0 means this process replaces a crashed scheduler and asks workers for state")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,7 +132,8 @@ func run(args []string) error {
 
 	var id node.ID
 	var handler node.Handler
-	var shard *ps.Server // set for the server role (checkpoint loop)
+	var shard *ps.Server      // set for the server role (checkpoint loop)
+	var sched *core.Scheduler // set for the scheduler role (checkpoint loop)
 	var ckptPath string
 	switch *role {
 	case "server":
@@ -172,31 +176,47 @@ func run(args []string) error {
 		}
 		id = node.WorkerID(*index)
 		handler, err = worker.New(worker.Config{
-			Index:          *index,
-			Shards:         ranges,
-			Model:          wl.Model,
-			Scheme:         sc,
-			Compute:        worker.ComputeModel{Base: wl.IterTime, Speed: 1, JitterSigma: wl.JitterSigma},
-			MaxIters:       *maxIters,
-			HeartbeatEvery: *heartbeatEvery,
-			RetryAfter:     *retryAfter,
-			Obs:            o.Worker(*index),
+			Index:            *index,
+			Shards:           ranges,
+			Model:            wl.Model,
+			Scheme:           sc,
+			Compute:          worker.ComputeModel{Base: wl.IterTime, Speed: 1, JitterSigma: wl.JitterSigma},
+			MaxIters:         *maxIters,
+			NumWorkers:       *workers,
+			HeartbeatEvery:   *heartbeatEvery,
+			RetryAfter:       *retryAfter,
+			SchedulerTimeout: *schedTimeout,
+			Obs:              o.Worker(*index),
 		})
 		if err != nil {
 			return err
 		}
 	case "scheduler":
 		id = node.Scheduler
-		handler, err = core.NewScheduler(core.SchedulerConfig{
+		sched, err = core.NewScheduler(core.SchedulerConfig{
 			Workers:         *workers,
 			Scheme:          sc,
 			InitialSpan:     wl.IterTime,
 			LivenessTimeout: *livenessTimeout,
+			Generation:      *generation,
+			BeaconEvery:     *beaconEvery,
 			Obs:             o.Scheduler(),
 		})
 		if err != nil {
 			return err
 		}
+		if *checkpointDir != "" {
+			if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+				return err
+			}
+			ckptPath = filepath.Join(*checkpointDir, "scheduler.ckpt")
+			if gen, ok, err := restoreSchedulerCheckpoint(sched, ckptPath); err != nil {
+				return err
+			} else if ok {
+				fmt.Printf("scheduler: restored checkpoint (written by generation %d) from %s\n", gen, ckptPath)
+			}
+		}
+		handler = sched
 	default:
 		return fmt.Errorf("role must be server, worker, or scheduler (got %q)", *role)
 	}
@@ -237,11 +257,11 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	// Periodic durable checkpoints for the server role. The snapshot is
-	// taken on the node's event loop (h.Do) so it never races with applies;
-	// only the file write happens out here.
+	// Periodic durable checkpoints for the server and scheduler roles. The
+	// snapshot is taken on the node's event loop (h.Do) so it never races
+	// with applies; only the file write happens out here.
 	var ckptTick <-chan time.Time
-	if shard != nil && ckptPath != "" && *checkpointEvery > 0 {
+	if (shard != nil || sched != nil) && ckptPath != "" && *checkpointEvery > 0 {
 		ct := time.NewTicker(*checkpointEvery)
 		defer ct.Stop()
 		ckptTick = ct.C
@@ -256,12 +276,22 @@ func run(args []string) error {
 			fmt.Println("shutting down")
 			return nil
 		case <-ckptTick:
-			var snap ps.Snapshot
-			h.Do(func() { snap = shard.Snapshot() })
-			if err := writeCheckpoint(ckptPath, snap); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: checkpoint failed: %v\n", id, err)
-			} else if *debug {
-				fmt.Printf("%s: checkpointed version %d\n", id, snap.Version)
+			if shard != nil {
+				var snap ps.Snapshot
+				h.Do(func() { snap = shard.Snapshot() })
+				if err := writeCheckpoint(ckptPath, snap); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: checkpoint failed: %v\n", id, err)
+				} else if *debug {
+					fmt.Printf("%s: checkpointed version %d\n", id, snap.Version)
+				}
+			} else {
+				var snap core.SchedulerSnapshot
+				h.Do(func() { snap = sched.Snapshot() })
+				if err := writeSchedulerCheckpoint(ckptPath, snap); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: checkpoint failed: %v\n", id, err)
+				} else if *debug {
+					fmt.Printf("%s: checkpointed epoch %d\n", id, snap.Epoch)
+				}
 			}
 		case <-ticker.C:
 			switch n := handler.(type) {
@@ -333,6 +363,49 @@ func restoreCheckpoint(shard *ps.Server, path string) (version int64, ok bool, e
 		return 0, false, err
 	}
 	return snap.Version, true, nil
+}
+
+// restoreSchedulerCheckpoint loads a prior scheduler checkpoint if one
+// exists; the generation in the file is the writer's (the rebuilt scheduler
+// keeps its own -generation flag).
+func restoreSchedulerCheckpoint(sched *core.Scheduler, path string) (gen int64, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	snap, err := core.ReadSchedulerSnapshot(f)
+	if err != nil {
+		return 0, false, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if err := sched.Restore(snap); err != nil {
+		return 0, false, err
+	}
+	return snap.Generation, true, nil
+}
+
+// writeSchedulerCheckpoint mirrors writeCheckpoint for the scheduler role.
+func writeSchedulerCheckpoint(path string, snap core.SchedulerSnapshot) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := snap.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // writeCheckpoint writes the snapshot durably: temp file in the same

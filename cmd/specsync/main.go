@@ -47,6 +47,9 @@ func run(args []string) error {
 		churn         = fs.Int("churn", 0, "generate this many random crash/restart events")
 		churnHorizon  = fs.Duration("churn-horizon", 5*time.Minute, "window in which generated crashes land")
 		churnDowntime = fs.Duration("churn-downtime", 30*time.Second, "mean downtime of generated crashes")
+		schedCrashes  = fs.Int("churn-scheduler", 0, "generated churn also crashes the scheduler this many times")
+		schedTimeout  = fs.Duration("scheduler-timeout", 0, "worker-side scheduler failure-detector timeout (0 = auto when the plan crashes the scheduler)")
+		beaconEvery   = fs.Duration("beacon-every", 0, "scheduler liveness beacon period (0 = auto when the plan crashes the scheduler)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,8 +102,10 @@ func run(args []string) error {
 	if *hetero {
 		cfg.Speeds = cluster.InstanceSpeeds(*workers)
 	}
-	if *faultPlanPath != "" && *churn > 0 {
-		return fmt.Errorf("use either -fault-plan or -churn, not both")
+	cfg.SchedulerTimeout = *schedTimeout
+	cfg.BeaconEvery = *beaconEvery
+	if *faultPlanPath != "" && (*churn > 0 || *schedCrashes > 0) {
+		return fmt.Errorf("use either -fault-plan or -churn/-churn-scheduler, not both")
 	}
 	if *faultPlanPath != "" {
 		data, err := os.ReadFile(*faultPlanPath)
@@ -112,7 +117,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *churn > 0 {
+	if *churn > 0 || *schedCrashes > 0 {
 		nsrv := *servers
 		if nsrv == 0 {
 			nsrv = *workers
@@ -121,12 +126,13 @@ func run(args []string) error {
 			}
 		}
 		plan, err := faults.Generate(*seed, faults.ChurnConfig{
-			Workers:        *workers,
-			Servers:        nsrv,
-			Crashes:        *churn,
-			Horizon:        *churnHorizon,
-			Downtime:       *churnDowntime,
-			ServerFraction: 0.25,
+			Workers:          *workers,
+			Servers:          nsrv,
+			Crashes:          *churn,
+			Horizon:          *churnHorizon,
+			Downtime:         *churnDowntime,
+			ServerFraction:   0.25,
+			SchedulerCrashes: *schedCrashes,
 		})
 		if err != nil {
 			return err
@@ -203,6 +209,11 @@ func run(args []string) error {
 		st := res.Faults.Stats()
 		fmt.Printf("faults: %d crashes, %d restarts (%d restored from checkpoint), %d evictions, %d readmissions, %d dropped msgs\n",
 			st.Crashes, st.Restarts, st.Restores, st.Evictions, st.Readmissions, st.Drops)
+		if st.SchedulerCrashes > 0 {
+			fmt.Printf("scheduler: %d crashes, %d restarts (%d restored from checkpoint), %d state reports, %d degraded entries, %d recoveries\n",
+				st.SchedulerCrashes, st.SchedulerRestarts, st.SchedulerRestores,
+				st.StateReports, st.DegradedEnters, st.DegradedRecovers)
+		}
 	}
 	data, control := res.Transfer.Split()
 	fmt.Printf("transfer: data %s, control %s (%.4f%% control)\n",

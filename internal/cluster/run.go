@@ -87,6 +87,16 @@ type Config struct {
 	// lost to a crashed shard are re-issued after this long). Zero means
 	// 2x IterTime when Faults is set, retries off otherwise.
 	RetryAfter time.Duration
+	// SchedulerTimeout overrides the workers' scheduler failure-detector
+	// timeout (silence longer than this flips a worker into degraded mode).
+	// Zero means 4x IterTime when the fault plan crashes the scheduler,
+	// detector off otherwise — so plans that never touch the scheduler keep
+	// their exact event schedules.
+	SchedulerTimeout time.Duration
+	// BeaconEvery overrides the scheduler's liveness beacon period. Zero
+	// means IterTime when the fault plan crashes the scheduler, beacons off
+	// otherwise.
+	BeaconEvery time.Duration
 	// Obs, if non-nil, receives runtime telemetry (latency histograms, span
 	// traces, the /clusterz snapshot). Nil builds an internal registry-only
 	// instance so Result.Obs is always populated; pass obs.New with
@@ -117,6 +127,14 @@ func (c *Config) applyDefaults() {
 		}
 		if c.RetryAfter == 0 {
 			c.RetryAfter = 2 * it
+		}
+		if c.Faults.HasSchedulerCrash() {
+			if c.SchedulerTimeout == 0 {
+				c.SchedulerTimeout = 4 * it
+			}
+			if c.BeaconEvery == 0 {
+				c.BeaconEvery = it
+			}
 		}
 	}
 	zero := des.NetModel{}
@@ -241,6 +259,11 @@ func Run(cfg Config) (*Result, error) {
 	initRng := rand.New(rand.NewSource(cfg.Seed ^ 0x1217))
 	initVec := mdl.Init(initRng)
 
+	var faultM *metrics.Faults
+	if cfg.Faults != nil {
+		faultM = metrics.NewFaults(msg.IsControl)
+	}
+
 	// makeServer / makeWorker build a node from scratch; used for initial
 	// construction and again by the fault injector for restarts (a restarted
 	// node is a fresh incarnation with the same static configuration).
@@ -276,12 +299,14 @@ func Run(cfg Config) (*Result, error) {
 				Speed:       speed,
 				JitterSigma: cfg.Workload.JitterSigma,
 			},
-			Tracer:         collector,
-			Obs:            o.Worker(i),
-			AbortLateFrac:  cfg.AbortLateFrac,
-			NumWorkers:     cfg.Workers,
-			HeartbeatEvery: cfg.HeartbeatEvery,
-			RetryAfter:     cfg.RetryAfter,
+			Tracer:           collector,
+			Obs:              o.Worker(i),
+			AbortLateFrac:    cfg.AbortLateFrac,
+			NumWorkers:       cfg.Workers,
+			HeartbeatEvery:   cfg.HeartbeatEvery,
+			RetryAfter:       cfg.RetryAfter,
+			SchedulerTimeout: cfg.SchedulerTimeout,
+			Faults:           faultM,
 		})
 	}
 
@@ -313,31 +338,35 @@ func Run(cfg Config) (*Result, error) {
 	if maxAbortFrac == 0 {
 		maxAbortFrac = 0.125
 	}
-	var faultM *metrics.Faults
-	if cfg.Faults != nil {
-		faultM = metrics.NewFaults(msg.IsControl)
-	}
 
-	sched, err := core.NewScheduler(core.SchedulerConfig{
-		Workers:           cfg.Workers,
-		Scheme:            cfg.Scheme,
-		InitialSpan:       cfg.Workload.IterTime,
-		Tracer:            collector,
-		OnTune:            cfg.OnTune,
-		RateMargin:        cfg.RateMargin,
-		CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
-		LivenessTimeout:   cfg.LivenessTimeout,
-		Faults:            faultM,
-		Obs:               o.Scheduler(),
-		Tuner: core.TunerConfig{
-			MinAbort: 4 * cfg.Net.Latency,
-			// With the eager threshold check, an abort costs only the time
-			// elapsed when the push rate crosses the threshold, so windows
-			// up to the paper's grid bound (half an iteration) are usable.
-			MaxAbort:      time.Duration(maxAbortFrac * float64(cfg.Workload.IterTime)),
-			MaxCandidates: 512,
-		},
-	})
+	// makeScheduler builds a scheduler incarnation; gen 0 is the initial one,
+	// higher generations are fault-injector restarts (their Init broadcasts
+	// SchedulerHello instead of Start).
+	makeScheduler := func(gen int64) (*core.Scheduler, error) {
+		return core.NewScheduler(core.SchedulerConfig{
+			Workers:           cfg.Workers,
+			Scheme:            cfg.Scheme,
+			InitialSpan:       cfg.Workload.IterTime,
+			Tracer:            collector,
+			OnTune:            cfg.OnTune,
+			RateMargin:        cfg.RateMargin,
+			CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
+			LivenessTimeout:   cfg.LivenessTimeout,
+			Generation:        gen,
+			BeaconEvery:       cfg.BeaconEvery,
+			Faults:            faultM,
+			Obs:               o.Scheduler(),
+			Tuner: core.TunerConfig{
+				MinAbort: 4 * cfg.Net.Latency,
+				// With the eager threshold check, an abort costs only the time
+				// elapsed when the push rate crosses the threshold, so windows
+				// up to the paper's grid bound (half an iteration) are usable.
+				MaxAbort:      time.Duration(maxAbortFrac * float64(cfg.Workload.IterTime)),
+				MaxCandidates: 512,
+			},
+		})
+	}
+	sched, err := makeScheduler(0)
 	if err != nil {
 		return nil, err
 	}
@@ -346,8 +375,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Iterations and aborts retired by crashed worker incarnations; the
-	// replacement starts its counters from zero.
-	var retiredIters, retiredAborts int64
+	// replacement starts its counters from zero. Likewise re-syncs and epochs
+	// retired by crashed scheduler incarnations.
+	var retiredIters, retiredAborts, retiredResyncs int64
+	var maxEpochs int
 	var inj *faults.SimInjector
 	if cfg.Faults != nil {
 		inj, err = faults.AttachSim(sim, faults.SimOptions{
@@ -360,8 +391,10 @@ func Run(cfg Config) (*Result, error) {
 			NewWorker: func(i int) (node.Handler, error) {
 				return makeWorker(i)
 			},
-			NewServer: makeServer,
-			Server:    func(shard int) *ps.Server { return servers[shard] },
+			NewServer:    makeServer,
+			NewScheduler: makeScheduler,
+			Server:       func(shard int) *ps.Server { return servers[shard] },
+			Scheduler:    func() *core.Scheduler { return sched },
 			OnWorkerRestart: func(i int, h node.Handler) {
 				retiredIters += workers[i].IterationsDone()
 				retiredAborts += workers[i].Aborts()
@@ -369,6 +402,13 @@ func Run(cfg Config) (*Result, error) {
 			},
 			OnServerRestart: func(shard int, srv *ps.Server) {
 				servers[shard] = srv
+			},
+			OnSchedulerRestart: func(s *core.Scheduler) {
+				retiredResyncs += sched.ReSyncsSent()
+				if e := sched.Epoch(); e > maxEpochs {
+					maxEpochs = e
+				}
+				sched = s
 			},
 		})
 		if err != nil {
@@ -448,8 +488,11 @@ func Run(cfg Config) (*Result, error) {
 		res.Aborts += wk.Aborts()
 	}
 	res.Faults = faultM
-	res.ReSyncs = sched.ReSyncsSent()
+	res.ReSyncs = retiredResyncs + sched.ReSyncsSent()
 	res.Epochs = sched.Epoch()
+	if maxEpochs > res.Epochs {
+		res.Epochs = maxEpochs
+	}
 	res.FinalLoss = res.Loss.Last().V
 	if t, ok := res.Loss.TimeToConverge(cfg.Workload.TargetLoss, cfg.ConsecutiveBelow); ok {
 		res.ConvergeTime = t

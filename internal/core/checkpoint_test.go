@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"specsync/internal/scheme"
+)
+
+func sampleSnapshot() SchedulerSnapshot {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	return SchedulerSnapshot{
+		Generation:      2,
+		Epoch:           7,
+		MembershipEpoch: 3,
+		EpochStart:      base,
+		SpecEnabled:     true,
+		AbortTime:       250 * time.Millisecond,
+		Rates:           []float64{0.2, 0.25, 0.3},
+		SpanEWMA:        []time.Duration{time.Second, 900 * time.Millisecond, 1100 * time.Millisecond},
+		LastNotify:      []time.Time{base.Add(time.Second), {}, base.Add(2 * time.Second)},
+		History: []PushRecord{
+			{At: base.Add(500 * time.Millisecond), Worker: 0},
+			{At: base.Add(1500 * time.Millisecond), Worker: 2},
+		},
+		Tunes:       4,
+		NotifyCount: []int64{5, 4, 6},
+		Pushed:      []bool{true, false, true},
+		Alive:       []bool{true, true, false},
+		Round:       5,
+		Completed:   []int64{5, 4, 6},
+		MinClock:    4,
+	}
+}
+
+// normalizeTimes maps every timestamp to UTC: the wire codec decodes times in
+// the local zone, which DeepEqual would treat as a difference.
+func normalizeTimes(s SchedulerSnapshot) SchedulerSnapshot {
+	s.EpochStart = s.EpochStart.UTC()
+	s.LastNotify = append([]time.Time(nil), s.LastNotify...)
+	for i := range s.LastNotify {
+		s.LastNotify[i] = s.LastNotify[i].UTC()
+	}
+	s.History = append([]PushRecord(nil), s.History...)
+	for i := range s.History {
+		s.History[i].At = s.History[i].At.UTC()
+	}
+	return s
+}
+
+func TestSchedulerSnapshotRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedulerSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeTimes(snap), normalizeTimes(got)) {
+		t.Errorf("round trip mismatch:\n  wrote %+v\n  read  %+v", snap, got)
+	}
+}
+
+func TestSchedulerSnapshotDecodeErrors(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadSchedulerSnapshot(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Error("truncated checkpoint decoded without error")
+	}
+	if _, err := ReadSchedulerSnapshot(bytes.NewReader(append(append([]byte(nil), data...), 0xff))); err == nil {
+		t.Error("trailing garbage decoded without error")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := ReadSchedulerSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic decoded without error")
+	}
+}
+
+func TestSchedulerRestoreRoundTrip(t *testing.T) {
+	mk := func(gen int64) *Scheduler {
+		s, err := NewScheduler(SchedulerConfig{
+			Workers:     3,
+			Scheme:      scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive},
+			InitialSpan: time.Second,
+			Generation:  gen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	snap := sampleSnapshot()
+	s := mk(snap.Generation)
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Restored() {
+		t.Error("Restored() = false after Restore")
+	}
+	if got := s.Snapshot(); !reflect.DeepEqual(snap, got) {
+		t.Errorf("restore/snapshot mismatch:\n  restored %+v\n  snapshot %+v", snap, got)
+	}
+
+	// A snapshot from a differently sized cluster must be rejected.
+	wrong := sampleSnapshot()
+	wrong.Rates = wrong.Rates[:2]
+	if err := mk(1).Restore(wrong); err == nil {
+		t.Error("Restore accepted a snapshot with a mismatched worker count")
+	}
+}

@@ -63,6 +63,15 @@ type SchedulerConfig struct {
 	// Obs, if non-nil, receives re-sync/epoch/membership telemetry and
 	// publishes the aggregated cluster snapshot served at /clusterz.
 	Obs *obs.SchedulerObs
+	// Generation is this scheduler's incarnation number. Zero is the
+	// original process; a positive value marks a post-crash restart, which
+	// broadcasts SchedulerHello (instead of Start) on Init so workers
+	// re-report their state and leave degraded mode.
+	Generation int64
+	// BeaconEvery, when positive, broadcasts a periodic SchedulerBeacon so
+	// workers' scheduler-failure detectors have a liveness signal that does
+	// not depend on re-sync or release traffic.
+	BeaconEvery time.Duration
 }
 
 // Scheduler is the central coordinator (paper Fig. 7): it observes notify
@@ -90,9 +99,18 @@ type Scheduler struct {
 	epoch      atomic.Int64
 	epochStart time.Time
 
-	// BSP barrier state.
-	barrierN int
-	round    int64
+	// notifyCount[i] is the number of completed iterations worker i has
+	// reported via Notify (== last Notify.Iter + 1). A restarted scheduler
+	// compares it against StateReport.Iter to detect pushes it missed while
+	// down and rebuild the pushed-this-epoch bitmap.
+	notifyCount []int64
+
+	// BSP barrier state. waitingBSP marks workers already counted into the
+	// current barrier round (via Notify or a post-restart StateReport), so
+	// the rebuild never double-counts; it resets on every release.
+	barrierN   int
+	round      int64
+	waitingBSP []bool
 
 	// SSP clock state.
 	completed []int64
@@ -104,8 +122,10 @@ type Scheduler struct {
 	lastSeen        []time.Time
 	membershipEpoch atomic.Int64
 
-	resyncsSent atomic.Int64
-	tunes       int64
+	resyncsSent  atomic.Int64
+	tunes        int64
+	stateReports int64
+	restored     bool // booted from a checkpoint snapshot
 }
 
 // specWindow tracks one worker's open speculation window.
@@ -149,16 +169,18 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	cfg.Tuner.Workers = cfg.Workers
 
 	s := &Scheduler{
-		cfg:        cfg,
-		m:          cfg.Workers,
-		lastNotify: make([]time.Time, cfg.Workers),
-		spanEWMA:   make([]time.Duration, cfg.Workers),
-		pushed:     make([]bool, cfg.Workers),
-		completed:  make([]int64, cfg.Workers),
-		rates:      make([]float64, cfg.Workers),
-		windows:    make([]specWindow, cfg.Workers),
-		alive:      make([]bool, cfg.Workers),
-		aliveN:     cfg.Workers,
+		cfg:         cfg,
+		m:           cfg.Workers,
+		lastNotify:  make([]time.Time, cfg.Workers),
+		spanEWMA:    make([]time.Duration, cfg.Workers),
+		pushed:      make([]bool, cfg.Workers),
+		notifyCount: make([]int64, cfg.Workers),
+		completed:   make([]int64, cfg.Workers),
+		rates:       make([]float64, cfg.Workers),
+		windows:     make([]specWindow, cfg.Workers),
+		waitingBSP:  make([]bool, cfg.Workers),
+		alive:       make([]bool, cfg.Workers),
+		aliveN:      cfg.Workers,
 	}
 	for i := range s.alive {
 		s.alive[i] = true
@@ -178,22 +200,52 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	return s, nil
 }
 
-// Init implements node.Handler: it launches every worker.
+// Init implements node.Handler. The original incarnation launches every
+// worker; a restarted one (Generation > 0) instead announces itself with
+// SchedulerHello so workers answer with StateReports and the barrier /
+// clock / epoch state rebuilds.
 func (s *Scheduler) Init(ctx node.Context) {
 	s.ctx = ctx
-	s.epochStart = ctx.Now()
+	now := ctx.Now()
+	if s.epochStart.IsZero() || !s.restored {
+		s.epochStart = now
+	}
 	s.cfg.Obs.Tune(s.specEnabled, s.abortTime, metrics.Mean(s.rates))
 	s.cfg.Obs.AliveWorkers(s.aliveN)
 	if s.cfg.LivenessTimeout > 0 {
 		s.lastSeen = make([]time.Time, s.m)
 		for i := range s.lastSeen {
-			s.lastSeen[i] = s.epochStart
+			s.lastSeen[i] = now
 		}
 		s.armLivenessSweep()
+	}
+	if s.cfg.BeaconEvery > 0 {
+		s.armBeacon()
+	}
+	if s.cfg.Generation > 0 {
+		s.cfg.Obs.Restarted(now, s.cfg.Generation)
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Record(trace.Event{At: now, Worker: trace.SchedulerNode, Kind: trace.KindRecover, Value: s.cfg.Generation})
+		}
+		for i := 0; i < s.m; i++ {
+			ctx.Send(node.WorkerID(i), &msg.SchedulerHello{Gen: s.cfg.Generation})
+		}
+		s.publishCluster(now)
+		return
 	}
 	for i := 0; i < s.m; i++ {
 		ctx.Send(node.WorkerID(i), &msg.Start{})
 	}
+}
+
+// armBeacon schedules the periodic scheduler liveness beacon.
+func (s *Scheduler) armBeacon() {
+	s.ctx.After(s.cfg.BeaconEvery, func() {
+		for i := 0; i < s.m; i++ {
+			s.ctx.Send(node.WorkerID(i), &msg.SchedulerBeacon{Gen: s.cfg.Generation})
+		}
+		s.armBeacon()
+	})
 }
 
 // armLivenessSweep schedules the periodic failure-detection pass. Sweeping at
@@ -289,6 +341,10 @@ func (s *Scheduler) Receive(from node.ID, m wire.Message) {
 		if i := node.WorkerIndex(from); i >= 0 && i < s.m {
 			s.touch(i, s.ctx.Now())
 		}
+	case *msg.StateReport:
+		if i := node.WorkerIndex(from); i >= 0 && i < s.m {
+			s.handleStateReport(i, mm)
+		}
 	case *msg.Stop:
 		// The harness signals shutdown; nothing to tear down centrally.
 	default:
@@ -325,6 +381,11 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		s.history = append(s.history[:0], s.history[drop:]...)
 	}
 
+	// Completed-iteration count, for post-restart epoch rebuilds.
+	if c := n.Iter + 1; c > s.notifyCount[i] {
+		s.notifyCount[i] = c
+	}
+
 	// Epoch tracking: an epoch completes when every live member pushed at
 	// least once since the previous boundary (paper Sec. II-B).
 	if !s.pushed[i] {
@@ -347,10 +408,21 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 	}
 
 	// BSP barrier (membership-aware: the barrier waits only on live members).
+	// The round tracks notified iterations (a no-op in healthy runs, where
+	// round == n.Iter at notify time) so a cold-restarted scheduler's next
+	// release carries a round number the waiting workers will accept; the
+	// waitingBSP guard keeps duplicated notifies and post-restart
+	// StateReports from double-counting one worker into the barrier.
 	if s.cfg.Scheme.Base == scheme.BSP {
-		s.barrierN++
-		if s.barrierN >= s.aliveN {
-			s.releaseBarrier()
+		if n.Iter > s.round {
+			s.round = n.Iter
+		}
+		if !s.waitingBSP[i] {
+			s.waitingBSP[i] = true
+			s.barrierN++
+			if s.barrierN >= s.aliveN {
+				s.releaseBarrier()
+			}
 		}
 	}
 
@@ -407,16 +479,86 @@ func (s *Scheduler) publishCluster(now time.Time) {
 		AbortTimeSeconds: s.abortTime.Seconds(),
 		AliveWorkers:     s.aliveN,
 		Workers:          workers,
+		Generation:       s.cfg.Generation,
+		RestoredFromCk:   s.restored,
+		StateReports:     s.stateReports,
 	})
 }
 
 // releaseBarrier opens the BSP barrier for the next round.
 func (s *Scheduler) releaseBarrier() {
 	s.barrierN = 0
+	for i := range s.waitingBSP {
+		s.waitingBSP[i] = false
+	}
 	s.round++
 	for w := 0; w < s.m; w++ {
 		s.ctx.Send(node.WorkerID(w), &msg.BarrierRelease{Round: s.round})
 	}
+}
+
+// handleStateReport consumes a worker's answer to SchedulerHello (or to a
+// newer-generation beacon): it rebuilds the membership, epoch,
+// BSP-barrier, and SSP-clock state a restarted scheduler lost or holds
+// stale from its checkpoint.
+func (s *Scheduler) handleStateReport(i int, r *msg.StateReport) {
+	now := s.ctx.Now()
+	s.touch(i, now)
+	s.stateReports++
+	s.cfg.Faults.RecordStateReport()
+	s.cfg.Obs.StateReport()
+
+	// Pushes the scheduler never saw a Notify for happened while it was
+	// down; fold them into the pushed-this-epoch bitmap.
+	if r.Iter > s.notifyCount[i] {
+		s.notifyCount[i] = r.Iter
+		if !s.pushed[i] {
+			s.pushed[i] = true
+			s.pushedN++
+			if s.pushedN >= s.aliveN {
+				s.epochBoundary(now)
+			}
+		}
+	}
+
+	switch s.cfg.Scheme.Base {
+	case scheme.SSP:
+		if r.Clock > s.completed[i] {
+			s.completed[i] = r.Clock
+		}
+		s.broadcastMinClock()
+		if r.Waiting && s.minClock > 0 {
+			// Re-issue the clock directly in case the worker missed the
+			// last broadcast while the scheduler was down.
+			s.ctx.Send(node.WorkerID(i), &msg.MinClock{Clock: s.minClock})
+		}
+	case scheme.BSP:
+		// A computing reporter (completed Iter pushes) was last released
+		// into round >= Iter; a waiting one only proves round >= Iter-1.
+		min := r.Iter
+		if r.Waiting {
+			min = r.Iter - 1
+		}
+		if min > s.round {
+			s.round = min
+		}
+		if r.Waiting {
+			if s.round >= r.Iter {
+				// The release this worker is parked on already happened
+				// (restored round from a checkpoint, or a missed
+				// broadcast); re-issue it directly.
+				s.ctx.Send(node.WorkerID(i), &msg.BarrierRelease{Round: s.round})
+			} else if !s.waitingBSP[i] {
+				s.waitingBSP[i] = true
+				s.barrierN++
+				if s.barrierN >= s.aliveN {
+					s.releaseBarrier()
+				}
+			}
+		}
+	}
+
+	s.publishCluster(now)
 }
 
 // broadcastMinClock recomputes the SSP min-clock over live members and

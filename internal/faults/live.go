@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"specsync/internal/core"
 	"specsync/internal/live"
 	"specsync/internal/metrics"
 	"specsync/internal/msg"
@@ -24,17 +25,26 @@ type LiveOptions struct {
 	Tracer trace.Tracer
 	// Faults, if non-nil, counts fault activity.
 	Faults *metrics.Faults
-	// NewWorker / NewServer build fresh handlers for restarts (required
-	// when the plan restarts the respective node type).
-	NewWorker func(i int) (node.Handler, error)
-	NewServer func(shard int) (*ps.Server, error)
-	// OnWorkerRestart / OnServerRestart let the harness swap references.
-	OnWorkerRestart func(i int, h node.Handler)
-	OnServerRestart func(shard int, srv *ps.Server)
+	// NewWorker / NewServer / NewScheduler build fresh handlers for restarts
+	// (required when the plan restarts the respective node type). The gen
+	// passed to NewScheduler is the incarnation number (1 for the first
+	// restart) and must reach the new scheduler's config.
+	NewWorker    func(i int) (node.Handler, error)
+	NewServer    func(shard int) (*ps.Server, error)
+	NewScheduler func(gen int64) (*core.Scheduler, error)
+	// OnWorkerRestart / OnServerRestart / OnSchedulerRestart let the harness
+	// swap references.
+	OnWorkerRestart    func(i int, h node.Handler)
+	OnServerRestart    func(shard int, srv *ps.Server)
+	OnSchedulerRestart func(s *core.Scheduler)
 	// Checkpoint, if non-nil, returns the snapshot to restore into a
 	// restarted shard (e.g. read from the checkpoint directory); returning
 	// ok=false restarts the shard blank.
 	Checkpoint func(shard int) (ps.Snapshot, bool)
+	// SchedulerCheckpoint, if non-nil, returns the snapshot to restore into
+	// a restarted scheduler; ok=false restarts it cold (state rebuilds from
+	// worker StateReports alone).
+	SchedulerCheckpoint func() (core.SchedulerSnapshot, bool)
 }
 
 // LiveInjector executes a plan against a live.Network in wall-clock time.
@@ -44,12 +54,13 @@ type LiveInjector struct {
 	opts   LiveOptions
 	filter *Filter
 
-	mu      sync.Mutex
-	net     *live.Network
-	start   time.Time
-	timers  []*time.Timer
-	errs    []error
-	stopped bool
+	mu       sync.Mutex
+	net      *live.Network
+	start    time.Time
+	timers   []*time.Timer
+	schedGen int64
+	errs     []error
+	stopped  bool
 }
 
 // NewLive validates the plan and builds the injector.
@@ -75,6 +86,10 @@ func NewLive(opts LiveOptions) (*LiveInjector, error) {
 			}
 			if ev.RestartAfter > 0 && opts.NewServer == nil {
 				return nil, fmt.Errorf("faults: event %d restarts a server but NewServer is nil", i)
+			}
+		case KindCrashScheduler:
+			if ev.RestartAfter > 0 && opts.NewScheduler == nil {
+				return nil, fmt.Errorf("faults: event %d restarts the scheduler but NewScheduler is nil", i)
 			}
 		}
 	}
@@ -135,17 +150,30 @@ func (l *LiveInjector) crash(ev Event) {
 
 	var id node.ID
 	traceWorker := ev.Node
-	if ev.Kind == KindCrashWorker {
+	switch ev.Kind {
+	case KindCrashWorker:
 		id = node.WorkerID(ev.Node)
-	} else {
+	case KindCrashScheduler:
+		id = node.Scheduler
+		traceWorker = trace.SchedulerNode
+	default:
 		id = node.ServerID(ev.Node)
 		traceWorker = -(ev.Node + 1)
+	}
+	if net.Down(id) {
+		// Overlapping crash events on one node: the earlier crash already
+		// holds it down, so this one — and its restart — is a no-op.
+		return
 	}
 	if err := net.Crash(id); err != nil {
 		l.fail(err)
 		return
 	}
-	l.opts.Faults.RecordCrash()
+	if ev.Kind == KindCrashScheduler {
+		l.opts.Faults.RecordSchedulerCrash()
+	} else {
+		l.opts.Faults.RecordCrash()
+	}
 	if l.opts.Tracer != nil {
 		l.opts.Tracer.Record(trace.Event{At: time.Now(), Worker: traceWorker, Kind: trace.KindCrash})
 	}
@@ -167,6 +195,10 @@ func (l *LiveInjector) restart(ev Event, id node.ID, traceWorker int) {
 	net := l.net
 	l.mu.Unlock()
 
+	if ev.Kind == KindCrashScheduler {
+		l.restartScheduler(net)
+		return
+	}
 	var h node.Handler
 	restored := int64(0)
 	if ev.Kind == KindCrashWorker {
@@ -212,6 +244,40 @@ func (l *LiveInjector) restart(ev Event, id node.ID, traceWorker int) {
 		if err := net.Inject(node.Scheduler, id, &msg.Start{}); err != nil {
 			l.fail(err)
 		}
+	}
+}
+
+// restartScheduler mirrors the sim injector: restore the latest durable
+// checkpoint when one exists, then let the new incarnation's Init broadcast
+// SchedulerHello so worker StateReports rebuild the rest. The new scheduler's
+// Init records its own recover trace.
+func (l *LiveInjector) restartScheduler(net *live.Network) {
+	l.mu.Lock()
+	l.schedGen++
+	gen := l.schedGen
+	l.mu.Unlock()
+
+	sched, err := l.opts.NewScheduler(gen)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	if l.opts.SchedulerCheckpoint != nil {
+		if snap, ok := l.opts.SchedulerCheckpoint(); ok {
+			if err := sched.Restore(snap); err != nil {
+				l.fail(err)
+				return
+			}
+			l.opts.Faults.RecordSchedulerRestore()
+		}
+	}
+	if err := net.Restart(node.Scheduler, sched); err != nil {
+		l.fail(err)
+		return
+	}
+	l.opts.Faults.RecordSchedulerRestart()
+	if l.opts.OnSchedulerRestart != nil {
+		l.opts.OnSchedulerRestart(sched)
 	}
 }
 

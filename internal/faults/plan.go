@@ -29,6 +29,11 @@ const (
 	// KindCrashServer crashes server shard Node at At; RestartAfter > 0
 	// restarts it, restoring the most recent checkpoint when one exists.
 	KindCrashServer EventKind = "crash-server"
+	// KindCrashScheduler crashes the scheduler at At (Node is ignored —
+	// there is exactly one); RestartAfter > 0 restarts it as a fresh
+	// incarnation, restoring the most recent scheduler checkpoint when one
+	// exists and rebuilding the rest of its state from worker StateReports.
+	KindCrashScheduler EventKind = "crash-scheduler"
 	// KindPartition drops every message between groups A and B (both
 	// directions) during [At, At+Duration).
 	KindPartition EventKind = "partition"
@@ -91,6 +96,10 @@ func (p *Plan) Validate() error {
 			if ev.RestartAfter < 0 {
 				return fmt.Errorf("faults: event %d: negative RestartAfter", i)
 			}
+		case KindCrashScheduler:
+			if ev.RestartAfter < 0 {
+				return fmt.Errorf("faults: event %d: negative RestartAfter", i)
+			}
 		case KindPartition:
 			if len(ev.A) == 0 || len(ev.B) == 0 {
 				return fmt.Errorf("faults: event %d: partition needs both sides", i)
@@ -116,12 +125,25 @@ func (p *Plan) Validate() error {
 func (p *Plan) Crashes() []Event {
 	var out []Event
 	for _, ev := range p.Events {
-		if ev.Kind == KindCrashWorker || ev.Kind == KindCrashServer {
+		if ev.Kind == KindCrashWorker || ev.Kind == KindCrashServer || ev.Kind == KindCrashScheduler {
 			out = append(out, ev)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
+}
+
+// HasSchedulerCrash reports whether the plan targets the scheduler. Runners
+// use this to decide whether to arm the worker-side scheduler failure
+// detector and the scheduler's beacon (both off by default so fault-free and
+// worker/server-only runs keep their exact event schedules).
+func (p *Plan) HasSchedulerCrash() bool {
+	for _, ev := range p.Events {
+		if ev.Kind == KindCrashScheduler {
+			return true
+		}
+	}
+	return false
 }
 
 // MarshalJSON round-trips through the standard encoder; ParseJSON is the
@@ -160,6 +182,10 @@ type ChurnConfig struct {
 	// ServerFraction is the fraction of crashes that hit server shards
 	// (default 0: workers only).
 	ServerFraction float64
+	// SchedulerCrashes is the number of additional scheduler crash/restart
+	// events to schedule (default 0). They share the horizon and downtime
+	// distribution with worker/server crashes.
+	SchedulerCrashes int
 }
 
 // Generate builds a deterministic churn plan: Crashes crash/restart events
@@ -187,6 +213,17 @@ func Generate(seed int64, cfg ChurnConfig) (*Plan, error) {
 			ev.Kind = KindCrashServer
 			ev.Node = rng.Intn(cfg.Servers)
 		}
+		if cfg.Downtime > 0 {
+			half := int64(cfg.Downtime) / 2
+			ev.RestartAfter = time.Duration(half + rng.Int63n(2*half))
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if cfg.SchedulerCrashes > 0 && cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("faults: churn needs a positive horizon")
+	}
+	for i := 0; i < cfg.SchedulerCrashes; i++ {
+		ev := Event{Kind: KindCrashScheduler, At: time.Duration(rng.Int63n(int64(cfg.Horizon)))}
 		if cfg.Downtime > 0 {
 			half := int64(cfg.Downtime) / 2
 			ev.RestartAfter = time.Duration(half + rng.Int63n(2*half))

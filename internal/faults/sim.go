@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"specsync/internal/core"
 	"specsync/internal/des"
 	"specsync/internal/metrics"
 	"specsync/internal/msg"
@@ -30,13 +31,24 @@ type SimOptions struct {
 	// NewServer builds a fresh parameter-server shard for a restart.
 	// Required when the plan restarts a server.
 	NewServer func(shard int) (*ps.Server, error)
+	// NewScheduler builds a fresh scheduler incarnation for a restart; gen
+	// is the incarnation number (1 for the first restart) and must reach the
+	// new scheduler's config so its Init announces itself with a
+	// SchedulerHello. Required when the plan restarts the scheduler.
+	NewScheduler func(gen int64) (*core.Scheduler, error)
 	// Server returns the shard's current server (for checkpointing).
 	// Required when CheckpointEvery > 0.
 	Server func(shard int) *ps.Server
-	// OnWorkerRestart / OnServerRestart let the harness swap its references
-	// to the replaced node (result accounting reads counters off them).
-	OnWorkerRestart func(i int, h node.Handler)
-	OnServerRestart func(shard int, srv *ps.Server)
+	// Scheduler returns the current scheduler (for checkpointing); nil skips
+	// scheduler checkpoints, in which case a restarted scheduler rebuilds
+	// entirely from worker StateReports.
+	Scheduler func() *core.Scheduler
+	// OnWorkerRestart / OnServerRestart / OnSchedulerRestart let the harness
+	// swap its references to the replaced node (result accounting reads
+	// counters off them).
+	OnWorkerRestart    func(i int, h node.Handler)
+	OnServerRestart    func(shard int, srv *ps.Server)
+	OnSchedulerRestart func(s *core.Scheduler)
 	// CheckpointEvery snapshots every live server shard on this period;
 	// restarts restore the most recent snapshot. Zero disables
 	// checkpointing — restarted shards come back at their initial values.
@@ -47,9 +59,12 @@ type SimOptions struct {
 type SimInjector struct {
 	sim  *des.Sim
 	opts SimOptions
-	// snaps holds the latest in-memory checkpoint per shard.
-	snaps map[int]ps.Snapshot
-	errs  []error
+	// snaps holds the latest in-memory checkpoint per shard; schedSnap is
+	// the scheduler's, schedGen the incarnation counter.
+	snaps     map[int]ps.Snapshot
+	schedSnap *core.SchedulerSnapshot
+	schedGen  int64
+	errs      []error
 }
 
 // AttachSim validates the plan against the cluster shape, installs the
@@ -77,6 +92,10 @@ func AttachSim(sim *des.Sim, opts SimOptions) (*SimInjector, error) {
 			}
 			if ev.RestartAfter > 0 && opts.NewServer == nil {
 				return nil, fmt.Errorf("faults: event %d restarts a server but NewServer is nil", i)
+			}
+		case KindCrashScheduler:
+			if ev.RestartAfter > 0 && opts.NewScheduler == nil {
+				return nil, fmt.Errorf("faults: event %d restarts the scheduler but NewScheduler is nil", i)
 			}
 		}
 	}
@@ -108,17 +127,31 @@ func AttachSim(sim *des.Sim, opts SimOptions) (*SimInjector, error) {
 func (inj *SimInjector) crash(ev Event) {
 	var id node.ID
 	traceWorker := ev.Node
-	if ev.Kind == KindCrashWorker {
+	switch ev.Kind {
+	case KindCrashWorker:
 		id = node.WorkerID(ev.Node)
-	} else {
+	case KindCrashScheduler:
+		id = node.Scheduler
+		traceWorker = trace.SchedulerNode
+	default:
 		id = node.ServerID(ev.Node)
 		traceWorker = -(ev.Node + 1)
+	}
+	if inj.sim.Down(id) {
+		// Overlapping crash events on one node (easy to generate for the
+		// single scheduler): the earlier crash already holds it down, so
+		// this one — and its restart — is a no-op.
+		return
 	}
 	if err := inj.sim.Crash(id); err != nil {
 		inj.errs = append(inj.errs, err)
 		return
 	}
-	inj.opts.Faults.RecordCrash()
+	if ev.Kind == KindCrashScheduler {
+		inj.opts.Faults.RecordSchedulerCrash()
+	} else {
+		inj.opts.Faults.RecordCrash()
+	}
 	if inj.opts.Tracer != nil {
 		inj.opts.Tracer.Record(trace.Event{At: inj.sim.Now(), Worker: traceWorker, Kind: trace.KindCrash})
 	}
@@ -128,6 +161,10 @@ func (inj *SimInjector) crash(ev Event) {
 }
 
 func (inj *SimInjector) restart(ev Event, id node.ID, traceWorker int) {
+	if ev.Kind == KindCrashScheduler {
+		inj.restartScheduler()
+		return
+	}
 	var h node.Handler
 	restored := int64(0)
 	if ev.Kind == KindCrashWorker {
@@ -176,6 +213,37 @@ func (inj *SimInjector) restart(ev Event, id node.ID, traceWorker int) {
 	}
 }
 
+// restartScheduler brings up the next scheduler incarnation: restore the
+// latest checkpoint when one exists, then let the new incarnation's Init
+// broadcast SchedulerHello — the StateReport replies rebuild whatever the
+// checkpoint missed (or everything, on a cold start). No Start re-injection:
+// a generation > 0 scheduler never re-Starts workers.
+func (inj *SimInjector) restartScheduler() {
+	inj.schedGen++
+	sched, err := inj.opts.NewScheduler(inj.schedGen)
+	if err != nil {
+		inj.errs = append(inj.errs, err)
+		return
+	}
+	if inj.schedSnap != nil {
+		if err := sched.Restore(*inj.schedSnap); err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		inj.opts.Faults.RecordSchedulerRestore()
+	}
+	if err := inj.sim.Restart(node.Scheduler, sched); err != nil {
+		inj.errs = append(inj.errs, err)
+		return
+	}
+	// The scheduler's Init records the recover trace and obs span itself
+	// (it knows its generation); the injector only counts the restart.
+	inj.opts.Faults.RecordSchedulerRestart()
+	if inj.opts.OnSchedulerRestart != nil {
+		inj.opts.OnSchedulerRestart(sched)
+	}
+}
+
 // armCheckpoint snapshots every live shard on the period. Snapshots are
 // in-memory (the simulated analogue of writing to durable storage).
 func (inj *SimInjector) armCheckpoint() {
@@ -186,6 +254,13 @@ func (inj *SimInjector) armCheckpoint() {
 			}
 			if srv := inj.opts.Server(shard); srv != nil {
 				inj.snaps[shard] = srv.Snapshot()
+				inj.opts.Faults.RecordCheckpoint()
+			}
+		}
+		if inj.opts.Scheduler != nil && !inj.sim.Down(node.Scheduler) {
+			if s := inj.opts.Scheduler(); s != nil {
+				snap := s.Snapshot()
+				inj.schedSnap = &snap
 				inj.opts.Faults.RecordCheckpoint()
 			}
 		}

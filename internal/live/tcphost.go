@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"specsync/internal/metrics"
 	"specsync/internal/node"
 	"specsync/internal/obs"
 	"specsync/internal/transport"
@@ -31,8 +32,10 @@ type TCPHostConfig struct {
 	// Transfer, if non-nil, records outbound bytes.
 	Transfer TransferRecorder
 	// Metrics, if non-nil, receives transport counters (frames received,
-	// mailbox depth).
+	// mailbox depth, send failures).
 	Metrics *obs.Registry
+	// Faults, if non-nil, counts exhausted-retry send failures.
+	Faults *metrics.Faults
 	// Debug enables stderr logging.
 	Debug bool
 }
@@ -53,6 +56,7 @@ type TCPHost struct {
 	// Optional transport telemetry (TCPHostConfig.Metrics).
 	metReceived *obs.Counter
 	metMailbox  *obs.Gauge
+	metSendFail *obs.Counter
 }
 
 var _ node.Context = (*TCPHost)(nil)
@@ -75,6 +79,7 @@ func NewTCPHost(cfg TCPHostConfig) (*TCPHost, error) {
 	if reg := cfg.Metrics; reg != nil {
 		h.metReceived = reg.Counter("specsync_live_delivered_total", "Messages delivered to the node mailbox.")
 		h.metMailbox = reg.Gauge("specsync_live_mailbox_depth", "Messages queued in the node mailbox.")
+		h.metSendFail = reg.Counter("specsync_live_send_failures_total", "Sends dropped after exhausting transport retries.")
 	}
 	tr, err := transport.ListenTCP(transport.TCPConfig{
 		ID:         cfg.ID,
@@ -82,14 +87,7 @@ func NewTCPHost(cfg TCPHostConfig) (*TCPHost, error) {
 		Peers:      cfg.Peers,
 		Registry:   cfg.Registry,
 		Transfer:   cfg.Transfer,
-		OnMessage: func(from node.ID, m wire.Message) {
-			h.metMailbox.Add(1)
-			h.inbox.push(func() {
-				h.metMailbox.Add(-1)
-				h.metReceived.Inc()
-				cfg.Handler.Receive(from, m)
-			})
-		},
+		OnMessage:  h.enqueue,
 	})
 	if err != nil {
 		return nil, err
@@ -117,9 +115,21 @@ func (h *TCPHost) Addr() string { return h.tr.Addr() }
 // AddPeer registers a peer address after startup.
 func (h *TCPHost) AddPeer(id node.ID, addr string) { h.tr.AddPeer(id, addr) }
 
+// enqueue is the single instrumented path onto the mailbox: transport
+// deliveries, loopback sends, and injected messages all pass through here so
+// the mailbox-depth gauge and delivered counter see every message.
+func (h *TCPHost) enqueue(from node.ID, m wire.Message) {
+	h.metMailbox.Add(1)
+	h.inbox.push(func() {
+		h.metMailbox.Add(-1)
+		h.metReceived.Inc()
+		h.cfg.Handler.Receive(from, m)
+	})
+}
+
 // Inject enqueues a message onto this node's mailbox as if sent by from.
 func (h *TCPHost) Inject(from node.ID, m wire.Message) {
-	h.inbox.push(func() { h.cfg.Handler.Receive(from, m) })
+	h.enqueue(from, m)
 }
 
 // Do runs f on the mailbox goroutine, serialized with message handling, and
@@ -168,10 +178,12 @@ func (h *TCPHost) Send(to node.ID, m wire.Message) {
 			h.Logf("loopback decode: %v", err)
 			return
 		}
-		h.inbox.push(func() { h.cfg.Handler.Receive(h.cfg.ID, decoded) })
+		h.enqueue(h.cfg.ID, decoded)
 		return
 	}
 	if err := h.tr.Send(to, m); err != nil {
+		h.cfg.Faults.RecordSendFailure()
+		h.metSendFail.Inc()
 		h.Logf("send to %s: %v", to, err)
 	}
 }

@@ -25,6 +25,14 @@ type Faults struct {
 	readmits    int64
 	checkpoints int64
 	restores    int64
+
+	sendFailures     int64
+	schedCrashes     int64
+	schedRestarts    int64
+	schedRestores    int64
+	stateReports     int64
+	degradedEnters   int64
+	degradedRecovers int64
 }
 
 // NewFaults builds a Faults counter set; isControl classifies message kinds
@@ -118,6 +126,70 @@ func (f *Faults) RecordRestore() {
 	}
 }
 
+// RecordSendFailure counts one message lost after the transport exhausted
+// its send retries (live mode).
+func (f *Faults) RecordSendFailure() {
+	if f != nil {
+		f.add(&f.sendFailures)
+	}
+}
+
+// RecordSchedulerCrash counts one injected scheduler crash (also counted in
+// the generic crash total).
+func (f *Faults) RecordSchedulerCrash() {
+	if f != nil {
+		f.mu.Lock()
+		f.crashes++
+		f.schedCrashes++
+		f.mu.Unlock()
+	}
+}
+
+// RecordSchedulerRestart counts one scheduler restart (also counted in the
+// generic restart total).
+func (f *Faults) RecordSchedulerRestart() {
+	if f != nil {
+		f.mu.Lock()
+		f.restarts++
+		f.schedRestarts++
+		f.mu.Unlock()
+	}
+}
+
+// RecordSchedulerRestore counts one scheduler checkpoint restore (also
+// counted in the generic restore total).
+func (f *Faults) RecordSchedulerRestore() {
+	if f != nil {
+		f.mu.Lock()
+		f.restores++
+		f.schedRestores++
+		f.mu.Unlock()
+	}
+}
+
+// RecordStateReport counts one worker state report consumed during a
+// scheduler state rebuild.
+func (f *Faults) RecordStateReport() {
+	if f != nil {
+		f.add(&f.stateReports)
+	}
+}
+
+// RecordDegraded counts one worker entering broadcast-failover degraded mode.
+func (f *Faults) RecordDegraded() {
+	if f != nil {
+		f.add(&f.degradedEnters)
+	}
+}
+
+// RecordDegradedRecover counts one worker leaving degraded mode after the
+// scheduler came back.
+func (f *Faults) RecordDegradedRecover() {
+	if f != nil {
+		f.add(&f.degradedRecovers)
+	}
+}
+
 func (f *Faults) add(p *int64) {
 	f.mu.Lock()
 	*p++
@@ -131,6 +203,12 @@ type FaultStats struct {
 	Crashes, Restarts         int64
 	Evictions, Readmissions   int64
 	Checkpoints, Restores     int64
+
+	SendFailures                        int64
+	SchedulerCrashes, SchedulerRestarts int64
+	SchedulerRestores                   int64
+	StateReports                        int64
+	DegradedEnters, DegradedRecovers    int64
 }
 
 // Stats returns a snapshot of every counter (drop/dup/delay totals summed
@@ -149,6 +227,14 @@ func (f *Faults) Stats() FaultStats {
 		Readmissions: f.readmits,
 		Checkpoints:  f.checkpoints,
 		Restores:     f.restores,
+
+		SendFailures:      f.sendFailures,
+		SchedulerCrashes:  f.schedCrashes,
+		SchedulerRestarts: f.schedRestarts,
+		SchedulerRestores: f.schedRestores,
+		StateReports:      f.stateReports,
+		DegradedEnters:    f.degradedEnters,
+		DegradedRecovers:  f.degradedRecovers,
 	}
 	for _, n := range f.drops {
 		st.Drops += n

@@ -18,19 +18,22 @@ import (
 
 // Message kinds. Gaps are reserved for future extensions.
 const (
-	KindPullReq        wire.Kind = 1
-	KindPullResp       wire.Kind = 2
-	KindPushReq        wire.Kind = 3
-	KindPushAck        wire.Kind = 4
-	KindNotify         wire.Kind = 5
-	KindReSync         wire.Kind = 6
-	KindStart          wire.Kind = 7
-	KindStop           wire.Kind = 8
-	KindBarrierRelease wire.Kind = 9
-	KindMinClock       wire.Kind = 10
-	KindWorkerReady    wire.Kind = 11
-	KindPushNotice     wire.Kind = 12
-	KindHeartbeat      wire.Kind = 13
+	KindPullReq         wire.Kind = 1
+	KindPullResp        wire.Kind = 2
+	KindPushReq         wire.Kind = 3
+	KindPushAck         wire.Kind = 4
+	KindNotify          wire.Kind = 5
+	KindReSync          wire.Kind = 6
+	KindStart           wire.Kind = 7
+	KindStop            wire.Kind = 8
+	KindBarrierRelease  wire.Kind = 9
+	KindMinClock        wire.Kind = 10
+	KindWorkerReady     wire.Kind = 11
+	KindPushNotice      wire.Kind = 12
+	KindHeartbeat       wire.Kind = 13
+	KindSchedulerHello  wire.Kind = 14
+	KindStateReport     wire.Kind = 15
+	KindSchedulerBeacon wire.Kind = 16
 )
 
 // PullReq asks a server shard for its current parameter block.
@@ -300,6 +303,79 @@ func (m *Heartbeat) Encode(w *wire.Writer) { w.Varint(m.Iter) }
 // Decode implements wire.Message.
 func (m *Heartbeat) Decode(r *wire.Reader) { m.Iter = r.Varint() }
 
+// SchedulerHello announces a (re)started scheduler incarnation to every
+// worker. Workers answer with a StateReport so the scheduler can rebuild
+// barrier/clock/epoch state even from a cold (or stale) checkpoint, and
+// workers that degraded to broadcast speculation flip back to the
+// centralized path.
+type SchedulerHello struct {
+	Gen int64 // scheduler incarnation (0 = original process)
+}
+
+var _ wire.Message = (*SchedulerHello)(nil)
+
+// Kind implements wire.Message.
+func (m *SchedulerHello) Kind() wire.Kind { return KindSchedulerHello }
+
+// Encode implements wire.Message.
+func (m *SchedulerHello) Encode(w *wire.Writer) { w.Varint(m.Gen) }
+
+// Decode implements wire.Message.
+func (m *SchedulerHello) Decode(r *wire.Reader) { m.Gen = r.Varint() }
+
+// StateReport is a worker's reply to SchedulerHello: enough of its local
+// state for a restarted scheduler to rebuild membership, epoch progress,
+// the BSP barrier, and the SSP clock vector.
+type StateReport struct {
+	Iter     int64 // completed (pushed) iterations so far
+	Pushed   bool  // pushed at least once since the last observed epoch boundary
+	Clock    int64 // SSP clock (== Iter)
+	Waiting  bool  // parked at the BSP barrier / SSP gate awaiting release
+	Degraded bool  // was running broadcast-speculation failover when Hello arrived
+}
+
+var _ wire.Message = (*StateReport)(nil)
+
+// Kind implements wire.Message.
+func (m *StateReport) Kind() wire.Kind { return KindStateReport }
+
+// Encode implements wire.Message.
+func (m *StateReport) Encode(w *wire.Writer) {
+	w.Varint(m.Iter)
+	w.Bool(m.Pushed)
+	w.Varint(m.Clock)
+	w.Bool(m.Waiting)
+	w.Bool(m.Degraded)
+}
+
+// Decode implements wire.Message.
+func (m *StateReport) Decode(r *wire.Reader) {
+	m.Iter = r.Varint()
+	m.Pushed = r.Bool()
+	m.Clock = r.Varint()
+	m.Waiting = r.Bool()
+	m.Degraded = r.Bool()
+}
+
+// SchedulerBeacon is the scheduler's periodic liveness signal to workers
+// (the inverse of Heartbeat). Workers whose scheduler-failure detector has
+// gone silent past its timeout enter degraded mode; a beacon carrying a
+// newer generation than the worker has seen doubles as a late Hello.
+type SchedulerBeacon struct {
+	Gen int64
+}
+
+var _ wire.Message = (*SchedulerBeacon)(nil)
+
+// Kind implements wire.Message.
+func (m *SchedulerBeacon) Kind() wire.Kind { return KindSchedulerBeacon }
+
+// Encode implements wire.Message.
+func (m *SchedulerBeacon) Encode(w *wire.Writer) { w.Varint(m.Gen) }
+
+// Decode implements wire.Message.
+func (m *SchedulerBeacon) Decode(r *wire.Reader) { m.Gen = r.Varint() }
+
 // Registry returns a fresh registry covering every protocol message.
 func Registry() *wire.Registry {
 	return wire.NewRegistry([]wire.RegistryEntry{
@@ -316,6 +392,9 @@ func Registry() *wire.Registry {
 		{Kind: KindWorkerReady, Name: "WorkerReady", New: func() wire.Message { return &WorkerReady{} }},
 		{Kind: KindPushNotice, Name: "PushNotice", New: func() wire.Message { return &PushNotice{} }},
 		{Kind: KindHeartbeat, Name: "Heartbeat", New: func() wire.Message { return &Heartbeat{} }},
+		{Kind: KindSchedulerHello, Name: "SchedulerHello", New: func() wire.Message { return &SchedulerHello{} }},
+		{Kind: KindStateReport, Name: "StateReport", New: func() wire.Message { return &StateReport{} }},
+		{Kind: KindSchedulerBeacon, Name: "SchedulerBeacon", New: func() wire.Message { return &SchedulerBeacon{} }},
 	})
 }
 

@@ -36,6 +36,9 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&WorkerReady{},
 		&PushNotice{Iter: 2},
 		&Heartbeat{Iter: 8},
+		&SchedulerHello{Gen: 2},
+		&StateReport{Iter: 12, Pushed: true, Clock: 12, Waiting: true, Degraded: true},
+		&SchedulerBeacon{Gen: 3},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -48,8 +51,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 13 {
-		t.Errorf("registry has %d kinds, want 13", len(kinds))
+	if len(kinds) != 16 {
+		t.Errorf("registry has %d kinds, want 16", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)

@@ -40,6 +40,13 @@ type ClusterSnapshot struct {
 	AbortTimeSeconds float64       `json:"abort_time_seconds"`
 	AliveWorkers     int           `json:"alive_workers"`
 	Workers          []WorkerState `json:"workers"`
+
+	// Scheduler fault-tolerance view: which incarnation is serving, whether
+	// it booted from a checkpoint, and how many worker state reports the
+	// post-restart rebuild has consumed.
+	Generation     int64 `json:"generation"`
+	RestoredFromCk bool  `json:"restored_from_checkpoint,omitempty"`
+	StateReports   int64 `json:"state_reports,omitempty"`
 }
 
 // HTTPConfig assembles the exposition endpoints.

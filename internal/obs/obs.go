@@ -95,11 +95,13 @@ func (o *Obs) ClusterSnapshot() (ClusterSnapshot, bool) {
 // both stacks), while the shared histograms and counters are atomic. All
 // methods are nil-safe.
 type WorkerObs struct {
-	o      *Obs
-	index  int
-	node   string
-	iters  *Counter
-	aborts *Counter
+	o        *Obs
+	index    int
+	node     string
+	iters    *Counter
+	aborts   *Counter
+	degraded *Gauge
+	isDeg    bool
 
 	pulling      bool
 	pullStart    time.Time
@@ -127,6 +129,22 @@ func (o *Obs) Worker(i int) *WorkerObs {
 			"Completed (fully acknowledged) iterations.", "worker", idx),
 		aborts: o.reg.Counter("specsync_worker_aborts_total",
 			"Speculative abort-and-restart events.", "worker", idx),
+		degraded: o.reg.Gauge("specsync_degraded_workers",
+			"Workers currently in broadcast-speculation failover (scheduler unreachable)."),
+	}
+}
+
+// Degraded publishes this worker's scheduler-failover state; the shared
+// gauge counts workers currently running degraded.
+func (w *WorkerObs) Degraded(on bool) {
+	if w == nil || w.isDeg == on {
+		return
+	}
+	w.isDeg = on
+	if on {
+		w.degraded.Add(1)
+	} else {
+		w.degraded.Add(-1)
 	}
 }
 
@@ -210,11 +228,14 @@ type SchedulerObs struct {
 	epochs       *Counter
 	evictions    *Counter
 	readmissions *Counter
+	restarts     *Counter
+	stateReports *Counter
 	specEnabled  *Gauge
 	abortTime    *Gauge
 	meanRate     *Gauge
 	membership   *Gauge
 	alive        *Gauge
+	generation   *Gauge
 }
 
 // Scheduler returns the scheduler handle.
@@ -232,6 +253,10 @@ func (o *Obs) Scheduler() *SchedulerObs {
 			"Workers evicted from membership by liveness timeout."),
 		readmissions: o.reg.Counter("specsync_readmissions_total",
 			"Evicted workers re-admitted after reappearing."),
+		restarts: o.reg.Counter("specsync_scheduler_restarts_total",
+			"Scheduler incarnations started after a crash."),
+		stateReports: o.reg.Counter("specsync_scheduler_state_reports_total",
+			"Worker state reports consumed during post-restart state rebuild."),
 		specEnabled: o.reg.Gauge("specsync_spec_enabled",
 			"1 when speculative synchronization is active, 0 when paused."),
 		abortTime: o.reg.Gauge("specsync_abort_time_seconds",
@@ -242,7 +267,27 @@ func (o *Obs) Scheduler() *SchedulerObs {
 			"Monotonic membership epoch (bumped by evictions and readmissions)."),
 		alive: o.reg.Gauge("specsync_alive_workers",
 			"Workers currently considered alive."),
+		generation: o.reg.Gauge("specsync_scheduler_generation",
+			"Current scheduler incarnation (0 = original process)."),
 	}
+}
+
+// Restarted records the start of a post-crash scheduler incarnation.
+func (s *SchedulerObs) Restarted(at time.Time, gen int64) {
+	if s == nil {
+		return
+	}
+	s.restarts.Inc()
+	s.generation.Set(float64(gen))
+	s.o.spans.Add(Span{Node: "scheduler", Name: "restart", Start: at, Value: gen})
+}
+
+// StateReport records one worker state report applied to the rebuild.
+func (s *SchedulerObs) StateReport() {
+	if s == nil {
+		return
+	}
+	s.stateReports.Inc()
 }
 
 // ReSync records one re-sync instruction as a flow-originating span.
@@ -370,13 +415,15 @@ type Summary struct {
 	Restart   HistSnapshot // abort-to-restart latency
 	Staleness HistSnapshot
 
-	Iterations   int64
-	Aborts       int64
-	ReSyncs      int64
-	Epochs       int64
-	Evictions    int64
-	Readmissions int64
-	Spans        int
+	Iterations        int64
+	Aborts            int64
+	ReSyncs           int64
+	Epochs            int64
+	Evictions         int64
+	Readmissions      int64
+	SchedulerRestarts int64
+	StateReports      int64
+	Spans             int
 }
 
 // Summary snapshots the registry into a Summary (nil on a nil Obs).
@@ -385,17 +432,19 @@ func (o *Obs) Summary() *Summary {
 		return nil
 	}
 	return &Summary{
-		Pull:         o.pullH.Snapshot(),
-		Compute:      o.computeH.Snapshot(),
-		Push:         o.pushH.Snapshot(),
-		Restart:      o.restartH.Snapshot(),
-		Staleness:    o.staleH.Snapshot(),
-		Iterations:   o.reg.SumCounters("specsync_worker_iterations_total"),
-		Aborts:       o.reg.SumCounters("specsync_worker_aborts_total"),
-		ReSyncs:      o.reg.SumCounters("specsync_resyncs_total"),
-		Epochs:       o.reg.SumCounters("specsync_epochs_total"),
-		Evictions:    o.reg.SumCounters("specsync_evictions_total"),
-		Readmissions: o.reg.SumCounters("specsync_readmissions_total"),
-		Spans:        o.spans.Len(),
+		Pull:              o.pullH.Snapshot(),
+		Compute:           o.computeH.Snapshot(),
+		Push:              o.pushH.Snapshot(),
+		Restart:           o.restartH.Snapshot(),
+		Staleness:         o.staleH.Snapshot(),
+		Iterations:        o.reg.SumCounters("specsync_worker_iterations_total"),
+		Aborts:            o.reg.SumCounters("specsync_worker_aborts_total"),
+		ReSyncs:           o.reg.SumCounters("specsync_resyncs_total"),
+		Epochs:            o.reg.SumCounters("specsync_epochs_total"),
+		Evictions:         o.reg.SumCounters("specsync_evictions_total"),
+		Readmissions:      o.reg.SumCounters("specsync_readmissions_total"),
+		SchedulerRestarts: o.reg.SumCounters("specsync_scheduler_restarts_total"),
+		StateReports:      o.reg.SumCounters("specsync_scheduler_state_reports_total"),
+		Spans:             o.spans.Len(),
 	}
 }

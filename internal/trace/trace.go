@@ -39,7 +39,17 @@ const (
 	// KindEvict marks the scheduler removing a dead worker from membership;
 	// Value carries the new membership epoch.
 	KindEvict
+	// KindDegrade marks a worker switching speculation paths after losing
+	// (or regaining) the scheduler: Value 1 = entered broadcast-failover
+	// degraded mode, Value 0 = returned to the centralized path.
+	KindDegrade
 )
+
+// SchedulerNode is the Event.Worker sentinel for scheduler crash/recover
+// events. Workers use their index and server shards use -(shard+1), so the
+// scheduler needs a value outside both ranges (-1 already means
+// "scheduler-wide" on epoch events).
+const SchedulerNode = -1 << 20
 
 // String returns a short name for the kind.
 func (k Kind) String() string {
@@ -62,6 +72,8 @@ func (k Kind) String() string {
 		return "recover"
 	case KindEvict:
 		return "evict"
+	case KindDegrade:
+		return "degrade"
 	default:
 		return "unknown"
 	}

@@ -30,12 +30,27 @@ func (wk *Worker) broadcastNotices() {
 	}
 }
 
-// handlePushNotice records a peer's push in the local history.
+// handlePushNotice records a peer's push in the local history. Entries are
+// pruned by age as well as count: a push older than ABORT_TIME can never be
+// counted by any still-pending local CheckResync (windows are ABORT_TIME
+// long and their check fires at expiry), so a slow worker does not retain
+// pushes far older than any speculation window.
 func (wk *Worker) handlePushNotice(from node.ID) {
 	if node.WorkerIndex(from) < 0 {
 		return
 	}
-	wk.peerPushes = append(wk.peerPushes, wk.ctx.Now())
+	now := wk.ctx.Now()
+	if abortTime, _ := wk.localSpecParams(); abortTime > 0 {
+		cutoff := now.Add(-abortTime)
+		keep := 0
+		for keep < len(wk.peerPushes) && !wk.peerPushes[keep].After(cutoff) {
+			keep++
+		}
+		if keep > 0 {
+			wk.peerPushes = append(wk.peerPushes[:0], wk.peerPushes[keep:]...)
+		}
+	}
+	wk.peerPushes = append(wk.peerPushes, now)
 	if len(wk.peerPushes) > broadcastPushHistoryLimit {
 		drop := len(wk.peerPushes) - broadcastPushHistoryLimit
 		wk.peerPushes = append(wk.peerPushes[:0], wk.peerPushes[drop:]...)
@@ -43,13 +58,17 @@ func (wk *Worker) handlePushNotice(from node.ID) {
 }
 
 // armLocalSpeculation schedules the local CheckResync for the iteration that
-// just started computing. Called from startCompute in decentralized mode.
+// just started computing. Called from startCompute in decentralized mode and
+// (with the fallback hyperparameters) in scheduler-failover degraded mode.
 func (wk *Worker) armLocalSpeculation() {
-	sc := wk.cfg.Scheme
+	abortTime, _ := wk.localSpecParams()
+	if abortTime <= 0 {
+		return
+	}
 	start := wk.ctx.Now()
-	deadline := start.Add(sc.AbortTime)
+	deadline := start.Add(abortTime)
 	iter := wk.iter
-	wk.ctx.After(sc.AbortTime, func() {
+	wk.ctx.After(abortTime, func() {
 		wk.checkLocalResync(start, deadline, iter)
 	})
 }
@@ -72,7 +91,8 @@ func (wk *Worker) checkLocalResync(start, deadline time.Time, iter int64) {
 		}
 		cnt++
 	}
-	if cnt < 1 || float64(cnt) < float64(wk.cfg.NumWorkers)*wk.cfg.Scheme.AbortRate {
+	_, abortRate := wk.localSpecParams()
+	if cnt < 1 || float64(cnt) < float64(wk.cfg.NumWorkers)*abortRate {
 		return
 	}
 	// Too late to bother? Same cutoff as the scheduler-driven path.

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specsync/internal/metrics"
 	"specsync/internal/model"
 	"specsync/internal/msg"
 	"specsync/internal/node"
@@ -110,6 +111,23 @@ type Config struct {
 	// SGD, where a duplicated gradient perturbs rather than corrupts).
 	// Zero disables retries.
 	RetryAfter time.Duration
+	// SchedulerTimeout, when positive, enables the scheduler failure
+	// detector: if no message from the scheduler (beacon, re-sync, release,
+	// clock, hello) arrives within this duration, the worker enters
+	// degraded mode — under a centralized speculation scheme it fails over
+	// to the broadcast path (PushNotice to peers, local CheckResync) until
+	// a SchedulerHello or newer-generation beacon flips it back. Zero
+	// disables the detector.
+	SchedulerTimeout time.Duration
+	// FallbackAbortTime / FallbackAbortRate are the fixed speculation
+	// hyperparameters of the degraded broadcast path (the scheduler's
+	// adaptively-tuned values are unavailable while it is down). Zero
+	// defaults to the scheme's fixed values when set, else ABORT_TIME =
+	// Compute.Base/4 and ABORT_RATE = 0.22 (the cherry-pick defaults).
+	FallbackAbortTime time.Duration
+	FallbackAbortRate float64
+	// Faults, if non-nil, receives degraded-mode transition counts.
+	Faults *metrics.Faults
 }
 
 // state is the worker's phase.
@@ -157,8 +175,16 @@ type Worker struct {
 	// BSP state.
 	releasedRound int64
 
-	// Decentralized-speculation state: local copy of peer push times.
+	// Decentralized-speculation state: local copy of peer push times. Also
+	// used by the degraded-mode failover when the scheduler is lost.
 	peerPushes []time.Time
+
+	// Scheduler failure-detector state. degraded is atomic only so
+	// live-mode monitors can read it; all writes happen on the worker's
+	// event loop.
+	degraded      atomic.Bool
+	schedGen      int64 // highest scheduler incarnation seen
+	schedLastSeen time.Time
 
 	// Counters (atomic: read by monitoring goroutines in live mode).
 	itersDone  atomic.Int64
@@ -218,6 +244,28 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.RetryAfter < 0 {
 		return nil, fmt.Errorf("worker: negative RetryAfter")
 	}
+	if cfg.SchedulerTimeout < 0 {
+		return nil, fmt.Errorf("worker: negative SchedulerTimeout")
+	}
+	if cfg.FallbackAbortRate < 0 || cfg.FallbackAbortRate > 1 {
+		return nil, fmt.Errorf("worker: FallbackAbortRate %v outside [0,1]", cfg.FallbackAbortRate)
+	}
+	if cfg.SchedulerTimeout > 0 && cfg.Scheme.Spec != scheme.SpecOff && !cfg.Scheme.Decentralized {
+		if cfg.FallbackAbortTime == 0 {
+			if cfg.Scheme.AbortTime > 0 {
+				cfg.FallbackAbortTime = cfg.Scheme.AbortTime
+			} else {
+				cfg.FallbackAbortTime = cfg.Compute.Base / 4
+			}
+		}
+		if cfg.FallbackAbortRate == 0 {
+			if cfg.Scheme.AbortRate > 0 {
+				cfg.FallbackAbortRate = cfg.Scheme.AbortRate
+			} else {
+				cfg.FallbackAbortRate = 0.22
+			}
+		}
+	}
 	return &Worker{
 		cfg:          cfg,
 		pullVersions: make([]int64, len(cfg.Shards)),
@@ -229,8 +277,12 @@ func New(cfg Config) (*Worker, error) {
 // Init implements node.Handler.
 func (wk *Worker) Init(ctx node.Context) {
 	wk.ctx = ctx
+	wk.schedLastSeen = ctx.Now()
 	if wk.cfg.HeartbeatEvery > 0 {
 		wk.armHeartbeat()
+	}
+	if wk.cfg.SchedulerTimeout > 0 {
+		wk.armSchedulerWatch()
 	}
 }
 
@@ -252,6 +304,9 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 	if wk.st == stateStopped {
 		return
 	}
+	if from == node.Scheduler {
+		wk.schedLastSeen = wk.ctx.Now()
+	}
 	switch mm := m.(type) {
 	case *msg.Start:
 		if !wk.started {
@@ -272,6 +327,10 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 		wk.handleMinClock(mm)
 	case *msg.PushNotice:
 		wk.handlePushNotice(from)
+	case *msg.SchedulerHello:
+		wk.noteSchedulerGen(mm.Gen)
+	case *msg.SchedulerBeacon:
+		wk.noteSchedulerGen(mm.Gen)
 	default:
 		wk.ctx.Logf("worker: unexpected message %T from %s", m, from)
 	}
@@ -366,7 +425,7 @@ func (wk *Worker) startCompute() {
 	wk.computeStart = wk.ctx.Now()
 	wk.computeDur = wk.cfg.Compute.Sample(wk.ctx.Rand())
 	wk.computeCancel = wk.ctx.After(wk.computeDur, wk.finishCompute)
-	if wk.cfg.Scheme.Decentralized {
+	if wk.cfg.Scheme.Decentralized || (wk.degraded.Load() && wk.canBroadcastFailover()) {
 		wk.armLocalSpeculation()
 	}
 }
@@ -476,6 +535,12 @@ func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
 			wk.ctx.Send(node.Scheduler, &msg.Notify{Iter: wk.iter})
 		}
 	} else {
+		// Degraded failover: peers run local speculation off PushNotices
+		// while the scheduler is down. The Notify still goes out — it is
+		// lost on a dead scheduler and warms the new incarnation otherwise.
+		if wk.degraded.Load() && wk.canBroadcastFailover() {
+			wk.broadcastNotices()
+		}
 		wk.ctx.Send(node.Scheduler, &msg.Notify{Iter: wk.iter})
 	}
 
