@@ -1,0 +1,171 @@
+// Command specsync-codec-bench measures the codec layer and emits a JSON
+// report (BENCH_codec.json in CI): per-codec encode/decode ns/op and payload
+// bytes on a fixed block, plus bytes-per-push from short simulated runs so
+// the wire-level effect of each codec is tracked alongside the microbench.
+//
+//	specsync-codec-bench -out BENCH_codec.json
+//
+// It exits nonzero if the lossy codecs fail to beat raw on bytes-per-push —
+// a compression smoke test for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/codec"
+	"specsync/internal/msg"
+	"specsync/internal/scheme"
+	"specsync/internal/wire"
+)
+
+type codecBench struct {
+	Name         string  `json:"name"`
+	EncodeNsOp   float64 `json:"encode_ns_op"`
+	DecodeNsOp   float64 `json:"decode_ns_op"`
+	PayloadBytes int     `json:"payload_bytes"`
+}
+
+type pushBench struct {
+	Codec        string  `json:"codec"`
+	Pushes       int64   `json:"pushes"`
+	PushBytes    int64   `json:"push_bytes"`
+	BytesPerPush float64 `json:"bytes_per_push"`
+	Ratio        float64 `json:"ratio"`
+}
+
+type report struct {
+	BlockLen  int          `json:"block_len"`
+	Codecs    []codecBench `json:"codecs"`
+	DESPushes []pushBench  `json:"des_pushes"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specsync-codec-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("specsync-codec-bench", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "BENCH_codec.json", "output JSON path (\"-\" for stdout)")
+		blockLen = fs.Int("block", 4096, "values per microbenchmark block")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := report{BlockLen: *blockLen}
+
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, *blockLen)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.1
+	}
+	codecs := []codec.Codec{codec.Raw{}, codec.TopK{Frac: codec.DefaultTopKFrac}, codec.Q8{Block: codec.DefaultQ8Block}, codec.Delta{}}
+	for _, c := range codecs {
+		c := c
+		var encRNG *rand.Rand
+		if c.ID() == codec.IDQ8 {
+			encRNG = rand.New(rand.NewSource(2))
+		}
+		payload := codec.EncodePayload(c, vals, nil, nil, encRNG)
+		encRes := testing.Benchmark(func(b *testing.B) {
+			recon := make([]float64, len(vals))
+			w := wire.NewWriter(len(vals) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				c.Encode(w, vals, nil, recon, encRNG)
+			}
+		})
+		decRes := testing.Benchmark(func(b *testing.B) {
+			dst := make([]float64, len(vals))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := wire.NewReader(payload)
+				c.Decode(r, dst)
+				if err := r.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Codecs = append(rep.Codecs, codecBench{
+			Name:         c.Name(),
+			EncodeNsOp:   float64(encRes.NsPerOp()),
+			DecodeNsOp:   float64(decRes.NsPerOp()),
+			PayloadBytes: len(payload),
+		})
+	}
+
+	// Short simulated runs for bytes-per-push on the wire.
+	for _, cc := range []codec.Config{{Name: "raw"}, {Name: "topk"}, {Name: "q8"}} {
+		wl, err := cluster.NewMF(cluster.SizeSmall, 4, 3)
+		if err != nil {
+			return err
+		}
+		res, err := cluster.Run(cluster.Config{
+			Workload:   wl,
+			Scheme:     scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive},
+			Workers:    4,
+			Seed:       3,
+			Codec:      cc,
+			MaxVirtual: 2 * time.Minute,
+		})
+		if err != nil {
+			return err
+		}
+		kind, label, id := msg.KindPushReq, "raw", codec.IDRaw
+		switch cc.Name {
+		case "topk":
+			kind, label, id = msg.KindPushReqV2, "topk", codec.IDTopK
+		case "q8":
+			kind, label, id = msg.KindPushReqV2, "q8", codec.IDQ8
+		}
+		bytes, pushes := res.Codec.KindBytes(kind, label)
+		pb := pushBench{Codec: cc.Name, Pushes: pushes, PushBytes: bytes, Ratio: res.Codec.Ratio(id)}
+		if pushes > 0 {
+			pb.BytesPerPush = float64(bytes) / float64(pushes)
+		}
+		rep.DESPushes = append(rep.DESPushes, pb)
+	}
+
+	// Compression smoke: lossy codecs must actually shrink pushes.
+	var rawPerPush float64
+	for _, pb := range rep.DESPushes {
+		if pb.Codec == "raw" {
+			rawPerPush = pb.BytesPerPush
+		}
+	}
+	for _, pb := range rep.DESPushes {
+		if pb.Codec == "raw" {
+			continue
+		}
+		if pb.Pushes == 0 || pb.BytesPerPush >= rawPerPush {
+			return fmt.Errorf("codec %s: bytes/push %.0f not below raw %.0f", pb.Codec, pb.BytesPerPush, rawPerPush)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d codecs, %d DES arms)\n", *out, len(rep.Codecs), len(rep.DESPushes))
+	return nil
+}

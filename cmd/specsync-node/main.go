@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"specsync/internal/cluster"
+	"specsync/internal/codec"
 	"specsync/internal/core"
 	"specsync/internal/live"
 	"specsync/internal/metrics"
@@ -65,6 +66,10 @@ func run(args []string) error {
 		debug      = fs.Bool("debug", false, "verbose node logging")
 
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address (\":0\" picks a port)")
+
+		codecName = fs.String("codec", "raw", "gradient codec (must match across nodes): "+codec.Names)
+		topkFrac  = fs.Float64("topk", codec.DefaultTopKFrac, "topk codec: fraction of entries kept")
+		q8Block   = fs.Int("q8-block", codec.DefaultQ8Block, "q8 codec: values per quantization block")
 
 		checkpointDir   = fs.String("checkpoint-dir", "", "server/scheduler role: directory for checkpoints; restored on boot if present")
 		checkpointEvery = fs.Duration("checkpoint-every", 10*time.Second, "server/scheduler role: checkpoint period (0 disables; needs -checkpoint-dir)")
@@ -121,19 +126,30 @@ func run(args []string) error {
 		return err
 	}
 
+	ccfg := codec.Config{Name: *codecName, TopKFrac: *topkFrac, Q8Block: *q8Block}
+	if err := ccfg.Validate(); err != nil {
+		return err
+	}
+
 	// One observability instance per process; role-specific handles feed the
 	// same registry that -metrics-addr exposes. Outbound wire bytes are
-	// accounted per message kind with wall-clock throughput windows.
+	// accounted per message kind with wall-clock throughput windows, and the
+	// codec tap adds per-{kind,codec} bytes-on-wire counters.
 	o := obs.New(obs.Options{})
 	transfer := metrics.NewTransfer(msg.IsControl)
 	o.Registry().SetCollector("transfer", func(w io.Writer) {
 		transfer.WritePrometheus(w, msg.Registry().Name)
+	})
+	codecStats := codec.NewStats(msg.CodecLabeler(ccfg.PushName(), ccfg.PullName()))
+	o.Registry().SetCollector("codec", func(w io.Writer) {
+		codecStats.WritePrometheus(w, msg.Registry().Name)
 	})
 
 	var id node.ID
 	var handler node.Handler
 	var shard *ps.Server      // set for the server role (checkpoint loop)
 	var sched *core.Scheduler // set for the scheduler role (checkpoint loop)
+	var wkr *worker.Worker    // set for the worker role (codec-residual checkpoints)
 	var ckptPath string
 	switch *role {
 	case "server":
@@ -150,10 +166,12 @@ func run(args []string) error {
 			return err
 		}
 		shard, err = ps.New(ps.Config{
-			Range:     ranges[*index],
-			Init:      initVec[ranges[*index].Lo:ranges[*index].Hi],
-			Optimizer: opt,
-			Obs:       o.Server(*index),
+			Range:      ranges[*index],
+			Init:       initVec[ranges[*index].Lo:ranges[*index].Hi],
+			Optimizer:  opt,
+			Obs:        o.Server(*index),
+			DeltaPull:  ccfg.UsesDelta(),
+			CodecStats: codecStats,
 		})
 		if err != nil {
 			return err
@@ -175,7 +193,7 @@ func run(args []string) error {
 			return fmt.Errorf("worker index %d out of range", *index)
 		}
 		id = node.WorkerID(*index)
-		handler, err = worker.New(worker.Config{
+		wkr, err = worker.New(worker.Config{
 			Index:            *index,
 			Shards:           ranges,
 			Model:            wl.Model,
@@ -186,11 +204,27 @@ func run(args []string) error {
 			HeartbeatEvery:   *heartbeatEvery,
 			RetryAfter:       *retryAfter,
 			SchedulerTimeout: *schedTimeout,
+			Codec:            ccfg,
+			CodecStats:       codecStats,
 			Obs:              o.Worker(*index),
 		})
 		if err != nil {
 			return err
 		}
+		// Lossy push codecs carry an error-feedback residual; checkpoint it so
+		// a restarted worker does not silently drop pending gradient mass.
+		if *checkpointDir != "" && wkr.CodecState() != nil {
+			if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+				return err
+			}
+			ckptPath = filepath.Join(*checkpointDir, fmt.Sprintf("worker-%d.codec.ckpt", *index))
+			if ok, err := restoreResidualCheckpoint(wkr, ckptPath); err != nil {
+				return err
+			} else if ok {
+				fmt.Printf("worker/%d: restored codec residual state from %s\n", *index, ckptPath)
+			}
+		}
+		handler = wkr
 	case "scheduler":
 		id = node.Scheduler
 		sched, err = core.NewScheduler(core.SchedulerConfig{
@@ -230,7 +264,7 @@ func run(args []string) error {
 		Peers:      peers,
 		Registry:   msg.Registry(),
 		Seed:       *seed,
-		Transfer:   transfer,
+		Transfer:   codecStats.Tap(transfer),
 		Metrics:    o.Registry(),
 		Debug:      *debug,
 	})
@@ -257,11 +291,12 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	// Periodic durable checkpoints for the server and scheduler roles. The
-	// snapshot is taken on the node's event loop (h.Do) so it never races
-	// with applies; only the file write happens out here.
+	// Periodic durable checkpoints: server and scheduler state, and the
+	// worker's codec residual when a lossy push codec is active. The snapshot
+	// is taken on the node's event loop (h.Do) so it never races with
+	// applies; only the file write happens out here.
 	var ckptTick <-chan time.Time
-	if (shard != nil || sched != nil) && ckptPath != "" && *checkpointEvery > 0 {
+	if ckptPath != "" && *checkpointEvery > 0 {
 		ct := time.NewTicker(*checkpointEvery)
 		defer ct.Stop()
 		ckptTick = ct.C
@@ -276,7 +311,8 @@ func run(args []string) error {
 			fmt.Println("shutting down")
 			return nil
 		case <-ckptTick:
-			if shard != nil {
+			switch {
+			case shard != nil:
 				var snap ps.Snapshot
 				h.Do(func() { snap = shard.Snapshot() })
 				if err := writeCheckpoint(ckptPath, snap); err != nil {
@@ -284,13 +320,21 @@ func run(args []string) error {
 				} else if *debug {
 					fmt.Printf("%s: checkpointed version %d\n", id, snap.Version)
 				}
-			} else {
+			case sched != nil:
 				var snap core.SchedulerSnapshot
 				h.Do(func() { snap = sched.Snapshot() })
 				if err := writeSchedulerCheckpoint(ckptPath, snap); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: checkpoint failed: %v\n", id, err)
 				} else if *debug {
 					fmt.Printf("%s: checkpointed epoch %d\n", id, snap.Epoch)
+				}
+			case wkr != nil:
+				var data []byte
+				h.Do(func() { data = wkr.CodecState().Snapshot() })
+				if err := writeBytesCheckpoint(ckptPath, data); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: codec checkpoint failed: %v\n", id, err)
+				} else if *debug {
+					fmt.Printf("%s: checkpointed codec residuals (%d bytes)\n", id, len(data))
 				}
 			}
 		case <-ticker.C:
@@ -385,6 +429,48 @@ func restoreSchedulerCheckpoint(sched *core.Scheduler, path string) (gen int64, 
 		return 0, false, err
 	}
 	return snap.Generation, true, nil
+}
+
+// restoreResidualCheckpoint loads a worker's codec residual checkpoint if one
+// exists. Called before the host starts serving, so no locking is needed.
+func restoreResidualCheckpoint(wk *worker.Worker, path string) (ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	st, err := codec.RestoreState(data)
+	if err != nil {
+		return false, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if err := wk.RestoreCodecState(st); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// writeBytesCheckpoint writes an opaque snapshot durably with the same
+// temp-fsync-rename discipline as writeCheckpoint.
+func writeBytesCheckpoint(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // writeSchedulerCheckpoint mirrors writeCheckpoint for the scheduler role.

@@ -27,10 +27,13 @@ import (
 	"time"
 
 	"specsync/internal/cluster"
+	"specsync/internal/codec"
 	"specsync/internal/metrics"
+	"specsync/internal/msg"
 	"specsync/internal/obs"
 	"specsync/internal/scheme"
 	"specsync/internal/trace"
+	"specsync/internal/wire"
 )
 
 func main() {
@@ -67,6 +70,9 @@ func record(args []string) error {
 		maxVirtual   = fs.Duration("max", 30*time.Minute, "virtual duration to record")
 		out          = fs.String("out", "trace.jsonl", "output JSONL path")
 		spanOut      = fs.String("span-out", "", "also write Chrome trace-event JSON spans to this file")
+		codecName    = fs.String("codec", "raw", "gradient codec: "+codec.Names)
+		topkFrac     = fs.Float64("topk", codec.DefaultTopKFrac, "topk codec: fraction of entries kept")
+		q8Block      = fs.Int("q8-block", codec.DefaultQ8Block, "q8 codec: values per quantization block")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +114,7 @@ func record(args []string) error {
 		Scheme:     sc,
 		Workers:    *workers,
 		Seed:       *seed,
+		Codec:      codec.Config{Name: *codecName, TopKFrac: *topkFrac, Q8Block: *q8Block},
 		MaxVirtual: *maxVirtual,
 		KeepTrace:  true,
 	})
@@ -121,6 +128,16 @@ func record(args []string) error {
 	defer f.Close()
 	events := res.Trace.Events()
 	if err := trace.WriteJSONL(f, events); err != nil {
+		return err
+	}
+	// Append per-{kind,codec} bytes-on-wire accounting after the event lines;
+	// summary reports it and ReadJSONL-based tools skip it.
+	reg := msg.Registry()
+	var rows []trace.WireBytes
+	for _, row := range res.Codec.Rows(func(k wire.Kind) string { return reg.Name(k) }) {
+		rows = append(rows, trace.WireBytes{Kind: row.Kind, Codec: row.Codec, Bytes: row.Bytes, Msgs: row.Msgs})
+	}
+	if err := trace.AppendWireBytes(f, rows); err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -222,10 +239,16 @@ func summary(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := load(*in)
+	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
+	rawEvents, wireRows, err := trace.ReadJSONLFull(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	c := trace.FromEvents(rawEvents)
 	events := c.Events()
 	if len(events) == 0 {
 		return fmt.Errorf("empty trace")
@@ -252,6 +275,17 @@ func summary(args []string) error {
 		b := metrics.BoxOf(stale)
 		fmt.Printf("staleness: p5=%.0f p25=%.0f median=%.0f p75=%.0f p95=%.0f\n",
 			b.P5, b.P25, b.P50, b.P75, b.P95)
+	}
+
+	if len(wireRows) > 0 {
+		var total int64
+		fmt.Println("bytes on wire per message kind:")
+		fmt.Printf("  %-14s %-6s %12s %8s\n", "kind", "codec", "bytes", "msgs")
+		for _, row := range wireRows {
+			fmt.Printf("  %-14s %-6s %12d %8d\n", row.Kind, row.Codec, row.Bytes, row.Msgs)
+			total += row.Bytes
+		}
+		fmt.Printf("  %-14s %-6s %12d\n", "total", "", total)
 	}
 
 	byWorker := c.CountByWorker(trace.KindPush)

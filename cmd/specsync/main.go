@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"specsync/internal/cluster"
+	"specsync/internal/codec"
 	"specsync/internal/core"
 	"specsync/internal/faults"
 	"specsync/internal/metrics"
@@ -42,6 +43,9 @@ func run(args []string) error {
 		verboseTune  = fs.Bool("tuning", false, "print adaptive tuning decisions")
 		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address while running")
 		spanOut      = fs.String("span-out", "", "write iteration spans as Chrome trace-event JSON to this file")
+		codecName    = fs.String("codec", "raw", "gradient codec: "+codec.Names)
+		topkFrac     = fs.Float64("topk", codec.DefaultTopKFrac, "topk codec: fraction of entries kept")
+		q8Block      = fs.Int("q8-block", codec.DefaultQ8Block, "q8 codec: values per quantization block")
 
 		faultPlanPath = fs.String("fault-plan", "", "JSON fault-plan file to inject (see internal/faults)")
 		churn         = fs.Int("churn", 0, "generate this many random crash/restart events")
@@ -97,6 +101,7 @@ func run(args []string) error {
 		Workers:    *workers,
 		Servers:    *servers,
 		Seed:       *seed,
+		Codec:      codec.Config{Name: *codecName, TopKFrac: *topkFrac, Q8Block: *q8Block},
 		MaxVirtual: *maxVirtual,
 	}
 	if *hetero {
@@ -219,6 +224,19 @@ func run(args []string) error {
 	fmt.Printf("transfer: data %s, control %s (%.4f%% control)\n",
 		metrics.HumanBytes(data), metrics.HumanBytes(control),
 		100*float64(control)/float64(data+control))
+	if *codecName != "" && *codecName != "raw" && res.Codec != nil {
+		push, _, _ := codec.Build(cfg.Codec)
+		if push != nil {
+			_, enc, blocks := res.Codec.EncodeTotals(push.ID())
+			fmt.Printf("codec %s: ratio %.3f (%s encoded over %d blocks)\n",
+				push.Name(), res.Codec.Ratio(push.ID()), metrics.HumanBytes(enc), blocks)
+		}
+		if cfg.Codec.UsesDelta() {
+			_, enc, blocks := res.Codec.EncodeTotals(codec.IDDelta)
+			fmt.Printf("codec delta: ratio %.3f (%s encoded over %d pulls)\n",
+				res.Codec.Ratio(codec.IDDelta), metrics.HumanBytes(enc), blocks)
+		}
+	}
 	if s := res.Obs; s != nil && s.Push.Count > 0 {
 		fmt.Printf("latency: pull p50=%s push p50=%s compute mean=%s staleness p95=%.0f\n",
 			secs(s.Pull.Quantile(0.5)), secs(s.Push.Quantile(0.5)),

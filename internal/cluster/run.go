@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"specsync/internal/codec"
 	"specsync/internal/core"
 	"specsync/internal/des"
 	"specsync/internal/faults"
@@ -34,6 +35,13 @@ type Config struct {
 	Servers int
 	// Seed drives all randomness (data order, jitter, init).
 	Seed int64
+	// Codec selects the gradient/parameter compression codecs
+	// (internal/codec). The zero value is raw: the legacy v1 wire layouts,
+	// byte-identical to a run without the codec layer. Because the
+	// simulator derives transfer times from encoded byte counts, a
+	// compressing codec shifts push timing and speculation dynamics, not
+	// just byte totals.
+	Codec codec.Config
 	// Net is the simulated network; zero value means the EC2-like default
 	// (250 us latency, 1 Gbps links, 100 us jitter, and transient
 	// cluster-wide stalls scaled to the workload's iteration time).
@@ -189,6 +197,9 @@ type Result struct {
 	Elapsed time.Duration
 	// Transfer is the per-kind byte accounting.
 	Transfer *metrics.Transfer
+	// Codec is the codec-layer accounting: bytes on wire per {kind, codec}
+	// and encode-side compression ratios.
+	Codec *codec.Stats
 	// Trace is the full event log (nil unless Config.KeepTrace).
 	Trace *trace.Collector
 	// FinalLoss is the last probed loss.
@@ -223,6 +234,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Speeds != nil && len(cfg.Speeds) != cfg.Workers {
 		return nil, fmt.Errorf("cluster: %d speeds for %d workers", len(cfg.Speeds), cfg.Workers)
 	}
+	if err := cfg.Codec.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 
 	mdl := cfg.Workload.Model
@@ -242,12 +256,16 @@ func Run(cfg Config) (*Result, error) {
 	o.Registry().SetCollector("transfer", func(w io.Writer) {
 		transfer.WritePrometheus(w, registry.Name)
 	})
+	codecStats := codec.NewStats(msg.CodecLabeler(cfg.Codec.PushName(), cfg.Codec.PullName()))
+	o.Registry().SetCollector("codec", func(w io.Writer) {
+		codecStats.WritePrometheus(w, registry.Name)
+	})
 
 	sim, err := des.New(des.Config{
 		Seed:     cfg.Seed,
 		Net:      cfg.Net,
 		Registry: registry,
-		Transfer: transfer,
+		Transfer: codecStats.Tap(transfer),
 		Metrics:  o.Registry(),
 		Debug:    cfg.Debug,
 	})
@@ -278,10 +296,12 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		return ps.New(ps.Config{
-			Range:     r,
-			Init:      initVec[r.Lo:r.Hi],
-			Optimizer: opt,
-			Obs:       o.Server(shard),
+			Range:      r,
+			Init:       initVec[r.Lo:r.Hi],
+			Optimizer:  opt,
+			Obs:        o.Server(shard),
+			DeltaPull:  cfg.Codec.UsesDelta(),
+			CodecStats: codecStats,
 		})
 	}
 	makeWorker := func(i int) (*worker.Worker, error) {
@@ -307,6 +327,8 @@ func Run(cfg Config) (*Result, error) {
 			RetryAfter:       cfg.RetryAfter,
 			SchedulerTimeout: cfg.SchedulerTimeout,
 			Faults:           faultM,
+			Codec:            cfg.Codec,
+			CodecStats:       codecStats,
 		})
 	}
 
@@ -421,6 +443,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		SchemeName: cfg.Scheme.Name(),
 		Transfer:   transfer,
+		Codec:      codecStats,
 	}
 	accModel, hasAcc := mdl.(model.Accuracier)
 

@@ -1,0 +1,441 @@
+// Package codec implements the gradient/parameter compression layer that
+// sits between the training protocol (internal/msg) and the wire encoding
+// (internal/wire). SpecSync's speculation logic keys off push *arrival
+// rates*, and under the simulator a message's transfer time is derived from
+// its encoded byte count — so a codec does not just save bandwidth, it
+// shifts push timing and therefore abort/re-sync dynamics.
+//
+// Four codecs are provided:
+//
+//	raw   — passthrough float64 blocks; the default, byte-identical to the
+//	        legacy (v1) message layouts.
+//	topk  — magnitude top-k sparsification: only the k largest-|v| entries
+//	        of a gradient block travel, as index/value pairs.
+//	q8    — stochastic 8-bit quantization with one float64 scale per block
+//	        of Q8Block values.
+//	delta — pull-side delta encoding: a shard resends only the entries that
+//	        changed since the block it last sent that worker.
+//
+// topk and q8 are lossy; workers using them keep an error-feedback residual
+// per shard (see State) so the dropped/rounded mass re-enters later pushes
+// and convergence is preserved.
+package codec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"specsync/internal/wire"
+)
+
+// ID tags a codec on the wire (msg.PushReqV2.Codec / msg.PullRespV2.Codec).
+// Values are part of the wire format; never renumber them.
+type ID uint8
+
+// Wire codec identifiers.
+const (
+	IDRaw   ID = 0
+	IDTopK  ID = 1
+	IDQ8    ID = 2
+	IDDelta ID = 3
+)
+
+// String returns the codec's wire-format name.
+func (id ID) String() string {
+	switch id {
+	case IDRaw:
+		return "raw"
+	case IDTopK:
+		return "topk"
+	case IDQ8:
+		return "q8"
+	case IDDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(id))
+	}
+}
+
+// Codec encodes float64 blocks into self-describing payloads. Payloads decode
+// without any codec parameters: everything a decoder needs (lengths, block
+// sizes, scales) is in the payload, so only the one-byte ID travels alongside.
+type Codec interface {
+	// ID returns the codec's wire identifier.
+	ID() ID
+	// Name returns the codec's human-readable name (used as a metric label).
+	Name() string
+	// Lossless reports whether Decode(Encode(x)) reproduces x exactly.
+	Lossless() bool
+	// Encode appends the coded form of vals to w.
+	//
+	//   - base is the receiver's current copy of the block; only delta uses
+	//     it (nil for the others). Decode must then run against a dst
+	//     pre-filled with base.
+	//   - recon, when non-nil (length len(vals)), is filled with the exact
+	//     values Decode will reconstruct, so callers can maintain
+	//     error-feedback residuals without a decode round-trip.
+	//   - rng feeds stochastic codecs (q8's stochastic rounding);
+	//     deterministic codecs ignore it, and a nil rng falls back to
+	//     deterministic rounding.
+	Encode(w *wire.Writer, vals, base, recon []float64, rng *rand.Rand)
+	// Decode reads one block encoded by Encode into dst, whose length must
+	// equal the original block's. Lossy sparsifying codecs (topk) zero the
+	// entries they dropped; delta leaves unlisted entries at their base
+	// values. Failures surface through r's sticky error.
+	Decode(r *wire.Reader, dst []float64)
+}
+
+// DecodePayload decodes one self-contained payload produced by the codec
+// with the given ID into dst. It rejects unknown IDs, short or trailing
+// bytes, and length mismatches.
+func DecodePayload(id ID, payload []byte, dst []float64) error {
+	var c Codec
+	switch id {
+	case IDRaw:
+		c = Raw{}
+	case IDTopK:
+		c = TopK{}
+	case IDQ8:
+		c = Q8{}
+	case IDDelta:
+		c = Delta{}
+	default:
+		return fmt.Errorf("codec: unknown codec id %d", uint8(id))
+	}
+	r := wire.NewReader(payload)
+	c.Decode(r, dst)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("codec: decoding %s payload: %w", id, err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("codec: %s payload has %d trailing bytes", id, r.Remaining())
+	}
+	return nil
+}
+
+// EncodePayload encodes one block into a fresh byte slice using a pooled
+// scratch writer. See Codec.Encode for the parameter contract.
+func EncodePayload(c Codec, vals, base, recon []float64, rng *rand.Rand) []byte {
+	w := wire.GetWriter()
+	c.Encode(w, vals, base, recon, rng)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	wire.PutWriter(w)
+	return out
+}
+
+// blockLen reads and validates the leading element count every codec writes.
+func blockLen(r *wire.Reader, dst []float64) (int, bool) {
+	n := int(r.Uvarint())
+	if r.Err() != nil {
+		return 0, false
+	}
+	if n != len(dst) {
+		r.Fail(fmt.Errorf("codec: payload is for %d values, want %d", n, len(dst)))
+		return 0, false
+	}
+	return n, true
+}
+
+// Raw is the passthrough codec: full float64 blocks, no loss.
+type Raw struct{}
+
+// ID implements Codec.
+func (Raw) ID() ID { return IDRaw }
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Lossless implements Codec.
+func (Raw) Lossless() bool { return true }
+
+// Encode implements Codec.
+func (Raw) Encode(w *wire.Writer, vals, _, recon []float64, _ *rand.Rand) {
+	w.Float64s(vals)
+	if recon != nil {
+		copy(recon, vals)
+	}
+}
+
+// Decode implements Codec.
+func (Raw) Decode(r *wire.Reader, dst []float64) {
+	if _, ok := blockLen(r, dst); !ok {
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Float64()
+	}
+}
+
+// TopK keeps only the Frac·n entries of largest magnitude (at least one).
+// The selection is deterministic: ties break toward the lower index.
+type TopK struct {
+	// Frac is the fraction of entries kept; zero means DefaultTopKFrac.
+	Frac float64
+}
+
+// ID implements Codec.
+func (TopK) ID() ID { return IDTopK }
+
+// Name implements Codec.
+func (TopK) Name() string { return "topk" }
+
+// Lossless implements Codec.
+func (TopK) Lossless() bool { return false }
+
+// Encode implements Codec.
+func (c TopK) Encode(w *wire.Writer, vals, _, recon []float64, _ *rand.Rand) {
+	frac := c.Frac
+	if frac == 0 {
+		frac = DefaultTopKFrac
+	}
+	n := len(vals)
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := math.Abs(vals[order[a]]), math.Abs(vals[order[b]])
+		if va != vb {
+			return va > vb
+		}
+		return order[a] < order[b]
+	})
+	kept := order[:k]
+	sort.Ints(kept)
+
+	w.Uvarint(uint64(n))
+	w.Uvarint(uint64(k))
+	if recon != nil {
+		for i := range recon {
+			recon[i] = 0
+		}
+	}
+	prev := 0
+	for _, idx := range kept {
+		w.Uvarint(uint64(idx - prev)) // delta-coded ascending indices
+		prev = idx
+	}
+	for _, idx := range kept {
+		w.Float64(vals[idx])
+		if recon != nil {
+			recon[idx] = vals[idx]
+		}
+	}
+}
+
+// Decode implements Codec. Dropped entries are zeroed.
+func (TopK) Decode(r *wire.Reader, dst []float64) {
+	n, ok := blockLen(r, dst)
+	if !ok {
+		return
+	}
+	k := int(r.Uvarint())
+	if r.Err() != nil {
+		return
+	}
+	if k < 0 || k > n {
+		r.Fail(fmt.Errorf("codec: topk keeps %d of %d values", k, n))
+		return
+	}
+	idx := make([]int, k)
+	pos := 0
+	for i := range idx {
+		pos += int(r.Uvarint())
+		if pos >= n && r.Err() == nil {
+			r.Fail(fmt.Errorf("codec: topk index %d out of range %d", pos, n))
+		}
+		if r.Err() != nil {
+			return
+		}
+		idx[i] = pos
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, p := range idx {
+		dst[p] = r.Float64()
+	}
+}
+
+// Q8 quantizes each block of Block values to int8 with a shared float64
+// scale (the block's max magnitude). With an RNG, rounding is stochastic and
+// unbiased; without, it rounds to nearest. Worst-case per-entry error is one
+// quantum: scale/127.
+type Q8 struct {
+	// Block is the number of values sharing one scale; zero means
+	// DefaultQ8Block.
+	Block int
+}
+
+// ID implements Codec.
+func (Q8) ID() ID { return IDQ8 }
+
+// Name implements Codec.
+func (Q8) Name() string { return "q8" }
+
+// Lossless implements Codec.
+func (Q8) Lossless() bool { return false }
+
+// Encode implements Codec.
+func (c Q8) Encode(w *wire.Writer, vals, _, recon []float64, rng *rand.Rand) {
+	block := c.Block
+	if block <= 0 {
+		block = DefaultQ8Block
+	}
+	n := len(vals)
+	w.Uvarint(uint64(n))
+	w.Uvarint(uint64(block))
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		scale := 0.0
+		for _, v := range vals[lo:hi] {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		w.Float64(scale)
+		for i, v := range vals[lo:hi] {
+			var q int
+			if scale > 0 {
+				f := v / scale * 127
+				if rng != nil {
+					floor := math.Floor(f)
+					q = int(floor)
+					if rng.Float64() < f-floor {
+						q++
+					}
+				} else {
+					q = int(math.Round(f))
+				}
+				if q > 127 {
+					q = 127
+				} else if q < -127 {
+					q = -127
+				}
+			}
+			w.Uint8(uint8(int8(q)))
+			if recon != nil {
+				recon[lo+i] = float64(q) * scale / 127
+			}
+		}
+	}
+}
+
+// Decode implements Codec.
+func (Q8) Decode(r *wire.Reader, dst []float64) {
+	n, ok := blockLen(r, dst)
+	if !ok {
+		return
+	}
+	block := int(r.Uvarint())
+	if r.Err() != nil {
+		return
+	}
+	if block <= 0 {
+		r.Fail(fmt.Errorf("codec: q8 block size %d", block))
+		return
+	}
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		scale := r.Float64()
+		for i := lo; i < hi; i++ {
+			q := int8(r.Uint8())
+			dst[i] = float64(q) * scale / 127
+		}
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+// Delta encodes the entries of vals that differ from base as index/value
+// pairs carrying the *new* values (so decoding is exact). Decode must run
+// against a dst pre-filled with base; unlisted entries keep their base
+// values. A nil base is treated as all-different (full resend).
+type Delta struct{}
+
+// ID implements Codec.
+func (Delta) ID() ID { return IDDelta }
+
+// Name implements Codec.
+func (Delta) Name() string { return "delta" }
+
+// Lossless implements Codec.
+func (Delta) Lossless() bool { return true }
+
+// Encode implements Codec.
+func (Delta) Encode(w *wire.Writer, vals, base, recon []float64, _ *rand.Rand) {
+	n := len(vals)
+	changed := 0
+	for i, v := range vals {
+		if base == nil || i >= len(base) || base[i] != v {
+			changed++
+		}
+	}
+	w.Uvarint(uint64(n))
+	w.Uvarint(uint64(changed))
+	prev := 0
+	for i, v := range vals {
+		if base != nil && i < len(base) && base[i] == v {
+			continue
+		}
+		w.Uvarint(uint64(i - prev))
+		prev = i
+	}
+	for i, v := range vals {
+		if base != nil && i < len(base) && base[i] == v {
+			continue
+		}
+		w.Float64(v)
+	}
+	if recon != nil {
+		copy(recon, vals)
+	}
+}
+
+// Decode implements Codec.
+func (Delta) Decode(r *wire.Reader, dst []float64) {
+	n, ok := blockLen(r, dst)
+	if !ok {
+		return
+	}
+	changed := int(r.Uvarint())
+	if r.Err() != nil {
+		return
+	}
+	if changed < 0 || changed > n {
+		r.Fail(fmt.Errorf("codec: delta changes %d of %d values", changed, n))
+		return
+	}
+	idx := make([]int, changed)
+	pos := 0
+	for i := range idx {
+		pos += int(r.Uvarint())
+		if pos >= n && r.Err() == nil {
+			r.Fail(fmt.Errorf("codec: delta index %d out of range %d", pos, n))
+		}
+		if r.Err() != nil {
+			return
+		}
+		idx[i] = pos
+	}
+	for _, p := range idx {
+		dst[p] = r.Float64()
+	}
+}

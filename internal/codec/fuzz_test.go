@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzCodecRoundTrip feeds randomized blocks through every codec and asserts
+// each one's reconstruction contract:
+//
+//	raw, delta — exact round-trip
+//	topk       — decoded entries are exactly the originals; dropped entries
+//	             are zero; at least 1 and at most ceil(frac·n) survive
+//	q8         — per-entry error bounded by one quantum (block scale / 127)
+//
+// All codecs must agree with the recon buffer their encoder filled, since the
+// error-feedback residual depends on it matching what the server applies.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(int64(1), 8, 0.25, 4)
+	f.Add(int64(42), 1, 0.5, 1)
+	f.Add(int64(7), 300, 0.1, 64)
+	f.Add(int64(-3), 17, 0.9, 256)
+	f.Fuzz(func(t *testing.T, seed int64, n int, frac float64, block int) {
+		if n < 1 || n > 4096 {
+			return
+		}
+		if frac <= 0 || frac > 1 || math.IsNaN(frac) {
+			return
+		}
+		if block < 1 || block > 4096 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		base := make([]float64, n)
+		copy(base, vals)
+		for i := range base {
+			if rng.Intn(3) == 0 {
+				base[i] += rng.NormFloat64()
+			}
+		}
+
+		check := func(c Codec, useBase []float64, encRNG *rand.Rand, verify func(dst []float64)) {
+			t.Helper()
+			recon := make([]float64, n)
+			payload := EncodePayload(c, vals, useBase, recon, encRNG)
+			dst := make([]float64, n)
+			if useBase != nil {
+				copy(dst, useBase)
+			}
+			if err := DecodePayload(c.ID(), payload, dst); err != nil {
+				t.Fatalf("%s: decode: %v", c.Name(), err)
+			}
+			for i := range dst {
+				if dst[i] != recon[i] {
+					t.Fatalf("%s: recon[%d] = %g but decode produced %g", c.Name(), i, recon[i], dst[i])
+				}
+			}
+			verify(dst)
+		}
+
+		check(Raw{}, nil, nil, func(dst []float64) {
+			for i := range vals {
+				if dst[i] != vals[i] {
+					t.Fatalf("raw: dst[%d] = %g, want %g", i, dst[i], vals[i])
+				}
+			}
+		})
+
+		check(Delta{}, base, nil, func(dst []float64) {
+			for i := range vals {
+				if dst[i] != vals[i] {
+					t.Fatalf("delta: dst[%d] = %g, want %g", i, dst[i], vals[i])
+				}
+			}
+		})
+
+		check(TopK{Frac: frac}, nil, nil, func(dst []float64) {
+			maxK := int(math.Ceil(frac * float64(n)))
+			if maxK < 1 {
+				maxK = 1
+			}
+			kept := 0
+			for i := range vals {
+				switch dst[i] {
+				case vals[i]:
+					if vals[i] != 0 {
+						kept++
+					}
+				case 0:
+					// dropped
+				default:
+					t.Fatalf("topk: dst[%d] = %g is neither original %g nor zero", i, dst[i], vals[i])
+				}
+			}
+			if kept > maxK {
+				t.Fatalf("topk: kept %d nonzero entries, max %d", kept, maxK)
+			}
+		})
+
+		check(Q8{Block: block}, nil, rand.New(rand.NewSource(seed+1)), func(dst []float64) {
+			for lo := 0; lo < n; lo += block {
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				scale := 0.0
+				for _, v := range vals[lo:hi] {
+					if a := math.Abs(v); a > scale {
+						scale = a
+					}
+				}
+				quantum := scale / 127
+				for i := lo; i < hi; i++ {
+					if err := math.Abs(dst[i] - vals[i]); err > quantum+1e-12 {
+						t.Fatalf("q8: dst[%d] error %g exceeds quantum %g", i, err, quantum)
+					}
+				}
+			}
+		})
+	})
+}

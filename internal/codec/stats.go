@@ -1,0 +1,223 @@
+package codec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+// TransferRecorder mirrors des.TransferRecorder / transport.TransferRecorder
+// so Stats can tap the byte stream of either stack without importing them.
+type TransferRecorder interface {
+	RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time)
+}
+
+// Stats accumulates the codec layer's byte accounting:
+//
+//   - bytes/messages on the wire per {message kind, codec label}, fed by
+//     tapping the run's transfer recorder (Tap), and
+//   - encode-site compression ratios per codec (RecordEncode), comparing
+//     each payload against the 8·n bytes a dense float64 block would cost.
+//
+// It is safe for concurrent use and exposes its counters in Prometheus text
+// form (WritePrometheus) for the obs registry.
+type Stats struct {
+	mu      sync.Mutex
+	wire    map[wireKey]*wireCell
+	enc     map[ID]*encCell
+	labelOf func(wire.Kind) string
+}
+
+type wireKey struct {
+	kind  wire.Kind
+	label string
+}
+
+type wireCell struct {
+	bytes int64
+	msgs  int64
+}
+
+type encCell struct {
+	raw    int64
+	enc    int64
+	blocks int64
+}
+
+// NewStats builds a Stats whose wire tap labels each message kind with a
+// codec name (use msg.CodecLabeler for the protocol's kinds).
+func NewStats(labelOf func(wire.Kind) string) *Stats {
+	if labelOf == nil {
+		labelOf = func(wire.Kind) string { return "none" }
+	}
+	return &Stats{
+		wire:    make(map[wireKey]*wireCell),
+		enc:     make(map[ID]*encCell),
+		labelOf: labelOf,
+	}
+}
+
+// Tap returns a recorder that forwards every transfer to inner (which may be
+// nil) and accumulates per-{kind,codec} byte counters here. It changes no
+// behavior of the tapped stack — pure accounting — so a raw-codec run with a
+// tap in place stays byte- and schedule-identical.
+func (s *Stats) Tap(inner TransferRecorder) TransferRecorder {
+	return &tap{stats: s, inner: inner}
+}
+
+type tap struct {
+	stats *Stats
+	inner TransferRecorder
+}
+
+// RecordTransfer implements TransferRecorder.
+func (t *tap) RecordTransfer(from, to node.ID, kind wire.Kind, bytes int, at time.Time) {
+	if t.inner != nil {
+		t.inner.RecordTransfer(from, to, kind, bytes, at)
+	}
+	s := t.stats
+	key := wireKey{kind: kind, label: s.labelOf(kind)}
+	s.mu.Lock()
+	cell, ok := s.wire[key]
+	if !ok {
+		cell = &wireCell{}
+		s.wire[key] = cell
+	}
+	cell.bytes += int64(bytes)
+	cell.msgs++
+	s.mu.Unlock()
+}
+
+// RecordEncode records one encoded block: rawBytes is the dense float64 cost
+// of the block (8·n), encBytes the payload actually produced.
+func (s *Stats) RecordEncode(id ID, rawBytes, encBytes int) {
+	s.mu.Lock()
+	cell, ok := s.enc[id]
+	if !ok {
+		cell = &encCell{}
+		s.enc[id] = cell
+	}
+	cell.raw += int64(rawBytes)
+	cell.enc += int64(encBytes)
+	cell.blocks++
+	s.mu.Unlock()
+}
+
+// KindBytes returns the on-wire bytes and message count recorded for one
+// {kind, codec label} pair.
+func (s *Stats) KindBytes(kind wire.Kind, label string) (bytes, msgs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cell, ok := s.wire[wireKey{kind: kind, label: label}]; ok {
+		return cell.bytes, cell.msgs
+	}
+	return 0, 0
+}
+
+// LabelBytes sums on-wire bytes across all kinds carrying the given codec
+// label.
+func (s *Stats) LabelBytes(label string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for key, cell := range s.wire {
+		if key.label == label {
+			total += cell.bytes
+		}
+	}
+	return total
+}
+
+// Ratio returns encoded/raw bytes over every block the codec encoded, or
+// NaN-free 1 when it never ran.
+func (s *Stats) Ratio(id ID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cell, ok := s.enc[id]
+	if !ok || cell.raw == 0 {
+		return 1
+	}
+	return float64(cell.enc) / float64(cell.raw)
+}
+
+// EncodeTotals returns the cumulative raw (dense-equivalent) and encoded
+// byte counts plus block count for one codec.
+func (s *Stats) EncodeTotals(id ID) (rawBytes, encBytes, blocks int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cell, ok := s.enc[id]; ok {
+		return cell.raw, cell.enc, cell.blocks
+	}
+	return 0, 0, 0
+}
+
+// Row is one {kind, codec} wire accounting entry (for trace sidecars and
+// summaries).
+type Row struct {
+	Kind  string
+	Codec string
+	Bytes int64
+	Msgs  int64
+}
+
+// Rows snapshots the wire counters, kinds named by kindName, sorted by kind
+// then codec for deterministic output.
+func (s *Stats) Rows(kindName func(wire.Kind) string) []Row {
+	s.mu.Lock()
+	out := make([]Row, 0, len(s.wire))
+	for key, cell := range s.wire {
+		out = append(out, Row{
+			Kind:  kindName(key.kind),
+			Codec: key.label,
+			Bytes: cell.bytes,
+			Msgs:  cell.msgs,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Codec < out[j].Codec
+	})
+	return out
+}
+
+// WritePrometheus renders the counters in Prometheus text format.
+func (s *Stats) WritePrometheus(w io.Writer, kindName func(wire.Kind) string) {
+	rows := s.Rows(kindName)
+	fmt.Fprintln(w, "# HELP specsync_bytes_on_wire_total Bytes sent on the wire by message kind and codec.")
+	fmt.Fprintln(w, "# TYPE specsync_bytes_on_wire_total counter")
+	for _, row := range rows {
+		fmt.Fprintf(w, "specsync_bytes_on_wire_total{kind=%q,codec=%q} %d\n", row.Kind, row.Codec, row.Bytes)
+	}
+	fmt.Fprintln(w, "# HELP specsync_codec_msgs_total Messages sent on the wire by message kind and codec.")
+	fmt.Fprintln(w, "# TYPE specsync_codec_msgs_total counter")
+	for _, row := range rows {
+		fmt.Fprintf(w, "specsync_codec_msgs_total{kind=%q,codec=%q} %d\n", row.Kind, row.Codec, row.Msgs)
+	}
+
+	s.mu.Lock()
+	ids := make([]ID, 0, len(s.enc))
+	for id := range s.enc {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintln(w, "# HELP specsync_codec_compression_ratio Encoded bytes over dense float64 bytes, per codec.")
+	fmt.Fprintln(w, "# TYPE specsync_codec_compression_ratio gauge")
+	for _, id := range ids {
+		fmt.Fprintf(w, "specsync_codec_compression_ratio{codec=%q} %g\n", id.String(), s.Ratio(id))
+	}
+	fmt.Fprintln(w, "# HELP specsync_codec_encoded_bytes_total Payload bytes produced by each codec's encoder.")
+	fmt.Fprintln(w, "# TYPE specsync_codec_encoded_bytes_total counter")
+	for _, id := range ids {
+		_, enc, _ := s.EncodeTotals(id)
+		fmt.Fprintf(w, "specsync_codec_encoded_bytes_total{codec=%q} %d\n", id.String(), enc)
+	}
+}

@@ -1,0 +1,161 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"specsync/internal/codec"
+	"specsync/internal/core"
+	"specsync/internal/model"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/ps"
+	"specsync/internal/scheme"
+	"specsync/internal/worker"
+)
+
+// TestTCPClusterWithCodecs runs the live TCP cluster with a lossy push codec
+// (topk + error feedback) and delta pulls enabled, verifying training makes
+// progress over the real wire on the v2 message kinds and that the codec
+// stats tap sees the compressed traffic.
+func TestTCPClusterWithCodecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster")
+	}
+	reg := msg.Registry()
+	ccfg := codec.Config{Name: "topk", TopKFrac: 0.25}
+	stats := codec.NewStats(msg.CodecLabeler(ccfg.PushName(), ccfg.PullName()))
+
+	mdl, err := model.NewLinReg(model.LinRegConfig{
+		Dim: 16, N: 400, EvalN: 100, Shards: 2, Noise: 0.1, BatchSize: 16, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := ps.ShardRanges(mdl.Dim(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := optimizer.NewSGD(optimizer.SGDConfig{Schedule: optimizer.Const(0.05)}, mdl.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initW := mdl.Init(rand.New(rand.NewSource(42)))
+	srv, err := ps.New(ps.Config{
+		Range: ranges[0], Init: initW, Optimizer: opt,
+		DeltaPull: true, CodecStats: stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := core.NewScheduler(core.SchedulerConfig{
+		Workers:     2,
+		Scheme:      scheme.Config{Base: scheme.ASP},
+		InitialSpan: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*worker.Worker, 2)
+	for i := range workers {
+		wk, err := worker.New(worker.Config{
+			Index:      i,
+			Shards:     ranges,
+			Model:      mdl,
+			Scheme:     scheme.Config{Base: scheme.ASP},
+			Compute:    worker.ComputeModel{Base: 40 * time.Millisecond, Speed: 1, JitterSigma: 0.2},
+			Codec:      ccfg,
+			CodecStats: stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = wk
+	}
+
+	hosts := map[node.ID]*TCPHost{}
+	addHost := func(id node.ID, h node.Handler) *TCPHost {
+		t.Helper()
+		host, err := NewTCPHost(TCPHostConfig{
+			ID: id, Handler: h, ListenAddr: "127.0.0.1:0", Registry: reg, Seed: 9,
+			Transfer: stats.Tap(nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = host
+		t.Cleanup(host.Close)
+		return host
+	}
+	addHost(node.ServerID(0), srv)
+	for i, wk := range workers {
+		addHost(node.WorkerID(i), wk)
+	}
+	schedHost := addHost(node.Scheduler, sched)
+
+	for id, h := range hosts {
+		for peer, ph := range hosts {
+			if peer != id {
+				h.AddPeer(peer, ph.Addr())
+			}
+		}
+	}
+	for i := range workers {
+		schedHost.Send(node.WorkerID(i), &msg.Start{})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := int64(0)
+		for _, wk := range workers {
+			done += wk.IterationsDone()
+		}
+		if done >= 20 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var total int64
+	for _, wk := range workers {
+		total += wk.IterationsDone()
+	}
+	if total < 20 {
+		t.Fatalf("only %d iterations completed over TCP with codecs", total)
+	}
+	if srv.Version() < 20 {
+		t.Errorf("server applied %d pushes", srv.Version())
+	}
+
+	// The v2 kinds must carry the traffic, with real compression recorded.
+	pushBytes, pushMsgs := stats.KindBytes(msg.KindPushReqV2, "topk")
+	if pushMsgs == 0 || pushBytes == 0 {
+		t.Errorf("no v2 push traffic recorded (bytes=%d msgs=%d)", pushBytes, pushMsgs)
+	}
+	if legacy, _ := stats.KindBytes(msg.KindPushReq, "raw"); legacy != 0 {
+		t.Errorf("legacy v1 pushes seen (%d bytes) despite codec config", legacy)
+	}
+	if r := stats.Ratio(codec.IDTopK); r >= 1 {
+		t.Errorf("topk ratio %.3f, want < 1", r)
+	}
+	// Error-feedback residual must be live (nonzero somewhere after lossy
+	// pushes).
+	st := workers[0].CodecState()
+	if st == nil {
+		t.Fatal("worker has no codec state")
+	}
+	nonzero := false
+	for _, block := range st.Residuals {
+		for _, v := range block {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Error("error-feedback residuals all zero after lossy pushes")
+	}
+}

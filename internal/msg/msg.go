@@ -34,6 +34,12 @@ const (
 	KindSchedulerHello  wire.Kind = 14
 	KindStateReport     wire.Kind = 15
 	KindSchedulerBeacon wire.Kind = 16
+	// Codec-tagged data-path layouts (internal/codec). The v1 kinds above
+	// stay untouched so the default raw codec remains byte-identical; never
+	// reuse a Kind for a different layout.
+	KindPullReqV2  wire.Kind = 17
+	KindPullRespV2 wire.Kind = 18
+	KindPushReqV2  wire.Kind = 19
 )
 
 // PullReq asks a server shard for its current parameter block.
@@ -376,6 +382,100 @@ func (m *SchedulerBeacon) Encode(w *wire.Writer) { w.Varint(m.Gen) }
 // Decode implements wire.Message.
 func (m *SchedulerBeacon) Decode(r *wire.Reader) { m.Gen = r.Varint() }
 
+// PullReqV2 asks a shard for its parameter block under a non-raw pull codec.
+// Have lets the shard answer with a delta: it is the version of the block
+// the worker last applied for this shard (-1 when it has none, e.g. after a
+// restart), so a shard whose per-worker cache matches can resend only the
+// changed entries.
+type PullReqV2 struct {
+	Seq  uint64
+	Have int64
+}
+
+var _ wire.Message = (*PullReqV2)(nil)
+
+// Kind implements wire.Message.
+func (m *PullReqV2) Kind() wire.Kind { return KindPullReqV2 }
+
+// Encode implements wire.Message.
+func (m *PullReqV2) Encode(w *wire.Writer) {
+	w.Uint64(m.Seq)
+	w.Varint(m.Have)
+}
+
+// Decode implements wire.Message.
+func (m *PullReqV2) Decode(r *wire.Reader) {
+	m.Seq = r.Uint64()
+	m.Have = r.Varint()
+}
+
+// PullRespV2 returns a shard's parameters as a codec payload. Base is the
+// version the delta was computed against (-1 for a full block); the worker
+// drops responses whose Base does not match the block it holds.
+type PullRespV2 struct {
+	Seq     uint64
+	Version int64
+	Base    int64
+	Codec   uint8 // codec.ID of Payload
+	Payload []byte
+}
+
+var _ wire.Message = (*PullRespV2)(nil)
+
+// Kind implements wire.Message.
+func (m *PullRespV2) Kind() wire.Kind { return KindPullRespV2 }
+
+// Encode implements wire.Message.
+func (m *PullRespV2) Encode(w *wire.Writer) {
+	w.Uint64(m.Seq)
+	w.Varint(m.Version)
+	w.Varint(m.Base)
+	w.Uint8(m.Codec)
+	w.Bytes2(m.Payload)
+}
+
+// Decode implements wire.Message.
+func (m *PullRespV2) Decode(r *wire.Reader) {
+	m.Seq = r.Uint64()
+	m.Version = r.Varint()
+	m.Base = r.Varint()
+	m.Codec = r.Uint8()
+	m.Payload = r.Bytes()
+}
+
+// PushReqV2 delivers one shard's gradient block as a codec payload (the
+// worker's error-feedback residual is already folded in before encoding).
+type PushReqV2 struct {
+	Seq         uint64
+	Iter        int64
+	PullVersion int64
+	Codec       uint8 // codec.ID of Payload
+	Payload     []byte
+}
+
+var _ wire.Message = (*PushReqV2)(nil)
+
+// Kind implements wire.Message.
+func (m *PushReqV2) Kind() wire.Kind { return KindPushReqV2 }
+
+// Encode implements wire.Message.
+func (m *PushReqV2) Encode(w *wire.Writer) {
+	w.Uint64(m.Seq)
+	w.Varint(m.Iter)
+	w.Varint(m.PullVersion)
+	w.Uint8(m.Codec)
+	w.Bytes2(m.Payload)
+}
+
+// Decode implements wire.Message.
+func (m *PushReqV2) Decode(r *wire.Reader) {
+	m.Seq = r.Uint64()
+	m.Iter = r.Varint()
+	m.PullVersion = r.Varint()
+	m.Codec = r.Uint8()
+	m.Payload = r.Bytes()
+}
+
 // Registry returns a fresh registry covering every protocol message.
 func Registry() *wire.Registry {
 	return wire.NewRegistry([]wire.RegistryEntry{
@@ -395,6 +495,9 @@ func Registry() *wire.Registry {
 		{Kind: KindSchedulerHello, Name: "SchedulerHello", New: func() wire.Message { return &SchedulerHello{} }},
 		{Kind: KindStateReport, Name: "StateReport", New: func() wire.Message { return &StateReport{} }},
 		{Kind: KindSchedulerBeacon, Name: "SchedulerBeacon", New: func() wire.Message { return &SchedulerBeacon{} }},
+		{Kind: KindPullReqV2, Name: "PullReqV2", New: func() wire.Message { return &PullReqV2{} }},
+		{Kind: KindPullRespV2, Name: "PullRespV2", New: func() wire.Message { return &PullRespV2{} }},
+		{Kind: KindPushReqV2, Name: "PushReqV2", New: func() wire.Message { return &PushReqV2{} }},
 	})
 }
 
@@ -403,9 +506,27 @@ func Registry() *wire.Registry {
 // transfer into data vs. control bytes.
 func IsControl(k wire.Kind) bool {
 	switch k {
-	case KindPullReq, KindPullResp, KindPushReq, KindPushAck:
+	case KindPullReq, KindPullResp, KindPushReq, KindPushAck,
+		KindPullReqV2, KindPullRespV2, KindPushReqV2:
 		return false
 	default:
 		return true
+	}
+}
+
+// CodecLabeler returns the labeling function codec.Stats uses for the
+// bytes-on-wire breakdown: push-request kinds carry the run's push codec
+// name, pull-response kinds the pull codec name, and every other kind
+// (acks, control traffic) the label "none".
+func CodecLabeler(push, pull string) func(wire.Kind) string {
+	return func(k wire.Kind) string {
+		switch k {
+		case KindPushReq, KindPushReqV2:
+			return push
+		case KindPullResp, KindPullRespV2:
+			return pull
+		default:
+			return "none"
+		}
 	}
 }

@@ -39,6 +39,9 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&SchedulerHello{Gen: 2},
 		&StateReport{Iter: 12, Pushed: true, Clock: 12, Waiting: true, Degraded: true},
 		&SchedulerBeacon{Gen: 3},
+		&PullReqV2{Seq: 13, Have: -1},
+		&PullRespV2{Seq: 13, Version: 9, Base: -1, Codec: 0, Payload: []byte{1, 2, 3}},
+		&PushReqV2{Seq: 14, Iter: 5, PullVersion: 9, Codec: 1, Payload: []byte{4, 5}},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -51,8 +54,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 16 {
-		t.Errorf("registry has %d kinds, want 16", len(kinds))
+	if len(kinds) != 19 {
+		t.Errorf("registry has %d kinds, want 19", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specsync/internal/codec"
 	"specsync/internal/msg"
 	"specsync/internal/node"
 	"specsync/internal/obs"
@@ -69,6 +70,14 @@ type Config struct {
 	Staleness StalenessObserver
 	// Obs, if non-nil, receives pull/push counters and the shard version.
 	Obs *obs.ServerObs
+	// DeltaPull enables delta-encoded v2 pull responses: the shard caches
+	// the block it last sent each worker and answers a re-pull whose Have
+	// version matches the cache with only the changed entries. Workers on
+	// the legacy PullReq path are unaffected.
+	DeltaPull bool
+	// CodecStats, if non-nil, receives encode-side compression accounting
+	// for delta pulls.
+	CodecStats *codec.Stats
 }
 
 // Server is the shard state machine. The counters are atomic so live-mode
@@ -81,6 +90,18 @@ type Server struct {
 	version atomic.Int64 // number of pushes applied
 	pulls   atomic.Int64
 	pushes  atomic.Int64
+
+	// Delta-pull cache: the block this shard last sent each worker, so a
+	// matching re-pull can be answered with just the changed entries. Lost
+	// on restart, which safely degrades the next response to a full block.
+	pullCache map[node.ID]*pullCacheEntry
+	// scratch receives decoded v2 push payloads.
+	scratch tensor.Vec
+}
+
+type pullCacheEntry struct {
+	version int64
+	vals    []float64
 }
 
 var _ node.Handler = (*Server)(nil)
@@ -115,6 +136,10 @@ func (s *Server) Receive(from node.ID, m wire.Message) {
 		})
 	case *msg.PushReq:
 		s.apply(from, req)
+	case *msg.PullReqV2:
+		s.pullV2(from, req)
+	case *msg.PushReqV2:
+		s.applyV2(from, req)
 	case *msg.Stop:
 		// Servers are stateless with respect to the training loop; nothing
 		// to wind down.
@@ -136,9 +161,15 @@ func (s *Server) apply(from node.ID, req *msg.PushReq) {
 		}
 		s.cfg.Optimizer.ApplyDense(s.params, req.Dense)
 	}
+	s.acknowledge(from, req.Seq, req.PullVersion)
+}
+
+// acknowledge finishes one applied push: version bump, staleness accounting,
+// and the PushAck. Shared by the v1 and codec (v2) apply paths.
+func (s *Server) acknowledge(from node.ID, seq uint64, pullVersion int64) {
 	version := s.version.Add(1)
 	s.pushes.Add(1)
-	staleness := version - 1 - req.PullVersion // pushes applied since the pull
+	staleness := version - 1 - pullVersion // pushes applied since the pull
 	if staleness < 0 {
 		staleness = 0
 	}
@@ -146,7 +177,70 @@ func (s *Server) apply(from node.ID, req *msg.PushReq) {
 	if s.cfg.Staleness != nil {
 		s.cfg.Staleness.ObserveStaleness(from, staleness, s.ctx.Now())
 	}
-	s.ctx.Send(from, &msg.PushAck{Seq: req.Seq, Version: version, Staleness: staleness})
+	s.ctx.Send(from, &msg.PushAck{Seq: seq, Version: version, Staleness: staleness})
+}
+
+// applyV2 decodes a codec-tagged push payload into a dense scratch block and
+// applies it through the same optimizer path as v1 pushes. Sparsifying
+// codecs (topk) zero the entries they dropped, so the dense apply touches
+// exactly the surviving coordinates.
+func (s *Server) applyV2(from node.ID, req *msg.PushReqV2) {
+	id := codec.ID(req.Codec)
+	if id == codec.IDDelta {
+		// Delta is a pull-side codec: decoding it needs a base the server
+		// does not have for pushes.
+		s.ctx.Logf("server: push from %s uses pull-only codec %s; dropped", from, id)
+		return
+	}
+	if s.scratch == nil {
+		s.scratch = tensor.NewVec(s.cfg.Range.Len())
+	}
+	if err := codec.DecodePayload(id, req.Payload, s.scratch); err != nil {
+		s.ctx.Logf("server: push from %s: %v; dropped", from, err)
+		return
+	}
+	s.cfg.Optimizer.SetStep(s.version.Load())
+	s.cfg.Optimizer.ApplyDense(s.params, s.scratch)
+	s.acknowledge(from, req.Seq, req.PullVersion)
+}
+
+// pullV2 answers a codec-path pull. With DeltaPull enabled and a per-worker
+// cache entry matching the worker's Have version, the response carries only
+// the entries that changed since the cached block; otherwise it falls back
+// to a full raw block. Either way the cache is refreshed with what was just
+// sent, so the next matching re-pull deltas against it.
+func (s *Server) pullV2(from node.ID, req *msg.PullReqV2) {
+	s.pulls.Add(1)
+	s.cfg.Obs.Pull()
+	version := s.version.Load()
+	resp := &msg.PullRespV2{Seq: req.Seq, Version: version, Base: -1, Codec: uint8(codec.IDRaw)}
+
+	var entry *pullCacheEntry
+	if s.cfg.DeltaPull {
+		if s.pullCache == nil {
+			s.pullCache = make(map[node.ID]*pullCacheEntry)
+		}
+		entry = s.pullCache[from]
+	}
+	if entry != nil && req.Have == entry.version {
+		resp.Base = entry.version
+		resp.Codec = uint8(codec.IDDelta)
+		resp.Payload = codec.EncodePayload(codec.Delta{}, s.params, entry.vals, nil, nil)
+	} else {
+		resp.Payload = codec.EncodePayload(codec.Raw{}, s.params, nil, nil, nil)
+	}
+	if s.cfg.CodecStats != nil {
+		s.cfg.CodecStats.RecordEncode(codec.ID(resp.Codec), 8*len(s.params), len(resp.Payload))
+	}
+	if s.cfg.DeltaPull {
+		if entry == nil {
+			entry = &pullCacheEntry{vals: make([]float64, len(s.params))}
+			s.pullCache[from] = entry
+		}
+		copy(entry.vals, s.params)
+		entry.version = version
+	}
+	s.ctx.Send(from, resp)
 }
 
 // Params returns the live parameter block. Probes under the single-threaded

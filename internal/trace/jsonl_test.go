@@ -95,6 +95,51 @@ func TestReadJSONLErrors(t *testing.T) {
 	}
 }
 
+func TestWireBytesRoundtrip(t *testing.T) {
+	events := []Event{
+		{At: ts(100), Worker: 0, Kind: KindPull, Iter: 1},
+		{At: ts(200), Worker: 1, Kind: KindPush, Iter: 2},
+	}
+	rows := []WireBytes{
+		{Kind: "push_req_v2", Codec: "topk", Bytes: 12345, Msgs: 40},
+		{Kind: "pull_resp", Codec: "raw", Bytes: 99999, Msgs: 80},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendWireBytes(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Full read returns both sections.
+	gotEvents, gotRows, err := ReadJSONLFull(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotEvents) != len(events) {
+		t.Fatalf("got %d events, want %d", len(gotEvents), len(events))
+	}
+	if !reflect.DeepEqual(gotRows, rows) {
+		t.Errorf("wire rows mismatch: %+v vs %+v", gotRows, rows)
+	}
+
+	// Legacy read skips the wire rows without error.
+	legacy, err := ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(events) {
+		t.Errorf("ReadJSONL returned %d events, want %d", len(legacy), len(events))
+	}
+
+	// Empty kind is rejected at write time.
+	if err := AppendWireBytes(&buf, []WireBytes{{Codec: "raw"}}); err == nil {
+		t.Error("accepted wire row with empty kind")
+	}
+}
+
 func TestFromEvents(t *testing.T) {
 	events := []Event{{Kind: KindPush, Worker: 1}, {Kind: KindPush, Worker: 1}}
 	c := FromEvents(events)

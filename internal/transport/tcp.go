@@ -176,7 +176,8 @@ func (t *TCP) sendOnce(to node.ID, m wire.Message) error {
 		return err
 	}
 
-	w := wire.NewWriter(256)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
 	w.String(string(t.cfg.ID))
 	wire.AppendMessage(w, m)
 	payload := w.Bytes()

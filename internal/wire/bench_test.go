@@ -49,3 +49,33 @@ func BenchmarkMarshalRoundtrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMarshalPooled / BenchmarkMarshalUnpooled compare the pooled
+// scratch writer Marshal now uses against allocating a fresh Writer per
+// message (the pre-pool behavior). The pooled path should show one
+// allocation per call (the returned copy) instead of two-plus buffer growth.
+func BenchmarkMarshalPooled(b *testing.B) {
+	m := &testMsg{A: 7, B: "worker/3", V: benchVec(7210)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if data := Marshal(m); len(data) == 0 {
+			b.Fatal("empty marshal")
+		}
+	}
+}
+
+func BenchmarkMarshalUnpooled(b *testing.B) {
+	m := &testMsg{A: 7, B: "worker/3", V: benchVec(7210)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(256)
+		AppendMessage(w, m)
+		out := make([]byte, w.Len())
+		copy(out, w.Bytes())
+		if len(out) == 0 {
+			b.Fatal("empty marshal")
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package wire
+
+import "sync"
+
+// maxPooledCap bounds the buffers the writer pool retains: a writer that
+// grew past this (a one-off giant block) is dropped instead of pinning the
+// memory for the process lifetime.
+const maxPooledCap = 1 << 22
+
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter(256) },
+}
+
+// GetWriter returns an empty Writer from the package pool. The hot encode
+// paths — Marshal, the TCP transport's framing, codec payload encoding —
+// reuse pooled writers so steady-state message traffic stops allocating a
+// fresh buffer per message.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not retain w or any slice
+// obtained from w.Bytes() afterwards.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledCap {
+		return
+	}
+	writerPool.Put(w)
+}

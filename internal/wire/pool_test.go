@@ -1,0 +1,31 @@
+package wire
+
+import "testing"
+
+func TestWriterPoolResetAndReuse(t *testing.T) {
+	w := GetWriter()
+	w.Uint32(0xDEADBEEF)
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", w.Len())
+	}
+	PutWriter(w)
+	// Whatever writer the pool hands out next must come back empty.
+	w2 := GetWriter()
+	if w2.Len() != 0 {
+		t.Errorf("pooled writer not reset: Len = %d", w2.Len())
+	}
+	PutWriter(w2)
+	// Nil and oversized writers are silently dropped, not pooled.
+	PutWriter(nil)
+	big := NewWriter(maxPooledCap + 1)
+	PutWriter(big)
+}
+
+func BenchmarkWriterPoolGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := GetWriter()
+		w.Uint64(uint64(i))
+		PutWriter(w)
+	}
+}

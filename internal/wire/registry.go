@@ -82,12 +82,15 @@ func (r *Registry) New(k Kind) (Message, error) {
 	return f(), nil
 }
 
-// Marshal encodes m with its kind prefix into a fresh buffer.
+// Marshal encodes m with its kind prefix into a fresh buffer. The scratch
+// writer comes from the package pool, so repeated marshals reuse grown
+// capacity instead of allocating per message.
 func Marshal(m Message) []byte {
-	w := NewWriter(64)
+	w := GetWriter()
 	AppendMessage(w, m)
 	out := make([]byte, w.Len())
 	copy(out, w.Bytes())
+	PutWriter(w)
 	return out
 }
 
@@ -122,7 +125,9 @@ func (r *Registry) Unmarshal(data []byte) (Message, error) {
 // EncodedSize returns the number of bytes Marshal would produce for m,
 // computed by encoding into a scratch writer.
 func EncodedSize(m Message) int {
-	w := NewWriter(64)
+	w := GetWriter()
 	AppendMessage(w, m)
-	return w.Len()
+	n := w.Len()
+	PutWriter(w)
+	return n
 }

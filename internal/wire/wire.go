@@ -165,6 +165,11 @@ func (r *Reader) fail(err error) {
 	}
 }
 
+// Fail records err as the Reader's sticky error (if none is set yet). It
+// lets layered decoders — e.g. codec payload validation — report semantic
+// failures through the same single-check error path as primitive reads.
+func (r *Reader) Fail(err error) { r.fail(err) }
+
 func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil

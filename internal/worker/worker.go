@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specsync/internal/codec"
 	"specsync/internal/metrics"
 	"specsync/internal/model"
 	"specsync/internal/msg"
@@ -128,6 +129,13 @@ type Config struct {
 	FallbackAbortRate float64
 	// Faults, if non-nil, receives degraded-mode transition counts.
 	Faults *metrics.Faults
+	// Codec selects the push/pull wire codecs. The zero value (raw) keeps
+	// the legacy v1 messages and is byte-identical to a worker without the
+	// codec layer; topk/q8 compress pushes with error-feedback residuals,
+	// delta switches pulls to delta-encoded responses.
+	Codec codec.Config
+	// CodecStats, if non-nil, receives encode-side compression accounting.
+	CodecStats *codec.Stats
 }
 
 // state is the worker's phase.
@@ -168,6 +176,25 @@ type Worker struct {
 	stalenessSum int64
 	pushUpdate   model.Update
 	pushAcked    []bool
+
+	// Codec state. pushCodec == nil means legacy v1 pushes; deltaPull
+	// false means legacy v1 pulls.
+	pushCodec codec.Codec
+	deltaPull bool
+	// residual holds the error-feedback state (one dense block per shard):
+	// each push encodes gradient+residual, then keeps what the encoding
+	// dropped for the next iteration.
+	residual *codec.State
+	// recon is encode scratch: the decoder-side reconstruction of the block
+	// just encoded, sized to the largest shard.
+	recon []float64
+	// pushPayloads holds this iteration's encoded per-shard payloads so
+	// retries resend identical bytes instead of re-encoding (which would
+	// double-count the residual).
+	pushPayloads [][]byte
+	// havePulled marks shards pulled at least once by this incarnation;
+	// until then delta pulls advertise Have = -1 (no base).
+	havePulled []bool
 
 	// SSP state.
 	minClock int64
@@ -266,12 +293,35 @@ func New(cfg Config) (*Worker, error) {
 			}
 		}
 	}
-	return &Worker{
+	pushCodec, deltaPull, err := codec.Build(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	wk := &Worker{
 		cfg:          cfg,
 		pullVersions: make([]int64, len(cfg.Shards)),
 		pushAcked:    make([]bool, len(cfg.Shards)),
 		w:            tensor.NewVec(dim),
-	}, nil
+		pushCodec:    pushCodec,
+		deltaPull:    deltaPull,
+	}
+	if deltaPull {
+		wk.havePulled = make([]bool, len(cfg.Shards))
+	}
+	if pushCodec != nil {
+		lens := make([]int, len(cfg.Shards))
+		maxLen := 0
+		for i, r := range cfg.Shards {
+			lens[i] = r.Len()
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+		}
+		wk.residual = codec.NewState(lens)
+		wk.recon = make([]float64, maxLen)
+		wk.pushPayloads = make([][]byte, len(cfg.Shards))
+	}
+	return wk, nil
 }
 
 // Init implements node.Handler.
@@ -317,6 +367,8 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 		wk.stop()
 	case *msg.PullResp:
 		wk.handlePullResp(from, mm)
+	case *msg.PullRespV2:
+		wk.handlePullRespV2(from, mm)
 	case *msg.PushAck:
 		wk.handlePushAck(from, mm)
 	case *msg.ReSync:
@@ -377,7 +429,15 @@ func (wk *Worker) startPull() {
 	wk.pullSeq++
 	wk.pullsPending = len(wk.cfg.Shards)
 	for i := range wk.cfg.Shards {
-		wk.ctx.Send(node.ServerID(i), &msg.PullReq{Seq: wk.pullSeq})
+		if wk.deltaPull {
+			have := int64(-1)
+			if wk.havePulled[i] {
+				have = wk.pullVersions[i]
+			}
+			wk.ctx.Send(node.ServerID(i), &msg.PullReqV2{Seq: wk.pullSeq, Have: have})
+		} else {
+			wk.ctx.Send(node.ServerID(i), &msg.PullReq{Seq: wk.pullSeq})
+		}
 	}
 	if wk.cfg.RetryAfter > 0 {
 		seq := wk.pullSeq
@@ -407,7 +467,49 @@ func (wk *Worker) handlePullResp(from node.ID, resp *msg.PullResp) {
 		return
 	}
 	copy(wk.w[r.Lo:r.Hi], resp.Values)
-	wk.pullVersions[si] = resp.Version
+	wk.finishShardPull(si, resp.Version)
+}
+
+// handlePullRespV2 is the codec-path sibling of handlePullResp: the payload
+// is a codec block, either full (Base < 0) or a delta against the block this
+// worker last applied for the shard.
+func (wk *Worker) handlePullRespV2(from node.ID, resp *msg.PullRespV2) {
+	if wk.st != statePulling || resp.Seq != wk.pullSeq {
+		return // stale response from before an abort
+	}
+	si := node.ServerIndex(from)
+	if si < 0 || si >= len(wk.cfg.Shards) {
+		wk.ctx.Logf("worker: pull response from unexpected node %s", from)
+		return
+	}
+	r := wk.cfg.Shards[si]
+	block := wk.w[r.Lo:r.Hi]
+	id := codec.ID(resp.Codec)
+	if resp.Base >= 0 {
+		// A delta only decodes against the exact base it was computed from.
+		// The server caches what it last sent us and deltas only on a Have
+		// match, so a mismatch here means a protocol bug or corruption —
+		// drop and let the retry path re-pull a full block.
+		if wk.havePulled == nil || !wk.havePulled[si] || resp.Base != wk.pullVersions[si] {
+			wk.ctx.Logf("worker: shard %d delta against version %d, have %d; dropped",
+				si, resp.Base, wk.pullVersions[si])
+			return
+		}
+	}
+	if err := codec.DecodePayload(id, resp.Payload, block); err != nil {
+		wk.ctx.Logf("worker: shard %d pull: %v; dropped", si, err)
+		return
+	}
+	if wk.havePulled != nil {
+		wk.havePulled[si] = true
+	}
+	wk.finishShardPull(si, resp.Version)
+}
+
+// finishShardPull records one shard's completed pull and starts compute once
+// every shard has answered.
+func (wk *Worker) finishShardPull(si int, version int64) {
+	wk.pullVersions[si] = version
 	wk.pullsPending--
 	if wk.pullsPending == 0 {
 		wk.record(trace.KindPull, 0)
@@ -461,12 +563,47 @@ func (wk *Worker) finishCompute() {
 
 	batch := wk.cfg.Model.SampleBatch(wk.cfg.Index, wk.ctx.Rand())
 	wk.pushUpdate = wk.cfg.Model.Grad(wk.w, batch)
+	if wk.pushCodec != nil {
+		wk.encodePush()
+	}
 	for si := range wk.pushAcked {
 		wk.pushAcked[si] = false
 	}
 	wk.stalenessSum = 0
 	wk.cfg.Obs.ComputeDone(wk.ctx.Now(), wk.iter)
 	wk.sendPush()
+}
+
+// encodePush folds this iteration's gradient into the error-feedback
+// residuals and encodes one payload per shard. Encoding happens exactly once
+// per iteration — retries resend the stored payloads — because the residual
+// update (residual = accumulated - reconstructed) must be applied once.
+func (wk *Worker) encodePush() {
+	for si, r := range wk.cfg.Shards {
+		res := wk.residual.Residuals[si]
+		if wk.pushUpdate.IsSparse() {
+			part := wk.pushUpdate.Sparse.Slice(int32(r.Lo), int32(r.Hi))
+			for j, idx := range part.Idx {
+				res[idx] += part.Val[j]
+			}
+		} else {
+			for j, v := range wk.pushUpdate.Dense[r.Lo:r.Hi] {
+				res[j] += v
+			}
+		}
+		recon := wk.recon[:r.Len()]
+		w := wire.GetWriter()
+		wk.pushCodec.Encode(w, res, nil, recon, wk.ctx.Rand())
+		wk.pushPayloads[si] = append(wk.pushPayloads[si][:0], w.Bytes()...)
+		encBytes := w.Len()
+		wire.PutWriter(w)
+		for j := range res {
+			res[j] -= recon[j]
+		}
+		if wk.cfg.CodecStats != nil {
+			wk.cfg.CodecStats.RecordEncode(wk.pushCodec.ID(), 8*r.Len(), encBytes)
+		}
+	}
 }
 
 // sendPush sends the computed update to every shard that has not yet
@@ -480,6 +617,16 @@ func (wk *Worker) sendPush() {
 			continue
 		}
 		wk.acksPending++
+		if wk.pushCodec != nil {
+			wk.ctx.Send(node.ServerID(si), &msg.PushReqV2{
+				Seq:         wk.pushSeq,
+				Iter:        wk.iter,
+				PullVersion: wk.pullVersions[si],
+				Codec:       uint8(wk.pushCodec.ID()),
+				Payload:     wk.pushPayloads[si],
+			})
+			continue
+		}
 		req := &msg.PushReq{
 			Seq:         wk.pushSeq,
 			Iter:        wk.iter,
@@ -606,3 +753,27 @@ func (wk *Worker) Aborts() int64 { return wk.abortCount.Load() }
 
 // Stopped reports whether the worker has halted. Safe for concurrent use.
 func (wk *Worker) Stopped() bool { return wk.stopped.Load() }
+
+// CodecState returns the worker's error-feedback residual store, or nil when
+// the configured push codec keeps none (raw/delta). Like the server's Params,
+// it must only be read from the worker's event loop (live checkpointing goes
+// through the host's Do).
+func (wk *Worker) CodecState() *codec.State { return wk.residual }
+
+// RestoreCodecState replaces the residual store, e.g. from a worker
+// checkpoint, so pending error-feedback mass survives a restart. The
+// snapshot's shard shapes must match this worker's.
+func (wk *Worker) RestoreCodecState(st *codec.State) error {
+	if wk.residual == nil {
+		return fmt.Errorf("worker: codec %q keeps no residual state", wk.cfg.Codec.Name)
+	}
+	lens := make([]int, len(wk.cfg.Shards))
+	for i, r := range wk.cfg.Shards {
+		lens[i] = r.Len()
+	}
+	if !st.Matches(lens) {
+		return fmt.Errorf("worker: residual snapshot shape mismatch")
+	}
+	wk.residual = st
+	return nil
+}

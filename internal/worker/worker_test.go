@@ -2,9 +2,11 @@ package worker
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
+	"specsync/internal/codec"
 	"specsync/internal/des"
 	"specsync/internal/model"
 	"specsync/internal/msg"
@@ -31,6 +33,10 @@ func (s *stubServer) Receive(from node.ID, m wire.Message) {
 		s.pulls++
 		s.ctx.Send(from, &msg.PullResp{Seq: req.Seq, Version: s.version, Values: make([]float64, s.dim)})
 	case *msg.PushReq:
+		s.pushes++
+		s.version++
+		s.ctx.Send(from, &msg.PushAck{Seq: req.Seq, Version: s.version, Staleness: s.version - 1 - req.PullVersion})
+	case *msg.PushReqV2:
 		s.pushes++
 		s.version++
 		s.ctx.Send(from, &msg.PushAck{Seq: req.Seq, Version: s.version, Staleness: s.version - 1 - req.PullVersion})
@@ -320,5 +326,56 @@ func TestWorkerSSPGate(t *testing.T) {
 	h.sim.RunFor(2 * time.Second)
 	if got := h.w.IterationsDone(); got != 4 {
 		t.Errorf("IterationsDone = %d after clock advance, want 4", got)
+	}
+}
+
+func TestWorkerCodecStateCheckpointRoundTrip(t *testing.T) {
+	ccfg := codec.Config{Name: "topk", TopKFrac: 0.25}
+	h := newHarness(t, func(c *Config) { c.Codec = ccfg })
+	h.start()
+	h.sim.RunFor(3500 * time.Millisecond)
+	if h.srv.pushes < 2 {
+		t.Fatalf("only %d pushes completed", h.srv.pushes)
+	}
+	st := h.w.CodecState()
+	if st == nil {
+		t.Fatal("topk worker has no codec state")
+	}
+	nonzero := false
+	for _, block := range st.Residuals {
+		for _, v := range block {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Error("residuals all zero after lossy pushes")
+	}
+
+	// Snapshot, then restore into a fresh worker, as specsync-node does
+	// across a process restart.
+	restored, err := codec.RestoreState(st.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := newHarness(t, func(c *Config) { c.Codec = ccfg })
+	if err := h2.w.RestoreCodecState(restored); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h2.w.CodecState().Residuals, st.Residuals) {
+		t.Error("restored residuals differ from snapshot")
+	}
+
+	// Shape mismatches and codecs without residual state are rejected.
+	if err := h2.w.RestoreCodecState(codec.NewState([]int{3})); err == nil {
+		t.Error("shape-mismatched snapshot accepted")
+	}
+	raw := newHarness(t, nil)
+	if raw.w.CodecState() != nil {
+		t.Error("raw worker reports codec state")
+	}
+	if err := raw.w.RestoreCodecState(restored); err == nil {
+		t.Error("raw worker accepted a residual restore")
 	}
 }
