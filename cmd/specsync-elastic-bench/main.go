@@ -1,0 +1,95 @@
+// Command specsync-elastic-bench measures elastic membership and live shard
+// rebalancing and emits a JSON report (BENCH_elastic.json in CI): an MF
+// cluster doubles its workers (growing the server set by half) mid-run and
+// shrinks back, reporting time-to-rebalance, migrated bytes, and training
+// throughput before/during/after the scale events.
+//
+//	specsync-elastic-bench -out BENCH_elastic.json
+//
+// It exits nonzero if the run misbehaves — no migrations committed, pushes
+// lost across a handoff, or a nondeterministic trace — so it doubles as the
+// CI elasticity smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specsync-elastic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("specsync-elastic-bench", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "BENCH_elastic.json", "output JSON path (\"-\" for stdout)")
+		workers = fs.Int("workers", 8, "initial cluster size (doubles mid-run)")
+		seed    = fs.Int64("seed", 1, "master seed")
+		full    = fs.Bool("full", false, "use the full-size MF workload instead of the small one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{
+		Workers:    *workers,
+		Seed:       *seed,
+		Size:       cluster.SizeSmall,
+		MaxVirtual: time.Hour,
+		Verbose:    true,
+		Out:        os.Stderr,
+	}
+	if *full {
+		opts.Size = cluster.SizeFull
+	}
+	rep, err := experiments.Elastic(opts)
+	if err != nil {
+		return err
+	}
+	rep.Render(os.Stderr)
+
+	// Smoke assertions: the whole point of the protocol is that scaling is
+	// deterministic and loses nothing.
+	if rep.Migrations == 0 {
+		return fmt.Errorf("no migrations committed")
+	}
+	if rep.MigrationBytes <= 0 {
+		return fmt.Errorf("migrations moved no bytes")
+	}
+	if !rep.Reproducible {
+		return fmt.Errorf("trace digest differs between identical runs")
+	}
+	// A worker counts an iteration only after every shard in its routing view
+	// acked the push; fewer server-side pushes than shards x iterations means
+	// a push was lost in a handoff.
+	if rep.ServerPushes < int64(rep.Servers)*rep.TotalIters {
+		return fmt.Errorf("servers applied %d pushes for %d iterations x >=%d shards; pushes were lost",
+			rep.ServerPushes, rep.TotalIters, rep.Servers)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d migrations, digest %.12s..., reproducible=%v)\n",
+		*out, rep.Migrations, rep.Digest, rep.Reproducible)
+	return nil
+}

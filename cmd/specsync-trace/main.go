@@ -28,6 +28,7 @@ import (
 
 	"specsync/internal/cluster"
 	"specsync/internal/codec"
+	"specsync/internal/elastic"
 	"specsync/internal/metrics"
 	"specsync/internal/msg"
 	"specsync/internal/obs"
@@ -73,22 +74,39 @@ func record(args []string) error {
 		codecName    = fs.String("codec", "raw", "gradient codec: "+codec.Names)
 		topkFrac     = fs.Float64("topk", codec.DefaultTopKFrac, "topk codec: fraction of entries kept")
 		q8Block      = fs.Int("q8-block", codec.DefaultQ8Block, "q8 codec: values per quantization block")
+		scalePlan    = fs.String("scale-plan", "", "JSON scale-plan file: record an elastic run (see internal/elastic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var plan *elastic.Plan
+	if *scalePlan != "" {
+		data, err := os.ReadFile(*scalePlan)
+		if err != nil {
+			return err
+		}
+		plan, err = elastic.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+	}
+	wlWorkers := *workers
+	if plan != nil {
+		wlWorkers = plan.MaxWorkers(*workers)
 	}
 
 	var wl cluster.Workload
 	var err error
 	switch *workloadName {
 	case "mf":
-		wl, err = cluster.NewMF(cluster.SizeFull, *workers, *seed)
+		wl, err = cluster.NewMF(cluster.SizeFull, wlWorkers, *seed)
 	case "cifar10":
-		wl, err = cluster.NewCIFAR(cluster.SizeFull, *workers, *seed)
+		wl, err = cluster.NewCIFAR(cluster.SizeFull, wlWorkers, *seed)
 	case "imagenet":
-		wl, err = cluster.NewImageNet(cluster.SizeFull, *workers, *seed)
+		wl, err = cluster.NewImageNet(cluster.SizeFull, wlWorkers, *seed)
 	case "tiny":
-		wl, err = cluster.NewTiny(*workers, *seed)
+		wl, err = cluster.NewTiny(wlWorkers, *seed)
 	default:
 		return fmt.Errorf("unknown workload %q", *workloadName)
 	}
@@ -115,6 +133,7 @@ func record(args []string) error {
 		Workers:    *workers,
 		Seed:       *seed,
 		Codec:      codec.Config{Name: *codecName, TopKFrac: *topkFrac, Q8Block: *q8Block},
+		Scale:      plan,
 		MaxVirtual: *maxVirtual,
 		KeepTrace:  true,
 	})
@@ -258,6 +277,7 @@ func summary(args []string) error {
 		trace.KindPull, trace.KindPush, trace.KindAbort, trace.KindReSync,
 		trace.KindStaleness, trace.KindEpoch,
 		trace.KindCrash, trace.KindRecover, trace.KindEvict,
+		trace.KindJoin, trace.KindLeave, trace.KindMigrate,
 	}
 	fmt.Printf("trace %s: %d events, span %v\n", *in, len(events),
 		events[len(events)-1].At.Sub(events[0].At))
@@ -286,6 +306,19 @@ func summary(args []string) error {
 			total += row.Bytes
 		}
 		fmt.Printf("  %-14s %-6s %12d\n", "total", "", total)
+	}
+
+	// Elastic scale activity (scale-plan runs; empty otherwise). Each migrate
+	// event carries the migrated bytes in Value.
+	if joins, leaves, migrates := c.Count(trace.KindJoin), c.Count(trace.KindLeave), c.Count(trace.KindMigrate); joins+leaves+migrates > 0 {
+		var migBytes int64
+		for _, ev := range events {
+			if ev.Kind == trace.KindMigrate {
+				migBytes += ev.Value
+			}
+		}
+		fmt.Printf("scale activity: %d joins, %d retires, %d migrations (%d bytes of parameter state moved)\n",
+			joins, leaves, migrates, migBytes)
 	}
 
 	byWorker := c.CountByWorker(trace.KindPush)

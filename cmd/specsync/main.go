@@ -14,6 +14,7 @@ import (
 	"specsync/internal/cluster"
 	"specsync/internal/codec"
 	"specsync/internal/core"
+	"specsync/internal/elastic"
 	"specsync/internal/faults"
 	"specsync/internal/metrics"
 	"specsync/internal/obs"
@@ -54,22 +55,60 @@ func run(args []string) error {
 		schedCrashes  = fs.Int("churn-scheduler", 0, "generated churn also crashes the scheduler this many times")
 		schedTimeout  = fs.Duration("scheduler-timeout", 0, "worker-side scheduler failure-detector timeout (0 = auto when the plan crashes the scheduler)")
 		beaconEvery   = fs.Duration("beacon-every", 0, "scheduler liveness beacon period (0 = auto when the plan crashes the scheduler)")
+
+		scalePlanPath = fs.String("scale-plan", "", "JSON scale-plan file: workers/servers join and leave mid-run (see internal/elastic)")
+		elasticN      = fs.Int("elastic", 0, "grow the cluster by this many workers (and servers/4, rounded up) mid-run, then shrink back")
+		elasticUpAt   = fs.Duration("elastic-up", 30*time.Second, "-elastic: when the extra nodes join (virtual time)")
+		elasticDownAt = fs.Duration("elastic-down", 2*time.Minute, "-elastic: when they leave again (0 = stay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Resolve the scale plan first: a plan that grows the cluster needs the
+	// workload sharded for the peak worker count, not the initial one.
+	if *scalePlanPath != "" && *elasticN > 0 {
+		return fmt.Errorf("use either -scale-plan or -elastic, not both")
+	}
+	var scalePlan *elastic.Plan
+	if *scalePlanPath != "" {
+		data, err := os.ReadFile(*scalePlanPath)
+		if err != nil {
+			return err
+		}
+		scalePlan, err = elastic.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+	}
+	if *elasticN > 0 {
+		nsrv := *servers
+		if nsrv == 0 {
+			nsrv = *workers
+			if nsrv > 8 {
+				nsrv = 8
+			}
+			*servers = nsrv
+		}
+		extraSrv := (*elasticN + 3) / 4
+		scalePlan = elastic.GrowShrink(*workers, *elasticN, nsrv, extraSrv, *elasticUpAt, *elasticDownAt)
+	}
+	wlWorkers := *workers
+	if scalePlan != nil {
+		wlWorkers = scalePlan.MaxWorkers(*workers)
 	}
 
 	var wl cluster.Workload
 	var err error
 	switch *workloadName {
 	case "mf":
-		wl, err = cluster.NewMF(cluster.SizeFull, *workers, *seed)
+		wl, err = cluster.NewMF(cluster.SizeFull, wlWorkers, *seed)
 	case "cifar10":
-		wl, err = cluster.NewCIFAR(cluster.SizeFull, *workers, *seed)
+		wl, err = cluster.NewCIFAR(cluster.SizeFull, wlWorkers, *seed)
 	case "imagenet":
-		wl, err = cluster.NewImageNet(cluster.SizeFull, *workers, *seed)
+		wl, err = cluster.NewImageNet(cluster.SizeFull, wlWorkers, *seed)
 	case "tiny":
-		wl, err = cluster.NewTiny(*workers, *seed)
+		wl, err = cluster.NewTiny(wlWorkers, *seed)
 	default:
 		return fmt.Errorf("unknown workload %q", *workloadName)
 	}
@@ -143,6 +182,12 @@ func run(args []string) error {
 			return err
 		}
 		cfg.Faults = plan
+	}
+	if scalePlan != nil {
+		if cfg.Faults != nil {
+			return fmt.Errorf("scale plans cannot be combined with -fault-plan/-churn (see DESIGN.md, Elasticity)")
+		}
+		cfg.Scale = scalePlan
 	}
 	if *verboseTune {
 		cfg.OnTune = func(epoch int, t core.Tuning) {
@@ -219,6 +264,18 @@ func run(args []string) error {
 				st.SchedulerCrashes, st.SchedulerRestarts, st.SchedulerRestores,
 				st.StateReports, st.DegradedEnters, st.DegradedRecovers)
 		}
+	}
+	if res.Scale != nil {
+		fmt.Printf("elastic: %d joins, %d leaves, %d migrations (%s moved", res.Scale.Joins, res.Scale.Leaves,
+			res.Scale.Migrations, metrics.HumanBytes(res.Scale.MigrationBytes))
+		if len(res.Scale.Durations) > 0 {
+			var total time.Duration
+			for _, d := range res.Scale.Durations {
+				total += d
+			}
+			fmt.Printf(", mean rebalance %v", (total / time.Duration(len(res.Scale.Durations))).Round(time.Millisecond))
+		}
+		fmt.Println(")")
 	}
 	data, control := res.Transfer.Split()
 	fmt.Printf("transfer: data %s, control %s (%.4f%% control)\n",

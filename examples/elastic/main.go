@@ -1,0 +1,101 @@
+// Elastic quickstart: train on a simulated 4-worker cluster that doubles to
+// 8 workers (and from 4 to 6 server shards) two seconds in, then shrinks
+// back — all mid-run, with live migration of the parameter ranges. Prints
+// the scale accounting and shows that convergence and the zero-lost-push
+// invariant survive the reshaping.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/elastic"
+	"specsync/internal/metrics"
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elastic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		workers = 4 // initial cluster size
+		servers = 4
+		grow    = 4 // extra workers joining mid-run
+		growSrv = 2 // extra server shards joining with them
+		seed    = 11
+	)
+
+	// Shard the data for the grown cluster so the joiners have work waiting.
+	wl, err := cluster.NewTiny(workers+grow, seed)
+	if err != nil {
+		return err
+	}
+
+	// The tiny workload converges in a handful of virtual seconds, so the
+	// whole grow/shrink cycle has to happen early.
+	plan := elastic.GrowShrink(workers, grow, servers, growSrv,
+		2*time.Second, 5*time.Second)
+
+	fmt.Printf("elastic: %s, %d->%d->%d workers, %d->%d->%d server shards\n\n",
+		wl.Name, workers, workers+grow, workers,
+		servers, servers+growSrv, servers)
+
+	res, err := cluster.Run(cluster.Config{
+		Workload:   wl,
+		Scheme:     scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive},
+		Workers:    workers,
+		Servers:    servers,
+		Seed:       seed,
+		Scale:      plan,
+		MaxVirtual: 3 * time.Minute,
+		KeepTrace:  true,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, p := range res.Loss.Downsample(8) {
+		fmt.Printf("  t=%-4v loss=%.4f\n", p.T.Round(time.Second), p.V)
+	}
+	if res.Converged {
+		fmt.Printf("  converged in %v (virtual), %d iterations\n",
+			res.ConvergeTime.Round(time.Second), res.TotalIters)
+	} else {
+		fmt.Printf("  did not converge (final loss %.4f)\n", res.FinalLoss)
+	}
+
+	s := res.Scale
+	fmt.Printf("\nscale events: %d joins, %d retires, %d migrations (%s of parameter state moved)\n",
+		s.Joins, s.Leaves, s.Migrations, metrics.HumanBytes(s.MigrationBytes))
+	for i, d := range s.Durations {
+		fmt.Printf("  migration %d rebalance stall: %v\n", i+1, d.Round(time.Microsecond))
+	}
+
+	// Each committed routing change is a "migrate" trace event stamped with
+	// the new epoch; the scale events above came through the same protocol.
+	var epochs []int64
+	for _, ev := range res.Trace.Events() {
+		if ev.Kind == trace.KindMigrate {
+			epochs = append(epochs, ev.Iter)
+		}
+	}
+	fmt.Printf("routing epochs committed: %v\n", epochs)
+
+	// The lost-push invariant: a worker counts an iteration only after every
+	// shard in its routing view acked the push, so the servers must have
+	// applied at least shards x iterations pushes.
+	fmt.Printf("server pushes %d >= %d shards x %d iterations = %v\n",
+		res.Obs.ServerPushes, servers, res.TotalIters,
+		res.Obs.ServerPushes >= int64(servers)*res.TotalIters)
+	return nil
+}

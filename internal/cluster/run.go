@@ -9,6 +9,7 @@ import (
 	"specsync/internal/codec"
 	"specsync/internal/core"
 	"specsync/internal/des"
+	"specsync/internal/elastic"
 	"specsync/internal/faults"
 	"specsync/internal/metrics"
 	"specsync/internal/model"
@@ -82,6 +83,14 @@ type Config struct {
 	// message faults into the run. Restarted workers come back with blank
 	// training state; restarted shards restore the latest checkpoint.
 	Faults *faults.Plan
+	// Scale, if non-nil and non-empty, schedules elastic membership events:
+	// workers join and leave the running cluster, and parameter shards
+	// migrate live across a changing server set (internal/elastic). An empty
+	// plan behaves exactly like nil — the run stays on the legacy fixed-shard
+	// path, byte for byte. Mutually exclusive with Faults (restarts rebuild
+	// nodes at the static initial shape, which a migration invalidates; see
+	// DESIGN.md, Elasticity).
+	Scale *elastic.Plan
 	// CheckpointEvery is the server snapshot period when Faults is set
 	// (zero means 4x the workload iteration time).
 	CheckpointEvery time.Duration
@@ -121,6 +130,11 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ConsecutiveBelow == 0 {
 		c.ConsecutiveBelow = 5
+	}
+	if c.Scale != nil && c.RetryAfter == 0 {
+		// Requests racing a frozen (migrating) shard are dropped; without
+		// retries the worker would wait on the lost response forever.
+		c.RetryAfter = 2 * c.Workload.IterTime
 	}
 	if c.Faults != nil {
 		it := c.Workload.IterTime
@@ -207,6 +221,10 @@ type Result struct {
 	// Faults is the fault/recovery accounting (crashes, restarts,
 	// checkpoints, drops, evictions). Nil unless Config.Faults was set.
 	Faults *metrics.Faults
+	// Scale is the elastic-membership accounting (joins, leaves, migrations,
+	// migrated bytes, per-migration durations). Nil unless Config.Scale was
+	// set.
+	Scale *core.ScaleStats
 	// Obs is the condensed observability summary: pull/compute/push and
 	// abort-to-restart latency histograms, staleness distribution, and the
 	// counter totals.
@@ -237,13 +255,56 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Codec.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Scale.Empty() {
+		// An empty plan is indistinguishable from no plan: the run stays on
+		// the legacy fixed-shard path with zero routing overhead.
+		cfg.Scale = nil
+	}
+	if cfg.Scale != nil {
+		if err := cfg.Scale.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Faults != nil {
+			return nil, fmt.Errorf("cluster: Scale cannot be combined with Faults (restarts assume the static cluster shape; see DESIGN.md, Elasticity)")
+		}
+		if cfg.Scheme.Decentralized {
+			return nil, fmt.Errorf("cluster: Scale cannot be combined with decentralized speculation (the peer list is static)")
+		}
+	}
 	cfg.applyDefaults()
 
 	mdl := cfg.Workload.Model
 	dim := mdl.Dim()
+	if dim < cfg.Servers {
+		return nil, fmt.Errorf("cluster: model dim %d is smaller than %d server shards; every shard needs at least one parameter (use fewer servers or a larger model)", dim, cfg.Servers)
+	}
+	// Capacity: the slots the cluster may grow into under the scale plan.
+	// Without a plan both equal the initial shape.
+	maxWorkers, maxServers := cfg.Workers, cfg.Servers
+	if cfg.Scale != nil {
+		maxWorkers = cfg.Scale.MaxWorkers(cfg.Workers)
+		maxServers = cfg.Scale.MaxServers(cfg.Servers)
+		if dim < maxServers {
+			return nil, fmt.Errorf("cluster: model dim %d is smaller than the %d server shards the scale plan grows to", dim, maxServers)
+		}
+		if mdl.NumShards() < maxWorkers {
+			return nil, fmt.Errorf("cluster: workload has %d data shards for the %d workers the scale plan grows to", mdl.NumShards(), maxWorkers)
+		}
+	}
 	ranges, err := ps.ShardRanges(dim, cfg.Servers)
 	if err != nil {
 		return nil, err
+	}
+	// The committed routing table (elastic runs only): starts as the identity
+	// shard→slot map and is replaced by the scheduler's OnRouting callback at
+	// each migration commit, so joining workers receive the current layout.
+	var curRouting *core.RoutingTable
+	if cfg.Scale != nil {
+		shards := make([]core.ShardRoute, len(ranges))
+		for i, r := range ranges {
+			shards[i] = core.ShardRoute{Lo: r.Lo, Hi: r.Hi, Server: i}
+		}
+		curRouting = &core.RoutingTable{Epoch: 0, Shards: shards}
 	}
 
 	transfer := metrics.NewTransfer(msg.IsControl)
@@ -285,31 +346,48 @@ func Run(cfg Config) (*Result, error) {
 	// makeServer / makeWorker build a node from scratch; used for initial
 	// construction and again by the fault injector for restarts (a restarted
 	// node is a fresh incarnation with the same static configuration).
-	makeServer := func(shard int) (*ps.Server, error) {
-		r := ranges[shard]
-		opt, err := optimizer.NewSGD(optimizer.SGDConfig{
+	newOptimizer := func(n int) (*optimizer.SGD, error) {
+		return optimizer.NewSGD(optimizer.SGDConfig{
 			Schedule: cfg.Workload.Schedule,
 			Momentum: cfg.Workload.Momentum,
 			Clip:     cfg.Workload.Clip,
-		}, r.Len())
+		}, n)
+	}
+	makeServer := func(shard int) (*ps.Server, error) {
+		r := ranges[shard]
+		opt, err := newOptimizer(r.Len())
 		if err != nil {
 			return nil, err
 		}
-		return ps.New(ps.Config{
+		scfg := ps.Config{
 			Range:      r,
 			Init:       initVec[r.Lo:r.Hi],
 			Optimizer:  opt,
 			Obs:        o.Server(shard),
 			DeltaPull:  cfg.Codec.UsesDelta(),
 			CodecStats: codecStats,
+		}
+		if cfg.Scale != nil {
+			scfg.NewOptimizer = newOptimizer
+		}
+		return ps.New(scfg)
+	}
+	// makeJoiningServer builds an empty, frozen shard for a slot added by the
+	// scale plan; a migration hands it state before it serves anything.
+	makeJoiningServer := func(slot int) (*ps.Server, error) {
+		return ps.NewJoining(ps.Config{
+			NewOptimizer: newOptimizer,
+			Obs:          o.Server(slot),
+			DeltaPull:    cfg.Codec.UsesDelta(),
+			CodecStats:   codecStats,
 		})
 	}
-	makeWorker := func(i int) (*worker.Worker, error) {
+	makeWorker := func(i int, joining bool) (*worker.Worker, error) {
 		speed := 1.0
-		if cfg.Speeds != nil {
+		if cfg.Speeds != nil && i < len(cfg.Speeds) {
 			speed = cfg.Speeds[i]
 		}
-		return worker.New(worker.Config{
+		wcfg := worker.Config{
 			Index:  i,
 			Shards: ranges,
 			Model:  mdl,
@@ -329,10 +407,18 @@ func Run(cfg Config) (*Result, error) {
 			Faults:           faultM,
 			Codec:            cfg.Codec,
 			CodecStats:       codecStats,
-		})
+		}
+		if cfg.Scale != nil {
+			wcfg.Shards = nil
+			wcfg.Routing = curRouting.Clone()
+			wcfg.JoinOnInit = joining
+		}
+		return worker.New(wcfg)
 	}
 
-	servers := make([]*ps.Server, cfg.Servers)
+	// Slices are sized to the plan's capacity; slots beyond the initial shape
+	// stay nil until the plan adds them.
+	servers := make([]*ps.Server, maxServers)
 	for i := range ranges {
 		srv, err := makeServer(i)
 		if err != nil {
@@ -344,9 +430,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	workers := make([]*worker.Worker, cfg.Workers)
+	workers := make([]*worker.Worker, maxWorkers)
 	for i := 0; i < cfg.Workers; i++ {
-		wk, err := makeWorker(i)
+		wk, err := makeWorker(i, false)
 		if err != nil {
 			return nil, err
 		}
@@ -366,7 +452,10 @@ func Run(cfg Config) (*Result, error) {
 	// SchedulerHello instead of Start).
 	makeScheduler := func(gen int64) (*core.Scheduler, error) {
 		return core.NewScheduler(core.SchedulerConfig{
-			Workers:           cfg.Workers,
+			Workers:           maxWorkers,
+			ActiveWorkers:     cfg.Workers,
+			Routing:           curRouting,
+			OnRouting:         func(t *core.RoutingTable) { curRouting = t },
 			Scheme:            cfg.Scheme,
 			InitialSpan:       cfg.Workload.IterTime,
 			Tracer:            collector,
@@ -411,7 +500,7 @@ func Run(cfg Config) (*Result, error) {
 			Faults:          faultM,
 			CheckpointEvery: cfg.CheckpointEvery,
 			NewWorker: func(i int) (node.Handler, error) {
-				return makeWorker(i)
+				return makeWorker(i, false)
 			},
 			NewServer:    makeServer,
 			NewScheduler: makeScheduler,
@@ -438,6 +527,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	var einj *elastic.SimInjector
+	if cfg.Scale != nil {
+		einj, err = elastic.AttachSim(sim, elastic.SimOptions{
+			Plan:    cfg.Scale,
+			Workers: cfg.Workers,
+			Servers: cfg.Servers,
+			NewWorker: func(i int) (node.Handler, error) {
+				return makeWorker(i, true)
+			},
+			NewServer: func(slot int) (node.Handler, error) {
+				return makeJoiningServer(slot)
+			},
+			OnWorkerAdd: func(i int, h node.Handler) { workers[i] = h.(*worker.Worker) },
+			OnServerAdd: func(slot int, h node.Handler) { servers[slot] = h.(*ps.Server) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	sim.Init()
 
 	res := &Result{
@@ -449,15 +558,28 @@ func Run(cfg Config) (*Result, error) {
 
 	probeVec := tensor.NewVec(dim)
 	assemble := func() tensor.Vec {
-		for i, r := range ranges {
-			copy(probeVec[r.Lo:r.Hi], servers[i].Params())
+		// Each live shard contributes its committed range. During a migration
+		// the involved shards are frozen (no updates applied), so overlapping
+		// old/staged ranges hold identical values and the copy order does not
+		// matter; retired and not-yet-committed shards own nothing.
+		for _, srv := range servers {
+			if srv == nil || srv.Retired() {
+				continue
+			}
+			p := srv.Params()
+			r := srv.Range()
+			if len(p) == r.Len() && r.Len() > 0 {
+				copy(probeVec[r.Lo:r.Hi], p)
+			}
 		}
 		return probeVec
 	}
 	totalIters := func() int64 {
 		n := retiredIters
 		for _, wk := range workers {
-			n += wk.IterationsDone()
+			if wk != nil {
+				n += wk.IterationsDone()
+			}
 		}
 		return n
 	}
@@ -504,11 +626,20 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("cluster: fault injector: %v", errs[0])
 		}
 	}
+	if einj != nil {
+		if errs := einj.Errs(); len(errs) > 0 {
+			return nil, fmt.Errorf("cluster: elastic injector: %v", errs[0])
+		}
+		stats := sched.ScaleStats()
+		res.Scale = &stats
+	}
 	res.Elapsed = sim.Elapsed()
 	res.TotalIters = totalIters()
 	res.Aborts = retiredAborts
 	for _, wk := range workers {
-		res.Aborts += wk.Aborts()
+		if wk != nil {
+			res.Aborts += wk.Aborts()
+		}
 	}
 	res.Faults = faultM
 	res.ReSyncs = retiredResyncs + sched.ReSyncsSent()

@@ -72,6 +72,19 @@ type SchedulerConfig struct {
 	// workers' scheduler-failure detectors have a liveness signal that does
 	// not depend on re-sync or release traffic.
 	BeaconEvery time.Duration
+	// ActiveWorkers is how many of the Workers capacity slots start in
+	// membership (zero means all). Elastic runs size Workers to the scale
+	// plan's maximum and start the rest unjoined: those slots are not
+	// started, not counted by the tuner/barrier/epoch logic, and enter via
+	// JoinReq.
+	ActiveWorkers int
+	// Routing, when non-nil, enables elastic membership: the scheduler owns
+	// this epoch-stamped shard→server table, admits JoinReqs, and drives
+	// shard migrations on ScaleCmds (see elastic.go).
+	Routing *RoutingTable
+	// OnRouting, if non-nil, is invoked with a copy of the table after each
+	// commit (the harness re-aims its probe assembly).
+	OnRouting func(*RoutingTable)
 }
 
 // Scheduler is the central coordinator (paper Fig. 7): it observes notify
@@ -122,6 +135,21 @@ type Scheduler struct {
 	lastSeen        []time.Time
 	membershipEpoch atomic.Int64
 
+	// Elastic state (cfg.Routing != nil; see elastic.go). joined
+	// distinguishes "never joined" from "evicted" so liveness re-admission
+	// cannot resurrect a slot that has not sent JoinReq yet.
+	joined      []bool
+	routing     *RoutingTable
+	nextRouting *RoutingTable
+	liveServers []int
+	migrating   bool
+	migStart    time.Time
+	migExpect   map[int]bool
+	migInvolved []int
+	migBytes    int64
+	pendingOps  []*msg.ScaleCmd
+	scale       scaleCounters
+
 	resyncsSent  atomic.Int64
 	tunes        int64
 	stateReports int64
@@ -166,6 +194,18 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.RateMargin < 1 {
 		return nil, fmt.Errorf("core: RateMargin %v must be >= 1", cfg.RateMargin)
 	}
+	if cfg.ActiveWorkers == 0 {
+		cfg.ActiveWorkers = cfg.Workers
+	}
+	if cfg.ActiveWorkers < 1 || cfg.ActiveWorkers > cfg.Workers {
+		return nil, fmt.Errorf("core: ActiveWorkers %d outside [1,%d]", cfg.ActiveWorkers, cfg.Workers)
+	}
+	if cfg.Routing != nil {
+		if err := cfg.Routing.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Routing = cfg.Routing.Clone()
+	}
 	cfg.Tuner.Workers = cfg.Workers
 
 	s := &Scheduler{
@@ -180,10 +220,16 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		windows:     make([]specWindow, cfg.Workers),
 		waitingBSP:  make([]bool, cfg.Workers),
 		alive:       make([]bool, cfg.Workers),
-		aliveN:      cfg.Workers,
+		joined:      make([]bool, cfg.Workers),
+		aliveN:      cfg.ActiveWorkers,
 	}
-	for i := range s.alive {
+	for i := 0; i < cfg.ActiveWorkers; i++ {
 		s.alive[i] = true
+		s.joined[i] = true
+	}
+	if cfg.Routing != nil {
+		s.routing = cfg.Routing
+		s.liveServers = s.routing.Servers()
 	}
 	for i := range s.spanEWMA {
 		s.spanEWMA[i] = cfg.InitialSpan
@@ -233,7 +279,7 @@ func (s *Scheduler) Init(ctx node.Context) {
 		s.publishCluster(now)
 		return
 	}
-	for i := 0; i < s.m; i++ {
+	for i := 0; i < s.cfg.ActiveWorkers; i++ {
 		ctx.Send(node.WorkerID(i), &msg.Start{})
 	}
 }
@@ -266,6 +312,10 @@ func (s *Scheduler) touch(i int, now time.Time) {
 	}
 	s.lastSeen[i] = now
 	if s.alive[i] {
+		return
+	}
+	if !s.joined[i] {
+		// An unjoined elastic capacity slot: only JoinReq admits it.
 		return
 	}
 	s.alive[i] = true
@@ -303,8 +353,14 @@ func (s *Scheduler) evict(i int, now time.Time) {
 		s.cfg.Tracer.Record(trace.Event{At: now, Worker: i, Kind: trace.KindEvict, Value: epoch})
 	}
 	s.ctx.Logf("scheduler: worker %d evicted (membership epoch %d)", i, epoch)
+	s.dropFromCoordination(i, now)
+}
 
-	// Tear down the evicted worker's speculation window.
+// dropFromCoordination removes a worker that just left membership (eviction
+// or planned retirement) from every coordination structure: speculation
+// window, epoch bitmap, BSP barrier, and SSP min-clock.
+func (s *Scheduler) dropFromCoordination(i int, now time.Time) {
+	// Tear down the departed worker's speculation window.
 	w := &s.windows[i]
 	if w.cancel != nil {
 		w.cancel()
@@ -312,7 +368,7 @@ func (s *Scheduler) evict(i int, now time.Time) {
 	}
 	w.armed = false
 
-	// The epoch may now be complete without the evicted worker's push.
+	// The epoch may now be complete without the departed worker's push.
 	if s.pushed[i] {
 		s.pushed[i] = false
 		s.pushedN--
@@ -321,12 +377,12 @@ func (s *Scheduler) evict(i int, now time.Time) {
 		s.epochBoundary(now)
 	}
 
-	// A BSP barrier waiting on the evicted worker must release.
+	// A BSP barrier waiting on the departed worker must release.
 	if s.cfg.Scheme.Base == scheme.BSP && s.aliveN > 0 && s.barrierN >= s.aliveN {
 		s.releaseBarrier()
 	}
 
-	// The SSP min-clock may have been pinned by the evicted straggler.
+	// The SSP min-clock may have been pinned by the departed straggler.
 	if s.cfg.Scheme.Base == scheme.SSP {
 		s.broadcastMinClock()
 	}
@@ -345,6 +401,12 @@ func (s *Scheduler) Receive(from node.ID, m wire.Message) {
 		if i := node.WorkerIndex(from); i >= 0 && i < s.m {
 			s.handleStateReport(i, mm)
 		}
+	case *msg.JoinReq:
+		s.handleJoinReq(from)
+	case *msg.MigrateDone:
+		s.handleMigrateDone(from, mm)
+	case *msg.ScaleCmd:
+		s.handleScaleCmd(mm)
 	case *msg.Stop:
 		// The harness signals shutdown; nothing to tear down centrally.
 	default:
@@ -362,6 +424,12 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 	}
 	now := s.ctx.Now()
 	s.touch(i, now)
+	if s.routing != nil && !s.alive[i] {
+		// A straggling notify from a retired (or not-yet-joined) elastic
+		// slot: counting it into epochs or the barrier would let a
+		// non-member drive coordination.
+		return
+	}
 
 	// Iteration-span estimate (includes abort/restart overheads, which is
 	// what the loss model of Eq. 6 wants).

@@ -266,6 +266,30 @@ func (s *Sim) AddNode(id node.ID, h node.Handler) error {
 	return nil
 }
 
+// Join registers a handler mid-run (elastic scale-up) and Inits it
+// immediately in the caller's event context. Use AddNode before Init;
+// Join after.
+func (s *Sim) Join(id node.ID, h node.Handler) error {
+	if !s.started {
+		return fmt.Errorf("des: Join(%s) before Init; use AddNode", id)
+	}
+	if _, dup := s.nodes[id]; dup {
+		return fmt.Errorf("des: duplicate node %s", id)
+	}
+	if h == nil {
+		return fmt.Errorf("des: nil handler for %s", id)
+	}
+	nc := &simContext{
+		sim:     s,
+		id:      id,
+		handler: h,
+		rng:     rand.New(rand.NewSource(node.RandSeed(s.cfg.Seed, id))),
+	}
+	s.nodes[id] = nc
+	nc.handler.Init(nc)
+	return nil
+}
+
 // Init calls Handler.Init on every node in sorted ID order (deterministic).
 func (s *Sim) Init() {
 	if s.started {

@@ -1,0 +1,167 @@
+package elastic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"specsync/internal/live"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+)
+
+// LiveOptions wires a plan into a live (goroutine-per-node) network. The
+// protocol is identical to the simulated path — joining nodes enter through
+// Network.Join and scale commands are injected at the scheduler — only the
+// clock differs (wall time instead of virtual time).
+//
+// This drives single-process live networks (the in-memory transport used by
+// tests and the live harness). Multi-process elasticity over TCPHost — where
+// a joining node is a new OS process dialing in — needs a listener-side
+// admission path and is out of scope here.
+type LiveOptions struct {
+	// Plan is the scale schedule. Required.
+	Plan *Plan
+	// Servers is the initial server count (slots 0..Servers-1 live at start).
+	Servers int
+	// NewWorker builds the handler for a joining worker (configured with
+	// JoinOnInit). Required when the plan adds a worker.
+	NewWorker func(i int) (node.Handler, error)
+	// NewServer builds the handler for a joining server slot (ps.NewJoining).
+	// Required when the plan adds a server.
+	NewServer func(slot int) (node.Handler, error)
+	// OnWorkerAdd / OnServerAdd let the harness track the new node.
+	OnWorkerAdd func(i int, h node.Handler)
+	OnServerAdd func(slot int, h node.Handler)
+}
+
+// LiveInjector executes a plan against a live.Network in wall-clock time.
+// Build it with NewLive, then call Start once the network is running.
+type LiveInjector struct {
+	opts LiveOptions
+
+	mu      sync.Mutex
+	net     *live.Network
+	timers  []*time.Timer
+	live    map[int]bool
+	errs    []error
+	stopped bool
+}
+
+// NewLive validates the plan and builds the injector.
+func NewLive(opts LiveOptions) (*LiveInjector, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("elastic: nil plan")
+	}
+	if err := opts.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	for i, ev := range opts.Plan.Events {
+		switch ev.Kind {
+		case KindAddWorker:
+			if opts.NewWorker == nil {
+				return nil, fmt.Errorf("elastic: event %d adds a worker but NewWorker is nil", i)
+			}
+		case KindAddServer:
+			if opts.NewServer == nil {
+				return nil, fmt.Errorf("elastic: event %d adds a server but NewServer is nil", i)
+			}
+		}
+	}
+	inj := &LiveInjector{opts: opts, live: make(map[int]bool, opts.Servers)}
+	for s := 0; s < opts.Servers; s++ {
+		inj.live[s] = true
+	}
+	return inj, nil
+}
+
+// Start arms every event timer relative to now.
+func (inj *LiveInjector) Start(net *live.Network) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.net = net
+	for _, ev := range inj.opts.Plan.Sorted() {
+		ev := ev
+		inj.timers = append(inj.timers, time.AfterFunc(ev.At, func() { inj.apply(ev) }))
+	}
+}
+
+// Stop cancels pending events (already-fired ones are not undone).
+func (inj *LiveInjector) Stop() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.stopped = true
+	for _, t := range inj.timers {
+		t.Stop()
+	}
+}
+
+func (inj *LiveInjector) apply(ev Event) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.stopped {
+		return
+	}
+	switch ev.Kind {
+	case KindAddWorker:
+		h, err := inj.opts.NewWorker(ev.Node)
+		if err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if err := inj.net.Join(node.WorkerID(ev.Node), h); err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if inj.opts.OnWorkerAdd != nil {
+			inj.opts.OnWorkerAdd(ev.Node, h)
+		}
+	case KindRemoveWorker:
+		inj.inject(&msg.ScaleCmd{Op: msg.ScaleRetireWorker, Node: int32(ev.Node)})
+	case KindAddServer:
+		if inj.live[ev.Node] {
+			inj.errs = append(inj.errs, fmt.Errorf("elastic: add-server %d: slot already live", ev.Node))
+			return
+		}
+		h, err := inj.opts.NewServer(ev.Node)
+		if err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if err := inj.net.Join(node.ServerID(ev.Node), h); err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if inj.opts.OnServerAdd != nil {
+			inj.opts.OnServerAdd(ev.Node, h)
+		}
+		inj.live[ev.Node] = true
+		inj.inject(&msg.ScaleCmd{Op: msg.ScaleSetServers, Servers: liveSlotsOf(inj.live)})
+	case KindRemoveServer:
+		if !inj.live[ev.Node] {
+			inj.errs = append(inj.errs, fmt.Errorf("elastic: remove-server %d: slot not live", ev.Node))
+			return
+		}
+		if len(inj.live) == 1 {
+			inj.errs = append(inj.errs, fmt.Errorf("elastic: remove-server %d would empty the server set", ev.Node))
+			return
+		}
+		delete(inj.live, ev.Node)
+		inj.inject(&msg.ScaleCmd{Op: msg.ScaleSetServers, Servers: liveSlotsOf(inj.live)})
+	}
+}
+
+func (inj *LiveInjector) inject(cmd *msg.ScaleCmd) {
+	if err := inj.net.Inject(planSource, node.Scheduler, cmd); err != nil {
+		inj.errs = append(inj.errs, err)
+	}
+}
+
+// Errs returns runtime errors the injector hit while executing the plan.
+func (inj *LiveInjector) Errs() []error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]error, len(inj.errs))
+	copy(out, inj.errs)
+	return out
+}

@@ -1,0 +1,149 @@
+package elastic
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Plan{Events: []Event{
+		{Kind: KindAddWorker, At: time.Second, Node: 4},
+		{Kind: KindRemoveServer, At: 2 * time.Second, Node: 1},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Events: []Event{{Kind: KindAddWorker, At: -time.Second, Node: 0}}},
+		{Events: []Event{{Kind: KindAddWorker, At: time.Second, Node: -1}}},
+		{Events: []Event{{Kind: "resize", At: time.Second, Node: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	if (&Plan{Events: []Event{{Kind: KindAddWorker}}}).Empty() {
+		t.Error("non-zero plan reported empty")
+	}
+}
+
+func TestSortedIsStable(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindRemoveWorker, At: 2 * time.Second, Node: 5},
+		{Kind: KindAddWorker, At: time.Second, Node: 4},
+		{Kind: KindAddServer, At: time.Second, Node: 2},
+	}}
+	s := p.Sorted()
+	if s[0].Kind != KindAddWorker || s[1].Kind != KindAddServer || s[2].Kind != KindRemoveWorker {
+		t.Errorf("sort wrong: %+v", s)
+	}
+	// Same-instant events must keep slice order (determinism).
+	if s[0].At != s[1].At || s[0].Node != 4 || s[1].Node != 2 {
+		t.Errorf("tie order not stable: %+v", s)
+	}
+	if p.Events[0].Kind != KindRemoveWorker {
+		t.Error("Sorted mutated the plan")
+	}
+}
+
+func TestMaxWorkersServers(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindAddWorker, At: time.Second, Node: 7},
+		{Kind: KindAddServer, At: time.Second, Node: 5},
+		{Kind: KindRemoveWorker, At: 2 * time.Second, Node: 40}, // removes don't grow capacity
+	}}
+	if got := p.MaxWorkers(4); got != 8 {
+		t.Errorf("MaxWorkers = %d, want 8", got)
+	}
+	if got := p.MaxWorkers(16); got != 16 {
+		t.Errorf("MaxWorkers(16) = %d, want 16", got)
+	}
+	if got := p.MaxServers(4); got != 6 {
+		t.Errorf("MaxServers = %d, want 6", got)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	p := GrowShrink(4, 2, 2, 1, 10*time.Second, 30*time.Second)
+	data, err := p.JSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(back.Events) != len(p.Events) {
+		t.Fatalf("%d events after roundtrip, want %d", len(back.Events), len(p.Events))
+	}
+	for i := range p.Events {
+		if back.Events[i] != p.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, back.Events[i], p.Events[i])
+		}
+	}
+}
+
+func TestParseJSONRejects(t *testing.T) {
+	cases := []string{
+		`{"events": [{"kind": "add-worker", "att": 5, "node": 1}]}`, // unknown field
+		`{"events": [{"kind": "explode", "at": 5, "node": 1}]}`,     // unknown kind
+		`{"events": [{"kind": "add-worker", "at": 5, "node": -2}]}`, // negative node
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ParseJSON([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	p := GrowShrink(4, 4, 4, 2, 10*time.Second, 40*time.Second)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	var adds, removes, srvAdds, srvRemoves int
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case KindAddWorker:
+			adds++
+			if ev.Node < 4 || ev.Node > 7 || ev.At != 10*time.Second {
+				t.Errorf("bad add-worker %+v", ev)
+			}
+		case KindRemoveWorker:
+			removes++
+			if ev.At != 40*time.Second {
+				t.Errorf("bad remove-worker %+v", ev)
+			}
+		case KindAddServer:
+			srvAdds++
+			if ev.Node < 4 || ev.Node > 5 {
+				t.Errorf("bad add-server %+v", ev)
+			}
+		case KindRemoveServer:
+			srvRemoves++
+		}
+	}
+	if adds != 4 || removes != 4 || srvAdds != 2 || srvRemoves != 2 {
+		t.Errorf("event counts %d/%d/%d/%d, want 4/4/2/2", adds, removes, srvAdds, srvRemoves)
+	}
+	// Grow-only: no down events at all.
+	up := GrowShrink(4, 2, 4, 0, 5*time.Second, 0)
+	if len(up.Events) != 2 {
+		t.Errorf("grow-only plan has %d events, want 2", len(up.Events))
+	}
+	if up.MaxWorkers(4) != 6 || up.MaxServers(4) != 4 {
+		t.Errorf("grow-only capacity %d/%d, want 6/4", up.MaxWorkers(4), up.MaxServers(4))
+	}
+}

@@ -1,0 +1,153 @@
+package elastic
+
+import (
+	"fmt"
+	"sort"
+
+	"specsync/internal/des"
+	"specsync/internal/msg"
+	"specsync/internal/node"
+)
+
+// planSource is the injection source identity for scale commands; it never
+// receives anything, it only stamps the ScaleCmd's from-field.
+var planSource = node.ID("scale-plan")
+
+// SimOptions wires a plan into one simulation.
+type SimOptions struct {
+	// Plan is the scale schedule. Required.
+	Plan *Plan
+	// Workers and Servers are the initial cluster shape (server slots
+	// 0..Servers-1 are live at start).
+	Workers, Servers int
+	// NewWorker builds the handler for a joining worker (configured with
+	// JoinOnInit, so its Init announces it to the scheduler). Required when
+	// the plan adds a worker.
+	NewWorker func(i int) (node.Handler, error)
+	// NewServer builds the handler for a joining server slot (a
+	// ps.NewJoining shard: frozen and empty until a migration hands it
+	// state). Required when the plan adds a server.
+	NewServer func(slot int) (node.Handler, error)
+	// OnWorkerAdd / OnServerAdd let the harness track the new node (result
+	// accounting reads counters off the handlers).
+	OnWorkerAdd func(i int, h node.Handler)
+	OnServerAdd func(slot int, h node.Handler)
+}
+
+// SimInjector executes a plan against a des.Sim in virtual time.
+type SimInjector struct {
+	sim  *des.Sim
+	opts SimOptions
+	// live is the server set as of the last issued command; commands are
+	// issued in event order, so it tracks the plan's intent even while the
+	// scheduler is still migrating toward an earlier set.
+	live map[int]bool
+	errs []error
+}
+
+// AttachSim validates the plan and schedules every membership event. Call
+// after the initial nodes are added, before running the simulation.
+func AttachSim(sim *des.Sim, opts SimOptions) (*SimInjector, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("elastic: nil plan")
+	}
+	if err := opts.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	for i, ev := range opts.Plan.Events {
+		switch ev.Kind {
+		case KindAddWorker:
+			if opts.NewWorker == nil {
+				return nil, fmt.Errorf("elastic: event %d adds a worker but NewWorker is nil", i)
+			}
+		case KindAddServer:
+			if opts.NewServer == nil {
+				return nil, fmt.Errorf("elastic: event %d adds a server but NewServer is nil", i)
+			}
+		}
+	}
+	inj := &SimInjector{sim: sim, opts: opts, live: make(map[int]bool, opts.Servers)}
+	for s := 0; s < opts.Servers; s++ {
+		inj.live[s] = true
+	}
+	for _, ev := range opts.Plan.Sorted() {
+		ev := ev
+		sim.Schedule(ev.At, func() { inj.apply(ev) })
+	}
+	return inj, nil
+}
+
+func (inj *SimInjector) apply(ev Event) {
+	switch ev.Kind {
+	case KindAddWorker:
+		h, err := inj.opts.NewWorker(ev.Node)
+		if err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if err := inj.sim.Join(node.WorkerID(ev.Node), h); err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if inj.opts.OnWorkerAdd != nil {
+			inj.opts.OnWorkerAdd(ev.Node, h)
+		}
+	case KindRemoveWorker:
+		inj.inject(&msg.ScaleCmd{Op: msg.ScaleRetireWorker, Node: int32(ev.Node)})
+	case KindAddServer:
+		if inj.live[ev.Node] {
+			inj.errs = append(inj.errs, fmt.Errorf("elastic: add-server %d: slot already live", ev.Node))
+			return
+		}
+		h, err := inj.opts.NewServer(ev.Node)
+		if err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if err := inj.sim.Join(node.ServerID(ev.Node), h); err != nil {
+			inj.errs = append(inj.errs, err)
+			return
+		}
+		if inj.opts.OnServerAdd != nil {
+			inj.opts.OnServerAdd(ev.Node, h)
+		}
+		inj.live[ev.Node] = true
+		inj.inject(&msg.ScaleCmd{Op: msg.ScaleSetServers, Servers: liveSlotsOf(inj.live)})
+	case KindRemoveServer:
+		if !inj.live[ev.Node] {
+			inj.errs = append(inj.errs, fmt.Errorf("elastic: remove-server %d: slot not live", ev.Node))
+			return
+		}
+		if len(inj.live) == 1 {
+			inj.errs = append(inj.errs, fmt.Errorf("elastic: remove-server %d would empty the server set", ev.Node))
+			return
+		}
+		delete(inj.live, ev.Node)
+		inj.inject(&msg.ScaleCmd{Op: msg.ScaleSetServers, Servers: liveSlotsOf(inj.live)})
+	}
+}
+
+func (inj *SimInjector) inject(cmd *msg.ScaleCmd) {
+	if err := inj.sim.Inject(planSource, node.Scheduler, cmd); err != nil {
+		inj.errs = append(inj.errs, err)
+	}
+}
+
+// liveSlotsOf flattens a live-slot set into the sorted int32 slice a
+// ScaleSetServers command carries.
+func liveSlotsOf(live map[int]bool) []int32 {
+	out := make([]int, 0, len(live))
+	for s := range live {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	slots := make([]int32, len(out))
+	for i, s := range out {
+		slots[i] = int32(s)
+	}
+	return slots
+}
+
+// Errs returns runtime errors the injector hit while executing the plan.
+// Empty on a clean run.
+func (inj *SimInjector) Errs() []error { return inj.errs }

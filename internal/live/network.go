@@ -149,6 +149,46 @@ func (n *Network) Start() {
 	}
 }
 
+// Join registers a handler mid-run (elastic scale-up): its mailbox loop
+// starts immediately with Init as the first item. Use AddNode before Start;
+// Join after.
+func (n *Network) Join(id node.ID, h node.Handler) error {
+	if h == nil {
+		return fmt.Errorf("live: nil handler for %s", id)
+	}
+	n.mu.Lock()
+	if !n.started || n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("live: Join(%s) outside a running network", id)
+	}
+	if _, dup := n.nodes[id]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("live: duplicate node %s", id)
+	}
+	ln := &liveNode{
+		net:     n,
+		id:      id,
+		handler: h,
+		inbox:   newQueue(),
+		rng:     rand.New(rand.NewSource(node.RandSeed(n.cfg.Seed, id))),
+	}
+	n.nodes[id] = ln
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	gen := ln.currentGen()
+	ln.inbox.push(func() {
+		if h2, ok := ln.alive(gen); ok {
+			h2.Init(ln)
+		}
+	})
+	go func() {
+		defer n.wg.Done()
+		ln.loop()
+	}()
+	return nil
+}
+
 // Close stops all mailboxes and waits for their goroutines to exit. Pending
 // timers are stopped.
 func (n *Network) Close() {

@@ -498,6 +498,13 @@ func Registry() *wire.Registry {
 		{Kind: KindPullReqV2, Name: "PullReqV2", New: func() wire.Message { return &PullReqV2{} }},
 		{Kind: KindPullRespV2, Name: "PullRespV2", New: func() wire.Message { return &PullRespV2{} }},
 		{Kind: KindPushReqV2, Name: "PushReqV2", New: func() wire.Message { return &PushReqV2{} }},
+		{Kind: KindJoinReq, Name: "JoinReq", New: func() wire.Message { return &JoinReq{} }},
+		{Kind: KindJoinAck, Name: "JoinAck", New: func() wire.Message { return &JoinAck{} }},
+		{Kind: KindRoutingUpdate, Name: "RoutingUpdate", New: func() wire.Message { return &RoutingUpdate{} }},
+		{Kind: KindShardTransfer, Name: "ShardTransfer", New: func() wire.Message { return &ShardTransfer{} }},
+		{Kind: KindShardState, Name: "ShardState", New: func() wire.Message { return &ShardState{} }},
+		{Kind: KindMigrateDone, Name: "MigrateDone", New: func() wire.Message { return &MigrateDone{} }},
+		{Kind: KindScaleCmd, Name: "ScaleCmd", New: func() wire.Message { return &ScaleCmd{} }},
 	})
 }
 
@@ -507,7 +514,8 @@ func Registry() *wire.Registry {
 func IsControl(k wire.Kind) bool {
 	switch k {
 	case KindPullReq, KindPullResp, KindPushReq, KindPushAck,
-		KindPullReqV2, KindPullRespV2, KindPushReqV2:
+		KindPullReqV2, KindPullRespV2, KindPushReqV2,
+		KindShardState: // migrating parameter segments are data, not control
 		return false
 	default:
 		return true

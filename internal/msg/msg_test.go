@@ -42,6 +42,15 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&PullReqV2{Seq: 13, Have: -1},
 		&PullRespV2{Seq: 13, Version: 9, Base: -1, Codec: 0, Payload: []byte{1, 2, 3}},
 		&PushReqV2{Seq: 14, Iter: 5, PullVersion: 9, Codec: 1, Payload: []byte{4, 5}},
+		&JoinReq{},
+		&JoinAck{Epoch: 3, Lo: []int32{0, 12}, Hi: []int32{12, 24}, Srv: []int32{0, 2}, StartIter: 7, MinClock: 5},
+		&RoutingUpdate{Epoch: 4, Lo: []int32{0}, Hi: []int32{24}, Srv: []int32{1}},
+		&ShardTransfer{Epoch: 4, HasNew: true, NewLo: 0, NewHi: 12, KeepLo: 0, KeepHi: 6, SendLo: []int32{12}, SendHi: []int32{24}, SendTo: []int32{1}, Expect: 1},
+		&ShardTransfer{Epoch: 5, SendLo: []int32{0}, SendHi: []int32{8}, SendTo: []int32{2}},
+		&ShardState{Epoch: 4, Lo: 6, Hi: 12, Version: 100, Codec: 0, Payload: []byte{9, 8, 7}},
+		&MigrateDone{Epoch: 4, Bytes: 4096},
+		&ScaleCmd{Op: ScaleRetireWorker, Node: 5, Servers: []int32{}},
+		&ScaleCmd{Op: ScaleSetServers, Servers: []int32{0, 1, 3}},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -54,8 +63,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 19 {
-		t.Errorf("registry has %d kinds, want 19", len(kinds))
+	if len(kinds) != 26 {
+		t.Errorf("registry has %d kinds, want 26", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)
@@ -109,13 +118,15 @@ func TestPushReqSparseView(t *testing.T) {
 }
 
 func TestIsControlClassification(t *testing.T) {
-	data := []wire.Kind{KindPullReq, KindPullResp, KindPushReq, KindPushAck}
+	// ShardState carries migrating parameter payloads, so it rides the data
+	// path like pushes and pulls; the rest of the elastic protocol is control.
+	data := []wire.Kind{KindPullReq, KindPullResp, KindPushReq, KindPushAck, KindShardState}
 	for _, k := range data {
 		if IsControl(k) {
 			t.Errorf("kind %d misclassified as control", k)
 		}
 	}
-	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat}
+	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat, KindJoinReq, KindJoinAck, KindRoutingUpdate, KindShardTransfer, KindMigrateDone, KindScaleCmd}
 	for _, k := range control {
 		if !IsControl(k) {
 			t.Errorf("kind %d misclassified as data", k)

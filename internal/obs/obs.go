@@ -236,6 +236,14 @@ type SchedulerObs struct {
 	membership   *Gauge
 	alive        *Gauge
 	generation   *Gauge
+
+	joins          *Counter
+	leaves         *Counter
+	migrations     *Counter
+	migrationBytes *Counter
+	migrationH     *Histogram
+	clusterWorkers *Gauge
+	clusterServers *Gauge
 }
 
 // Scheduler returns the scheduler handle.
@@ -269,7 +277,61 @@ func (o *Obs) Scheduler() *SchedulerObs {
 			"Workers currently considered alive."),
 		generation: o.reg.Gauge("specsync_scheduler_generation",
 			"Current scheduler incarnation (0 = original process)."),
+		joins: o.reg.Counter("specsync_joins_total",
+			"Workers admitted into a running cluster by the elastic protocol."),
+		leaves: o.reg.Counter("specsync_leaves_total",
+			"Workers retired from a running cluster by a scale plan."),
+		migrations: o.reg.Counter("specsync_migrations_total",
+			"Committed shard migrations (routing-epoch bumps)."),
+		migrationBytes: o.reg.Counter("specsync_migration_bytes_total",
+			"Parameter bytes moved between servers during shard migrations."),
+		migrationH: o.reg.Histogram("specsync_migration_seconds",
+			"Duration of one shard migration (freeze to routing commit).", LatencyBuckets),
+		clusterWorkers: o.reg.Gauge("specsync_cluster_workers",
+			"Workers currently in membership (elastic runs)."),
+		clusterServers: o.reg.Gauge("specsync_cluster_servers",
+			"Server shards currently in the routing table (elastic runs)."),
 	}
+}
+
+// Join records a worker admission and the resulting cluster size.
+func (s *SchedulerObs) Join(at time.Time, worker int, membershipEpoch int64) {
+	if s == nil {
+		return
+	}
+	s.joins.Inc()
+	s.membership.Set(float64(membershipEpoch))
+	s.o.spans.Add(Span{Node: "scheduler", Name: "join", Start: at, Value: membershipEpoch})
+}
+
+// Leave records a planned worker retirement.
+func (s *SchedulerObs) Leave(at time.Time, worker int, membershipEpoch int64) {
+	if s == nil {
+		return
+	}
+	s.leaves.Inc()
+	s.membership.Set(float64(membershipEpoch))
+	s.o.spans.Add(Span{Node: "scheduler", Name: "leave", Start: at, Value: membershipEpoch})
+}
+
+// MigrationDone records a committed shard migration.
+func (s *SchedulerObs) MigrationDone(at time.Time, epoch int64, bytes int64, dur time.Duration) {
+	if s == nil {
+		return
+	}
+	s.migrations.Inc()
+	s.migrationBytes.Add(bytes)
+	s.migrationH.Observe(dur.Seconds())
+	s.o.spans.Add(Span{Node: "scheduler", Name: "migrate", Start: at.Add(-dur), End: at, Iter: epoch, Value: bytes})
+}
+
+// ClusterSize publishes the current membership counts.
+func (s *SchedulerObs) ClusterSize(workers, servers int) {
+	if s == nil {
+		return
+	}
+	s.clusterWorkers.Set(float64(workers))
+	s.clusterServers.Set(float64(servers))
 }
 
 // Restarted records the start of a post-crash scheduler incarnation.
@@ -423,6 +485,11 @@ type Summary struct {
 	Readmissions      int64
 	SchedulerRestarts int64
 	StateReports      int64
+	Joins             int64
+	Leaves            int64
+	Migrations        int64
+	MigrationBytes    int64
+	ServerPushes      int64
 	Spans             int
 }
 
@@ -445,6 +512,11 @@ func (o *Obs) Summary() *Summary {
 		Readmissions:      o.reg.SumCounters("specsync_readmissions_total"),
 		SchedulerRestarts: o.reg.SumCounters("specsync_scheduler_restarts_total"),
 		StateReports:      o.reg.SumCounters("specsync_scheduler_state_reports_total"),
+		Joins:             o.reg.SumCounters("specsync_joins_total"),
+		Leaves:            o.reg.SumCounters("specsync_leaves_total"),
+		Migrations:        o.reg.SumCounters("specsync_migrations_total"),
+		MigrationBytes:    o.reg.SumCounters("specsync_migration_bytes_total"),
+		ServerPushes:      o.reg.SumCounters("specsync_server_pushes_total"),
 		Spans:             o.spans.Len(),
 	}
 }

@@ -286,6 +286,14 @@ func SpansFromTrace(events []trace.Event) []Span {
 			out = append(out, Span{Node: faultNode(ev.Worker), Name: "recover", Start: ev.At})
 		case trace.KindEvict:
 			out = append(out, Span{Node: "scheduler", Name: "evict", Start: ev.At, Value: ev.Value})
+		case trace.KindJoin:
+			// Elastic scale events live on the scheduler track (it owns
+			// membership); the worker index rides in the args via Iter.
+			out = append(out, Span{Node: "scheduler", Name: fmt.Sprintf("join worker/%d", ev.Worker), Start: ev.At, Value: ev.Value})
+		case trace.KindLeave:
+			out = append(out, Span{Node: "scheduler", Name: fmt.Sprintf("retire worker/%d", ev.Worker), Start: ev.At, Value: ev.Value})
+		case trace.KindMigrate:
+			out = append(out, Span{Node: "scheduler", Name: "migrate", Start: ev.At, Iter: ev.Iter, Value: ev.Value})
 		}
 	}
 	return out

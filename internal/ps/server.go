@@ -64,8 +64,13 @@ type Config struct {
 	// harness slices one master init vector across shards so every scheme
 	// starts from identical parameters.
 	Init tensor.Vec
-	// Optimizer applies pushed gradients. Required.
+	// Optimizer applies pushed gradients. Required (except for NewJoining
+	// shards, which build theirs through NewOptimizer at commit time).
 	Optimizer *optimizer.SGD
+	// NewOptimizer builds an optimizer for n parameters. Required for elastic
+	// runs: a shard migration changes the range size, so the optimizer (and
+	// any momentum state) is rebuilt at commit.
+	NewOptimizer func(n int) (*optimizer.SGD, error)
 	// Staleness, if non-nil, observes per-push staleness.
 	Staleness StalenessObserver
 	// Obs, if non-nil, receives pull/push counters and the shard version.
@@ -97,6 +102,22 @@ type Server struct {
 	pullCache map[node.ID]*pullCacheEntry
 	// scratch receives decoded v2 push payloads.
 	scratch tensor.Vec
+
+	// Migration state (see migrate.go). While frozen the shard drops data
+	// traffic; workers retry until the routing commit re-routes them.
+	frozen        bool
+	retired       bool
+	pendingEpoch  int64
+	hasNew        bool
+	newRange      Range
+	staged        tensor.Vec
+	stagedVersion int64
+	expect        int64
+	recvBytes     int64
+	early         []*msg.ShardState
+	// nextTransfer parks a transfer for a later epoch that overtook the
+	// pending epoch's commit in flight; it runs as soon as the commit lands.
+	nextTransfer *msg.ShardTransfer
 }
 
 type pullCacheEntry struct {
@@ -126,20 +147,34 @@ func (s *Server) Init(ctx node.Context) { s.ctx = ctx }
 // Receive implements node.Handler.
 func (s *Server) Receive(from node.ID, m wire.Message) {
 	switch req := m.(type) {
-	case *msg.PullReq:
-		s.pulls.Add(1)
-		s.cfg.Obs.Pull()
-		s.ctx.Send(from, &msg.PullResp{
-			Seq:     req.Seq,
-			Version: s.version.Load(),
-			Values:  s.params, // Send marshals synchronously; no aliasing escapes
-		})
-	case *msg.PushReq:
-		s.apply(from, req)
-	case *msg.PullReqV2:
-		s.pullV2(from, req)
-	case *msg.PushReqV2:
-		s.applyV2(from, req)
+	case *msg.PullReq, *msg.PushReq, *msg.PullReqV2, *msg.PushReqV2:
+		if s.frozen {
+			// Mid-migration (or retired/not-yet-committed): drop data traffic.
+			// Workers retry and are re-routed by the next RoutingUpdate.
+			return
+		}
+		switch req := m.(type) {
+		case *msg.PullReq:
+			s.pulls.Add(1)
+			s.cfg.Obs.Pull()
+			s.ctx.Send(from, &msg.PullResp{
+				Seq:     req.Seq,
+				Version: s.version.Load(),
+				Values:  s.params, // Send marshals synchronously; no aliasing escapes
+			})
+		case *msg.PushReq:
+			s.apply(from, req)
+		case *msg.PullReqV2:
+			s.pullV2(from, req)
+		case *msg.PushReqV2:
+			s.applyV2(from, req)
+		}
+	case *msg.ShardTransfer:
+		s.handleTransfer(req)
+	case *msg.ShardState:
+		s.handleShardState(from, req)
+	case *msg.RoutingUpdate:
+		s.handleRoutingCommit(req)
 	case *msg.Stop:
 		// Servers are stateless with respect to the training loop; nothing
 		// to wind down.

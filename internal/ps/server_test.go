@@ -33,6 +33,41 @@ func TestShardRanges(t *testing.T) {
 	if _, err := ShardRanges(5, 0); err == nil {
 		t.Error("expected error for 0 shards")
 	}
+	if _, err := ShardRanges(5, -1); err == nil {
+		t.Error("expected error for negative shards")
+	}
+}
+
+func TestShardRangesEdges(t *testing.T) {
+	// dim == n: every shard gets exactly one parameter.
+	rs, err := ShardRanges(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Len() != 1 || r.Lo != i {
+			t.Errorf("shard %d = %+v, want unit range at %d", i, r, i)
+		}
+	}
+	// Single shard owns everything.
+	rs, err = ShardRanges(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0] != (Range{0, 17}) {
+		t.Errorf("single shard = %+v", rs)
+	}
+	// Remainder spreads over the first shards only, sizes differ by <= 1.
+	rs, err = ShardRanges(11, 4) // 3+3+3+2
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Range{{0, 3}, {3, 6}, {6, 9}, {9, 11}}
+	for i, r := range rs {
+		if r != want[i] {
+			t.Errorf("shard %d = %+v, want %+v", i, r, want[i])
+		}
+	}
 }
 
 func TestShardRangesCoverExactly(t *testing.T) {

@@ -49,6 +49,10 @@ var kindNames = map[Kind]string{
 	KindCrash:     "crash",
 	KindRecover:   "recover",
 	KindEvict:     "evict",
+	KindDegrade:   "degrade",
+	KindJoin:      "join",
+	KindLeave:     "leave",
+	KindMigrate:   "migrate",
 }
 
 var kindByName = func() map[string]Kind {

@@ -43,6 +43,16 @@ const (
 	// (or regaining) the scheduler: Value 1 = entered broadcast-failover
 	// degraded mode, Value 0 = returned to the centralized path.
 	KindDegrade
+	// KindJoin marks the scheduler admitting a new worker (elastic scale-up);
+	// Value carries the new membership epoch.
+	KindJoin
+	// KindLeave marks the scheduler retiring a worker on a scale-plan event
+	// (planned scale-down, as opposed to KindEvict's failure path); Value
+	// carries the new membership epoch.
+	KindLeave
+	// KindMigrate marks the scheduler committing a shard migration; Worker is
+	// -1, Iter holds the new routing epoch, and Value the migrated bytes.
+	KindMigrate
 )
 
 // SchedulerNode is the Event.Worker sentinel for scheduler crash/recover
@@ -74,6 +84,12 @@ func (k Kind) String() string {
 		return "evict"
 	case KindDegrade:
 		return "degrade"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindMigrate:
+		return "migrate"
 	default:
 		return "unknown"
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"specsync/internal/codec"
+	"specsync/internal/core"
 	"specsync/internal/metrics"
 	"specsync/internal/model"
 	"specsync/internal/msg"
@@ -74,7 +75,19 @@ type Config struct {
 	// Index is this worker's index (also its data shard).
 	Index int
 	// Shards lists the parameter ranges owned by server/0..server/n-1.
+	// Ignored when Routing is set.
 	Shards []ps.Range
+	// Routing, when non-nil, replaces Shards with an epoch-stamped table
+	// mapping parameter ranges to server slots; the worker then follows
+	// RoutingUpdate commits from the scheduler across live shard migrations
+	// (see elastic.go). Nil keeps the legacy fixed-shard path, byte-for-byte.
+	Routing *core.RoutingTable
+	// JoinOnInit makes the worker introduce itself to the scheduler with a
+	// JoinReq instead of waiting for a Start: it begins training when the
+	// JoinAck arrives, seeded with the cluster's current clocks and routing
+	// table. Requires Routing (the ack carries a table). Used by workers that
+	// join a running elastic cluster.
+	JoinOnInit bool
 	// Model is the workload; Grad/SampleBatch run on this worker's shard.
 	Model model.Model
 	// Scheme selects synchronization behaviour.
@@ -159,6 +172,14 @@ type Worker struct {
 	iter    int64
 	started bool
 
+	// Routing view: the parameter ranges this worker pulls/pushes and the
+	// server slot owning each. Legacy runs use the identity mapping over
+	// cfg.Shards; elastic runs re-derive these on every RoutingUpdate.
+	shards       []ps.Range
+	shardSrv     []int
+	srvToShard   map[int]int
+	routingEpoch int64
+
 	// Pull state.
 	pullSeq      uint64
 	pullsPending int
@@ -226,8 +247,11 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.Index < 0 {
 		return nil, fmt.Errorf("worker: negative index")
 	}
-	if len(cfg.Shards) == 0 {
+	if len(cfg.Shards) == 0 && cfg.Routing == nil {
 		return nil, fmt.Errorf("worker: no shards configured")
+	}
+	if cfg.JoinOnInit && cfg.Routing == nil {
+		return nil, fmt.Errorf("worker: JoinOnInit requires Routing")
 	}
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("worker: nil model")
@@ -255,17 +279,33 @@ func New(cfg Config) (*Worker, error) {
 			return nil, fmt.Errorf("worker: index %d >= NumWorkers %d", cfg.Index, cfg.NumWorkers)
 		}
 	}
-	dim := 0
-	for i, r := range cfg.Shards {
-		if r.Len() <= 0 {
-			return nil, fmt.Errorf("worker: shard %d empty", i)
+	var shards []ps.Range
+	var shardSrv []int
+	var routingEpoch int64
+	if cfg.Routing != nil {
+		if err := cfg.Routing.Validate(); err != nil {
+			return nil, fmt.Errorf("worker: %w", err)
 		}
-		if r.Lo != dim {
-			return nil, fmt.Errorf("worker: shard %d not contiguous at %d", i, dim)
+		shards, shardSrv = shardsFromRoutes(cfg.Routing.Shards)
+		routingEpoch = cfg.Routing.Epoch
+	} else {
+		dim := 0
+		for i, r := range cfg.Shards {
+			if r.Len() <= 0 {
+				return nil, fmt.Errorf("worker: shard %d empty", i)
+			}
+			if r.Lo != dim {
+				return nil, fmt.Errorf("worker: shard %d not contiguous at %d", i, dim)
+			}
+			dim = r.Hi
 		}
-		dim = r.Hi
+		shards = cfg.Shards
+		shardSrv = make([]int, len(shards))
+		for i := range shardSrv {
+			shardSrv[i] = i
+		}
 	}
-	if dim != cfg.Model.Dim() {
+	if dim := shards[len(shards)-1].Hi; dim != cfg.Model.Dim() {
 		return nil, fmt.Errorf("worker: shards cover %d params, model has %d", dim, cfg.Model.Dim())
 	}
 	if cfg.RetryAfter < 0 {
@@ -299,19 +339,21 @@ func New(cfg Config) (*Worker, error) {
 	}
 	wk := &Worker{
 		cfg:          cfg,
-		pullVersions: make([]int64, len(cfg.Shards)),
-		pushAcked:    make([]bool, len(cfg.Shards)),
-		w:            tensor.NewVec(dim),
+		pullVersions: make([]int64, len(shards)),
+		pushAcked:    make([]bool, len(shards)),
+		w:            tensor.NewVec(cfg.Model.Dim()),
 		pushCodec:    pushCodec,
 		deltaPull:    deltaPull,
+		routingEpoch: routingEpoch,
 	}
+	wk.setShards(shards, shardSrv)
 	if deltaPull {
-		wk.havePulled = make([]bool, len(cfg.Shards))
+		wk.havePulled = make([]bool, len(shards))
 	}
 	if pushCodec != nil {
-		lens := make([]int, len(cfg.Shards))
+		lens := make([]int, len(shards))
 		maxLen := 0
-		for i, r := range cfg.Shards {
+		for i, r := range shards {
 			lens[i] = r.Len()
 			if r.Len() > maxLen {
 				maxLen = r.Len()
@@ -319,9 +361,35 @@ func New(cfg Config) (*Worker, error) {
 		}
 		wk.residual = codec.NewState(lens)
 		wk.recon = make([]float64, maxLen)
-		wk.pushPayloads = make([][]byte, len(cfg.Shards))
+		wk.pushPayloads = make([][]byte, len(shards))
 	}
 	return wk, nil
+}
+
+// setShards installs a routing view: the pull/push ranges and the server slot
+// owning each.
+func (wk *Worker) setShards(shards []ps.Range, shardSrv []int) {
+	wk.shards = shards
+	wk.shardSrv = shardSrv
+	wk.srvToShard = make(map[int]int, len(shardSrv))
+	for i, s := range shardSrv {
+		wk.srvToShard[s] = i
+	}
+}
+
+// shardIndexOf maps a responding server to the shard index it owns under the
+// current routing view, or -1 for a node that owns nothing (e.g. a response
+// from a shard retired by a migration that committed mid-flight).
+func (wk *Worker) shardIndexOf(from node.ID) int {
+	srv := node.ServerIndex(from)
+	if srv < 0 {
+		return -1
+	}
+	si, ok := wk.srvToShard[srv]
+	if !ok {
+		return -1
+	}
+	return si
 }
 
 // Init implements node.Handler.
@@ -333,6 +401,9 @@ func (wk *Worker) Init(ctx node.Context) {
 	}
 	if wk.cfg.SchedulerTimeout > 0 {
 		wk.armSchedulerWatch()
+	}
+	if wk.cfg.JoinOnInit {
+		wk.sendJoinReq()
 	}
 }
 
@@ -383,6 +454,10 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 		wk.noteSchedulerGen(mm.Gen)
 	case *msg.SchedulerBeacon:
 		wk.noteSchedulerGen(mm.Gen)
+	case *msg.JoinAck:
+		wk.handleJoinAck(mm)
+	case *msg.RoutingUpdate:
+		wk.handleRoutingUpdate(mm)
 	default:
 		wk.ctx.Logf("worker: unexpected message %T from %s", m, from)
 	}
@@ -427,16 +502,16 @@ func (wk *Worker) startPull() {
 	wk.st = statePulling
 	wk.cfg.Obs.PullStart(wk.ctx.Now(), wk.iter)
 	wk.pullSeq++
-	wk.pullsPending = len(wk.cfg.Shards)
-	for i := range wk.cfg.Shards {
+	wk.pullsPending = len(wk.shards)
+	for i := range wk.shards {
 		if wk.deltaPull {
 			have := int64(-1)
 			if wk.havePulled[i] {
 				have = wk.pullVersions[i]
 			}
-			wk.ctx.Send(node.ServerID(i), &msg.PullReqV2{Seq: wk.pullSeq, Have: have})
+			wk.ctx.Send(node.ServerID(wk.shardSrv[i]), &msg.PullReqV2{Seq: wk.pullSeq, Have: have})
 		} else {
-			wk.ctx.Send(node.ServerID(i), &msg.PullReq{Seq: wk.pullSeq})
+			wk.ctx.Send(node.ServerID(wk.shardSrv[i]), &msg.PullReq{Seq: wk.pullSeq})
 		}
 	}
 	if wk.cfg.RetryAfter > 0 {
@@ -456,12 +531,12 @@ func (wk *Worker) handlePullResp(from node.ID, resp *msg.PullResp) {
 	if wk.st != statePulling || resp.Seq != wk.pullSeq {
 		return // stale response from before an abort
 	}
-	si := node.ServerIndex(from)
-	if si < 0 || si >= len(wk.cfg.Shards) {
+	si := wk.shardIndexOf(from)
+	if si < 0 {
 		wk.ctx.Logf("worker: pull response from unexpected node %s", from)
 		return
 	}
-	r := wk.cfg.Shards[si]
+	r := wk.shards[si]
 	if len(resp.Values) != r.Len() {
 		wk.ctx.Logf("worker: shard %d returned %d values, want %d", si, len(resp.Values), r.Len())
 		return
@@ -477,12 +552,12 @@ func (wk *Worker) handlePullRespV2(from node.ID, resp *msg.PullRespV2) {
 	if wk.st != statePulling || resp.Seq != wk.pullSeq {
 		return // stale response from before an abort
 	}
-	si := node.ServerIndex(from)
-	if si < 0 || si >= len(wk.cfg.Shards) {
+	si := wk.shardIndexOf(from)
+	if si < 0 {
 		wk.ctx.Logf("worker: pull response from unexpected node %s", from)
 		return
 	}
-	r := wk.cfg.Shards[si]
+	r := wk.shards[si]
 	block := wk.w[r.Lo:r.Hi]
 	id := codec.ID(resp.Codec)
 	if resp.Base >= 0 {
@@ -579,7 +654,7 @@ func (wk *Worker) finishCompute() {
 // per iteration — retries resend the stored payloads — because the residual
 // update (residual = accumulated - reconstructed) must be applied once.
 func (wk *Worker) encodePush() {
-	for si, r := range wk.cfg.Shards {
+	for si, r := range wk.shards {
 		res := wk.residual.Residuals[si]
 		if wk.pushUpdate.IsSparse() {
 			part := wk.pushUpdate.Sparse.Slice(int32(r.Lo), int32(r.Hi))
@@ -612,13 +687,13 @@ func (wk *Worker) sendPush() {
 	wk.st = statePushing
 	wk.pushSeq++
 	wk.acksPending = 0
-	for si, r := range wk.cfg.Shards {
+	for si, r := range wk.shards {
 		if wk.pushAcked[si] {
 			continue
 		}
 		wk.acksPending++
 		if wk.pushCodec != nil {
-			wk.ctx.Send(node.ServerID(si), &msg.PushReqV2{
+			wk.ctx.Send(node.ServerID(wk.shardSrv[si]), &msg.PushReqV2{
 				Seq:         wk.pushSeq,
 				Iter:        wk.iter,
 				PullVersion: wk.pullVersions[si],
@@ -640,7 +715,7 @@ func (wk *Worker) sendPush() {
 		} else {
 			req.Dense = wk.pushUpdate.Dense[r.Lo:r.Hi]
 		}
-		wk.ctx.Send(node.ServerID(si), req)
+		wk.ctx.Send(node.ServerID(wk.shardSrv[si]), req)
 	}
 	if wk.cfg.RetryAfter > 0 {
 		seq := wk.pushSeq
@@ -656,8 +731,8 @@ func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
 	if wk.st != statePushing || ack.Seq != wk.pushSeq {
 		return
 	}
-	si := node.ServerIndex(from)
-	if si < 0 || si >= len(wk.cfg.Shards) || wk.pushAcked[si] {
+	si := wk.shardIndexOf(from)
+	if si < 0 || wk.pushAcked[si] {
 		return
 	}
 	wk.pushAcked[si] = true
@@ -666,13 +741,17 @@ func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
 	if wk.acksPending > 0 {
 		return
 	}
-	// Iteration complete: record, notify the scheduler, move on
-	// (Algorithm 2 worker lines 8-10; the pull for the next iteration is
-	// issued immediately, so the notify timestamp doubles as the pull-time
-	// proxy the tuner uses).
+	wk.finishPush()
+}
+
+// finishPush completes one iteration after every shard acknowledged the push:
+// record, notify the scheduler, move on (Algorithm 2 worker lines 8-10; the
+// pull for the next iteration is issued immediately, so the notify timestamp
+// doubles as the pull-time proxy the tuner uses).
+func (wk *Worker) finishPush() {
 	wk.record(trace.KindPush, 0)
-	wk.record(trace.KindStaleness, wk.stalenessSum/int64(len(wk.cfg.Shards)))
-	wk.cfg.Obs.PushDone(wk.ctx.Now(), wk.iter, wk.stalenessSum/int64(len(wk.cfg.Shards)))
+	wk.record(trace.KindStaleness, wk.stalenessSum/int64(len(wk.shards)))
+	wk.cfg.Obs.PushDone(wk.ctx.Now(), wk.iter, wk.stalenessSum/int64(len(wk.shards)))
 	if wk.cfg.Scheme.Decentralized {
 		// Broadcast design: announce the push to every peer. Under plain
 		// ASP the scheduler is not involved at all; under BSP/SSP it still
@@ -767,8 +846,8 @@ func (wk *Worker) RestoreCodecState(st *codec.State) error {
 	if wk.residual == nil {
 		return fmt.Errorf("worker: codec %q keeps no residual state", wk.cfg.Codec.Name)
 	}
-	lens := make([]int, len(wk.cfg.Shards))
-	for i, r := range wk.cfg.Shards {
+	lens := make([]int, len(wk.shards))
+	for i, r := range wk.shards {
 		lens[i] = r.Len()
 	}
 	if !st.Matches(lens) {
