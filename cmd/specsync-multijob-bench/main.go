@@ -1,0 +1,96 @@
+// Command specsync-multijob-bench measures the multi-tenant job platform and
+// emits a JSON report (BENCH_multijob.json in CI): three concurrent jobs with
+// mixed synchronization schemes (BSP, SSP, SpecSync-Adaptive with a
+// heterogeneous worker pool) share one parameter-server fleet, reporting
+// per-job convergence next to standalone baselines, the cross-job isolation
+// epsilon, and the fleet/per-job byte-accounting invariant.
+//
+//	specsync-multijob-bench -out BENCH_multijob.json
+//
+// It exits nonzero if the run misbehaves — a job fails to converge, the
+// per-job byte accounts don't sum to the fleet total, the trace is
+// nondeterministic, or isolation degrades past the epsilon bound — so it
+// doubles as the CI multi-tenancy smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specsync-multijob-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("specsync-multijob-bench", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "BENCH_multijob.json", "output JSON path (\"-\" for stdout)")
+		workers = fs.Int("workers", 12, "worker budget (each job gets half, min 4)")
+		seed    = fs.Int64("seed", 1, "master seed")
+		full    = fs.Bool("full", false, "use the full-size MF workload instead of the small one")
+		maxEps  = fs.Float64("max-epsilon", 0.25, "fail if any job's isolation epsilon exceeds this")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{
+		Workers:    *workers,
+		Seed:       *seed,
+		Size:       cluster.SizeSmall,
+		MaxVirtual: time.Hour,
+		Verbose:    true,
+		Out:        os.Stderr,
+	}
+	if *full {
+		opts.Size = cluster.SizeFull
+	}
+	rep, err := experiments.MultiJob(opts)
+	if err != nil {
+		return err
+	}
+	rep.Render(os.Stderr)
+
+	// Smoke assertions: the platform promises convergence, exact accounting,
+	// determinism, and bounded cross-job interference.
+	for _, row := range rep.Rows {
+		if !row.Converged {
+			return fmt.Errorf("job %s (%s) did not converge", row.Job, row.Scheme)
+		}
+		if row.Epsilon > *maxEps {
+			return fmt.Errorf("job %s isolation epsilon %.3f exceeds bound %.3f", row.Job, row.Epsilon, *maxEps)
+		}
+	}
+	if rep.SumJobBytes != rep.FleetBytes {
+		return fmt.Errorf("per-job byte accounts sum to %d, fleet recorded %d", rep.SumJobBytes, rep.FleetBytes)
+	}
+	if !rep.Deterministic {
+		return fmt.Errorf("trace digest differs between identical runs")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d jobs, max epsilon %+.3f, digest %.12s..., deterministic=%v)\n",
+		*out, len(rep.Rows), rep.MaxEpsilon, rep.Digest, rep.Deterministic)
+	return nil
+}

@@ -33,6 +33,7 @@ func run(args []string) error {
 	var (
 		workloadName = fs.String("workload", "cifar10", "workload: mf, cifar10, imagenet, tiny")
 		schemeName   = fs.String("scheme", "adaptive", "scheme: asp, bsp, ssp, naive, cherry, adaptive")
+		decentral    = fs.Bool("decentralized", false, "decentralized speculation: workers broadcast push notices and abort locally, no scheduler tuning (requires -scheme cherry)")
 		workers      = fs.Int("workers", 40, "number of workers")
 		servers      = fs.Int("servers", 0, "number of parameter shards (0 = auto)")
 		seed         = fs.Int64("seed", 1, "master seed")
@@ -65,10 +66,22 @@ func run(args []string) error {
 		return err
 	}
 
-	// Resolve the scale plan first: a plan that grows the cluster needs the
-	// workload sharded for the peak worker count, not the initial one.
-	if *scalePlanPath != "" && *elasticN > 0 {
+	// Fail fast on mutually exclusive flag combinations, before any file or
+	// workload is touched. Each pair is excluded by design, not by accident:
+	// the reasons are in DESIGN.md (Elasticity, Fault tolerance).
+	scaling := *scalePlanPath != "" || *elasticN > 0
+	faulty := *faultPlanPath != "" || *churn > 0 || *schedCrashes > 0
+	switch {
+	case *scalePlanPath != "" && *elasticN > 0:
 		return fmt.Errorf("use either -scale-plan or -elastic, not both")
+	case *faultPlanPath != "" && (*churn > 0 || *schedCrashes > 0):
+		return fmt.Errorf("use either -fault-plan or -churn/-churn-scheduler, not both")
+	case scaling && faulty:
+		return fmt.Errorf("scale plans (-scale-plan/-elastic) cannot be combined with fault injection (-fault-plan/-churn): migrations assume live shard owners (see DESIGN.md, Elasticity)")
+	case scaling && *decentral:
+		return fmt.Errorf("-decentralized cannot be combined with -scale-plan/-elastic: decentralized workers have no scheduler to commit routing changes")
+	case *decentral && *schemeName != "cherry":
+		return fmt.Errorf("-decentralized requires -scheme cherry (fixed speculation; adaptive tuning needs the central scheduler)")
 	}
 	var scalePlan *elastic.Plan
 	if *scalePlanPath != "" {
@@ -127,7 +140,7 @@ func run(args []string) error {
 	case "naive":
 		sc = scheme.Config{Base: scheme.ASP, NaiveWait: *naiveWait}
 	case "cherry":
-		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 4, AbortRate: 0.22}
+		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 4, AbortRate: 0.22, Decentralized: *decentral}
 	case "adaptive":
 		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}
 	default:

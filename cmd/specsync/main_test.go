@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagExclusions pins the fail-fast validation: every mutually exclusive
+// flag combination is rejected before any workload or plan file is touched
+// (the bogus file paths would error later if parsing got that far).
+func TestFlagExclusions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"scale-plan x elastic",
+			[]string{"-scale-plan", "nope.json", "-elastic", "4"},
+			"either -scale-plan or -elastic"},
+		{"fault-plan x churn",
+			[]string{"-fault-plan", "nope.json", "-churn", "3"},
+			"either -fault-plan or -churn"},
+		{"fault-plan x churn-scheduler",
+			[]string{"-fault-plan", "nope.json", "-churn-scheduler", "1"},
+			"either -fault-plan or -churn"},
+		{"scale-plan x fault-plan",
+			[]string{"-scale-plan", "nope.json", "-fault-plan", "other.json"},
+			"cannot be combined with fault injection"},
+		{"elastic x churn",
+			[]string{"-elastic", "4", "-churn", "3"},
+			"cannot be combined with fault injection"},
+		{"elastic x decentralized",
+			[]string{"-elastic", "4", "-scheme", "cherry", "-decentralized"},
+			"-decentralized cannot be combined"},
+		{"scale-plan x decentralized",
+			[]string{"-scale-plan", "nope.json", "-scheme", "cherry", "-decentralized"},
+			"-decentralized cannot be combined"},
+		{"decentralized without cherry",
+			[]string{"-scheme", "adaptive", "-decentralized"},
+			"-decentralized requires -scheme cherry"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBadNames checks that unknown workload/scheme names still error cleanly
+// after the exclusion block.
+func TestBadNames(t *testing.T) {
+	if err := run([]string{"-workload", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("bad workload: %v", err)
+	}
+	if err := run([]string{"-workload", "tiny", "-scheme", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Errorf("bad scheme: %v", err)
+	}
+}

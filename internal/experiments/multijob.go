@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+)
+
+// MultiJobRow is one job's outcome on the shared fleet next to its standalone
+// baseline.
+type MultiJobRow struct {
+	Job     string
+	Scheme  string
+	Workers int
+	Hetero  bool
+
+	Converged  bool
+	FinalLoss  float64
+	AdmittedAt time.Duration
+	// FleetConverge is time-to-target measured from admission on the shared
+	// fleet; SoloConverge is the same spec run alone. Epsilon is the relative
+	// slowdown (fleet/solo - 1) — the cross-job isolation cost.
+	FleetConverge time.Duration
+	SoloConverge  time.Duration
+	Epsilon       float64
+
+	Bytes           int64
+	Pushes          int64
+	Aborts          int64
+	ThrottledPushes int64
+}
+
+// MultiJobResult is the multi-tenancy experiment: J concurrent jobs with
+// mixed synchronization schemes sharing one PS fleet.
+type MultiJobResult struct {
+	Rows []MultiJobRow
+
+	// FleetBytes is the simulator's fleet-wide byte total; SumJobBytes is the
+	// sum of the per-job accounts. The platform invariant is equality.
+	FleetBytes  int64
+	SumJobBytes int64
+
+	// Digest is the SHA-256 of the fleet's full event trace; Deterministic
+	// reports whether an identical second run reproduced it.
+	Digest        string
+	Deterministic bool
+
+	Elapsed time.Duration
+	Ticks   int64
+	// MaxEpsilon is the worst per-job isolation cost.
+	MaxEpsilon float64
+}
+
+// multiJobSpecs builds the experiment's job mix: BSP, SSP, and
+// SpecSync-Adaptive on the MF workload, the adaptive job on a heterogeneous
+// (straggler-bearing) worker pool, staggered arrivals.
+func multiJobSpecs(o Options) ([]cluster.JobSpec, error) {
+	w := o.Workers / 2
+	if w < 4 {
+		w = 4
+	}
+	mk := func(seed int64) (cluster.Workload, error) {
+		return cluster.NewMF(o.Size, w, seed)
+	}
+	wl0, err := mk(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wl1, err := mk(o.Seed + 100)
+	if err != nil {
+		return nil, err
+	}
+	wl2, err := mk(o.Seed + 200)
+	if err != nil {
+		return nil, err
+	}
+	return []cluster.JobSpec{
+		{Name: "bsp", Workload: wl0, Scheme: scheme.Config{Base: scheme.BSP},
+			Workers: w, Seed: o.Seed},
+		{Name: "ssp", Workload: wl1, Scheme: scheme.Config{Base: scheme.SSP, Staleness: 3},
+			Workers: w, Seed: o.Seed + 100},
+		{Name: "spec-hetero", Workload: wl2, Scheme: schemeAdaptive(),
+			Workers: w, Seed: o.Seed + 200, Speeds: cluster.InstanceSpeeds(w),
+			SubmitAt: wl2.IterTime * 4},
+	}, nil
+}
+
+func multiJobFleet(o Options, keepTrace bool) (*cluster.FleetResult, error) {
+	specs, err := multiJobSpecs(o)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.RunFleet(cluster.FleetConfig{
+		Jobs:       specs,
+		Seed:       o.Seed,
+		MaxVirtual: o.MaxVirtual,
+		KeepTrace:  keepTrace,
+	})
+}
+
+func traceDigest(res *cluster.FleetResult) (string, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res.Trace.Events()); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// MultiJob runs the multi-tenancy experiment: the shared fleet twice (for the
+// reproducibility digest) and each job standalone (for the isolation
+// epsilon).
+func MultiJob(o Options) (*MultiJobResult, error) {
+	o = o.normalize()
+	o.progressf("multijob: shared fleet, run 1")
+	fleet, err := multiJobFleet(o, true)
+	if err != nil {
+		return nil, err
+	}
+	digest, err := traceDigest(fleet)
+	if err != nil {
+		return nil, err
+	}
+	o.progressf("multijob: shared fleet, run 2 (reproducibility)")
+	fleet2, err := multiJobFleet(o, true)
+	if err != nil {
+		return nil, err
+	}
+	digest2, err := traceDigest(fleet2)
+	if err != nil {
+		return nil, err
+	}
+
+	specs, err := multiJobSpecs(o)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiJobResult{
+		Digest:        digest,
+		Deterministic: digest == digest2,
+		Elapsed:       fleet.Elapsed,
+		Ticks:         fleet.Ticks,
+		FleetBytes:    fleet.Transfer.TotalBytes(),
+	}
+	for i, j := range fleet.Jobs {
+		spec := specs[i]
+		o.progressf("multijob: standalone baseline %s", j.Name)
+		solo, err := cluster.Run(cluster.Config{
+			Workload:   spec.Workload,
+			Scheme:     spec.Scheme,
+			Workers:    spec.Workers,
+			Seed:       spec.Seed,
+			Speeds:     spec.Speeds,
+			MaxVirtual: o.MaxVirtual,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multijob baseline %s: %w", j.Name, err)
+		}
+		row := MultiJobRow{
+			Job:             j.Name,
+			Scheme:          j.SchemeName,
+			Workers:         spec.Workers,
+			Hetero:          spec.Speeds != nil,
+			Converged:       j.Converged,
+			FinalLoss:       j.FinalLoss,
+			AdmittedAt:      j.AdmittedAt,
+			Bytes:           j.Transfer.TotalBytes(),
+			Pushes:          j.Pushes,
+			Aborts:          j.Aborts,
+			ThrottledPushes: j.ThrottledPushes,
+		}
+		if j.Converged {
+			row.FleetConverge = j.ConvergeTime - j.AdmittedAt
+		}
+		if solo.Converged {
+			row.SoloConverge = solo.ConvergeTime
+		}
+		if row.FleetConverge > 0 && row.SoloConverge > 0 {
+			row.Epsilon = float64(row.FleetConverge)/float64(row.SoloConverge) - 1
+			if row.Epsilon > res.MaxEpsilon {
+				res.MaxEpsilon = row.Epsilon
+			}
+		}
+		res.SumJobBytes += row.Bytes
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the multi-tenancy table.
+func (r *MultiJobResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Multi-tenant fleet: concurrent jobs, mixed schemes, shared parameter servers")
+	tb := newTable("job", "scheme", "workers", "admitted", "converged", "fleet time", "solo time", "epsilon", "final loss", "pushes", "aborts")
+	for _, row := range r.Rows {
+		tb.addRow(
+			row.Job, row.Scheme, fmt.Sprintf("%d", row.Workers),
+			row.AdmittedAt.Round(time.Second).String(),
+			fmt.Sprintf("%v", row.Converged),
+			fmtDur(row.FleetConverge, row.Converged),
+			fmtDur(row.SoloConverge, row.SoloConverge > 0),
+			fmt.Sprintf("%+.3f", row.Epsilon),
+			fmt.Sprintf("%.4f", row.FinalLoss),
+			fmt.Sprintf("%d", row.Pushes),
+			fmt.Sprintf("%d", row.Aborts),
+		)
+	}
+	tb.render(w)
+	fmt.Fprintf(w, "\nfleet bytes %d, sum of per-job accounts %d (match: %v)\n",
+		r.FleetBytes, r.SumJobBytes, r.FleetBytes == r.SumJobBytes)
+	fmt.Fprintf(w, "trace digest %s (deterministic rerun: %v), %d control ticks, %v simulated\n",
+		r.Digest[:16], r.Deterministic, r.Ticks, r.Elapsed.Round(time.Second))
+}

@@ -1,0 +1,370 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"specsync/internal/obs"
+)
+
+// ProbeSample is one convergence-probe reading of a running job.
+type ProbeSample struct {
+	// Loss is the job's current eval loss.
+	Loss float64
+	// Iters is the job's total completed iterations.
+	Iters int64
+	// Pushes is the job's total server-applied pushes.
+	Pushes int64
+}
+
+// ManagerConfig wires a Manager to its runner (the DES fleet or a live
+// deployment) through callbacks, so the manager itself carries no simulator
+// dependency. All callbacks run on the runner's event loop (the tick fires
+// via Schedule); Submit/RequestStop/Status/List are safe from other
+// goroutines.
+type ManagerConfig struct {
+	// TickEvery is the control-loop period: admission, quota checks,
+	// convergence probes, and janitor cleanup all happen on tick boundaries
+	// (the Orion-Agent periodic sync-scheduler idiom). Required.
+	TickEvery time.Duration
+	// MaxConcurrent caps simultaneously running jobs; zero means unlimited.
+	MaxConcurrent int
+	// Now returns the elapsed virtual (or wall) time.
+	Now func() time.Duration
+	// Epoch anchors Now()==0 for absolute timestamps in snapshots.
+	Epoch time.Time
+	// Schedule runs f after d on the runner's event loop.
+	Schedule func(d time.Duration, f func())
+	// Spawn creates a job's nodes (workers, scheduler, tenant shards). An
+	// error marks the job Failed.
+	Spawn func(*Job) error
+	// Halt stops a job's nodes (delivered outside byte accounting).
+	Halt func(*Job)
+	// Cleanup unmounts a retired job's tenant state (janitor; optional).
+	Cleanup func(*Job)
+	// Probe reads a running job's loss and counters.
+	Probe func(*Job) ProbeSample
+	// OnAllDone fires once when every submitted job is terminal (the fleet
+	// stops its simulator here). Optional.
+	OnAllDone func()
+	// Obs receives the fleet-level cluster snapshot (job listing) each tick.
+	// Optional.
+	Obs *obs.Obs
+}
+
+// Manager runs the admission/quota/janitor control loop over a set of jobs.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu      sync.Mutex
+	jobs    []*Job // by ID
+	queue   []*Job // pending, FIFO
+	ticks   int64
+	started bool
+	done    bool
+}
+
+// NewManager validates the config.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.TickEvery <= 0 {
+		return nil, fmt.Errorf("jobs: TickEvery must be positive")
+	}
+	if cfg.Now == nil || cfg.Schedule == nil || cfg.Spawn == nil || cfg.Halt == nil || cfg.Probe == nil {
+		return nil, fmt.Errorf("jobs: Now, Schedule, Spawn, Halt, and Probe callbacks are required")
+	}
+	if cfg.MaxConcurrent < 0 {
+		return nil, fmt.Errorf("jobs: negative MaxConcurrent")
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// Submit assigns the next JobID and queues the job for admission. Safe
+// before or during the run (a job submitted mid-run is admitted at the next
+// tick).
+func (m *Manager) Submit(j *Job) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.ID = len(m.jobs)
+	j.State = Pending
+	if j.ConsecutiveBelow <= 0 {
+		j.ConsecutiveBelow = 5
+	}
+	if j.Acct == nil {
+		j.Acct = NewAcct()
+	}
+	m.jobs = append(m.jobs, j)
+	m.queue = append(m.queue, j)
+	return j.ID
+}
+
+// Start schedules the first control tick (at the current time, so jobs due
+// at t=0 are admitted before any other event).
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.cfg.Schedule(0, m.tick)
+}
+
+// Ticks returns how many control ticks have run.
+func (m *Manager) Ticks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}
+
+// RequestStop marks a job for retirement; the next tick halts it. Stopping a
+// terminal job is a no-op.
+func (m *Manager) RequestStop(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.jobs) {
+		return fmt.Errorf("jobs: unknown job %d", id)
+	}
+	m.jobs[id].stopReq = true
+	return nil
+}
+
+// Jobs returns the submitted jobs (the slice is a copy; the *Job records are
+// live and manager-owned — use Status for race-free snapshots).
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, len(m.jobs))
+	copy(out, m.jobs)
+	return out
+}
+
+// Status returns one job's listing entry.
+func (m *Manager) Status(id int) (obs.JobEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.jobs) {
+		return obs.JobEntry{}, false
+	}
+	return m.entryLocked(m.jobs[id]), true
+}
+
+// List returns all jobs' listing entries, by ID.
+func (m *Manager) List() []obs.JobEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]obs.JobEntry, len(m.jobs))
+	for i, j := range m.jobs {
+		out[i] = m.entryLocked(j)
+	}
+	return out
+}
+
+func (m *Manager) entryLocked(j *Job) obs.JobEntry {
+	e := obs.JobEntry{
+		ID:                j.ID,
+		Name:              j.Name,
+		State:             j.State.String(),
+		Scheme:            j.SchemeName,
+		Workers:           j.Workers,
+		Error:             j.Err,
+		Iterations:        j.Iters,
+		Pushes:            j.Pushes,
+		Loss:              j.FinalLoss,
+		Converged:         j.State == Converged,
+		SubmitAtSeconds:   j.SubmitAt.Seconds(),
+		AdmittedAtSeconds: j.AdmittedAt.Seconds(),
+		FinishedAtSeconds: j.FinishedAt.Seconds(),
+		BytesOnWire:       j.Acct.Bytes(),
+		ByteBudget:        j.Quota.ByteBudget,
+		MaxInflightPush:   j.Quota.MaxInflightPush,
+		InflightPushes:    j.Acct.InflightPushes(),
+		ThrottledPushes:   j.Acct.ThrottledPushes(),
+	}
+	if snap, ok := m.cfg.Obs.JobClusterSnapshot(j.Name); ok {
+		e.Cluster = &snap
+	}
+	return e
+}
+
+// tick is the periodic control loop: admit due pending jobs under the
+// concurrency cap, enforce stop requests and byte budgets, probe running
+// jobs for convergence, clean up retired tenants, and republish the fleet
+// snapshot. It reschedules itself until every job is terminal.
+func (m *Manager) tick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	m.ticks++
+
+	// Admission: FIFO over the pending queue; jobs not yet due (or waiting
+	// on a concurrency slot) stay queued without blocking later due jobs.
+	running := 0
+	for _, j := range m.jobs {
+		if j.State == Running {
+			running++
+		}
+	}
+	rest := m.queue[:0]
+	for _, j := range m.queue {
+		switch {
+		case j.stopReq:
+			j.State = Stopped
+			j.FinishedAt = now
+		case j.SubmitAt <= now && (m.cfg.MaxConcurrent == 0 || running < m.cfg.MaxConcurrent):
+			if err := m.cfg.Spawn(j); err != nil {
+				j.State = Failed
+				j.Err = err.Error()
+				j.FinishedAt = now
+				continue
+			}
+			j.State = Running
+			j.AdmittedAt = now
+			j.nextProbe = now + j.EvalEvery
+			running++
+		default:
+			rest = append(rest, j)
+		}
+	}
+	m.queue = rest
+
+	// Quotas, probes, and retirement.
+	for _, j := range m.jobs {
+		if j.State != Running {
+			continue
+		}
+		switch {
+		case j.stopReq:
+			m.retireLocked(j, Stopped, now)
+		case j.Quota.ByteBudget > 0 && j.Acct.Bytes() > j.Quota.ByteBudget:
+			m.retireLocked(j, OverBudget, now)
+		case now >= j.nextProbe:
+			s := m.sampleLocked(j, now)
+			j.nextProbe = now + j.EvalEvery
+			if s.Loss < j.TargetLoss {
+				j.streak++
+			} else {
+				j.streak = 0
+			}
+			if j.streak >= j.ConsecutiveBelow {
+				m.retireLocked(j, Converged, now)
+			}
+		}
+	}
+
+	// Janitor: unmount tenants of jobs retired on a previous tick, so
+	// responses still in flight at retirement have drained.
+	for _, j := range m.jobs {
+		if j.State.Terminal() && !j.cleaned && j.FinishedAt < now {
+			m.cleanupLocked(j)
+		}
+	}
+
+	m.publishLocked(now)
+
+	if len(m.queue) == 0 && runningCount(m.jobs) == 0 {
+		for _, j := range m.jobs {
+			if j.State.Terminal() && !j.cleaned {
+				m.cleanupLocked(j)
+			}
+		}
+		if !m.done {
+			m.done = true
+			if m.cfg.OnAllDone != nil {
+				m.cfg.OnAllDone()
+			}
+		}
+		return
+	}
+	m.cfg.Schedule(m.cfg.TickEvery, m.tick)
+}
+
+// Finalize settles jobs still live after the runner's deadline (MaxVirtual
+// expired before quiescence): running jobs get a last probe sample, pending
+// jobs are marked Stopped, and everything is cleaned up. Idempotent.
+func (m *Manager) Finalize() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	for _, j := range m.queue {
+		j.State = Stopped
+		j.FinishedAt = now
+	}
+	m.queue = nil
+	for _, j := range m.jobs {
+		if j.State == Running {
+			m.retireLocked(j, Stopped, now)
+		}
+		if j.State.Terminal() && !j.cleaned {
+			m.cleanupLocked(j)
+		}
+	}
+	m.publishLocked(now)
+	m.done = true
+}
+
+func runningCount(jobs []*Job) int {
+	n := 0
+	for _, j := range jobs {
+		if j.State == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// sampleLocked probes one running job and appends to its series.
+func (m *Manager) sampleLocked(j *Job, now time.Duration) ProbeSample {
+	s := m.cfg.Probe(j)
+	j.Loss.Add(now, s.Loss)
+	j.IterSeries.Add(now, float64(s.Iters))
+	j.FinalLoss, j.Iters, j.Pushes = s.Loss, s.Iters, s.Pushes
+	return s
+}
+
+// retireLocked finalizes a job: take a last probe sample (unless one was
+// just taken this tick), record the terminal state, and halt its nodes.
+func (m *Manager) retireLocked(j *Job, st State, now time.Duration) {
+	if st != Converged {
+		// Converged jobs were just probed; others get a final reading so
+		// the result reflects their state at retirement.
+		m.sampleLocked(j, now)
+	}
+	j.State = st
+	j.FinishedAt = now
+	if st == Converged {
+		if t, ok := j.Loss.TimeToConverge(j.TargetLoss, j.ConsecutiveBelow); ok {
+			j.ConvergeTime = t
+		} else {
+			j.ConvergeTime = now
+		}
+	}
+	m.cfg.Halt(j)
+}
+
+func (m *Manager) cleanupLocked(j *Job) {
+	j.cleaned = true
+	if m.cfg.Cleanup != nil {
+		m.cfg.Cleanup(j)
+	}
+}
+
+// publishLocked composes the fleet-level /clusterz snapshot: the job table,
+// each entry embedding that job's own scheduler view.
+func (m *Manager) publishLocked(now time.Duration) {
+	o := m.cfg.Obs
+	if o == nil {
+		return
+	}
+	snap := obs.ClusterSnapshot{
+		At:   m.cfg.Epoch.Add(now),
+		Jobs: make([]obs.JobEntry, 0, len(m.jobs)),
+	}
+	for _, j := range m.jobs {
+		if j.State == Running {
+			snap.AliveWorkers += j.Workers
+		}
+		snap.Jobs = append(snap.Jobs, m.entryLocked(j))
+	}
+	o.PublishCluster(snap)
+}

@@ -1,0 +1,58 @@
+package msg
+
+import (
+	"fmt"
+
+	"specsync/internal/wire"
+)
+
+// Multi-tenant job envelope. A fleet hosts many training jobs on one shared
+// parameter-server substrate; every data-path message a job's worker sends to
+// a shared server travels inside a JobMsg so the server host can dispatch it
+// to the right tenant shard without parsing sender identity out of node IDs.
+//
+// Kind values are part of the wire format; never renumber them.
+const (
+	KindJobMsg wire.Kind = 27
+)
+
+// JobMsg wraps one protocol message with the sending job's ID. Payload is a
+// complete kind-prefixed encoding (as produced by wire.Marshal) of the inner
+// message, so the receiver unwraps it through the ordinary registry.
+type JobMsg struct {
+	Job     int32
+	Payload []byte
+}
+
+var _ wire.Message = (*JobMsg)(nil)
+
+// Kind implements wire.Message.
+func (m *JobMsg) Kind() wire.Kind { return KindJobMsg }
+
+// Encode implements wire.Message.
+func (m *JobMsg) Encode(w *wire.Writer) {
+	w.Varint(int64(m.Job))
+	w.Bytes2(m.Payload)
+}
+
+// Decode implements wire.Message.
+func (m *JobMsg) Decode(r *wire.Reader) {
+	m.Job = int32(r.Varint())
+	m.Payload = r.Bytes()
+}
+
+// WrapJob envelopes an inner message for one job. The payload is marshaled
+// eagerly (Send marshals synchronously anyway), so the inner message may be
+// reused by the caller immediately.
+func WrapJob(job int, inner wire.Message) *JobMsg {
+	return &JobMsg{Job: int32(job), Payload: wire.Marshal(inner)}
+}
+
+// UnwrapJob decodes the envelope's inner message through the registry.
+func UnwrapJob(reg *wire.Registry, m *JobMsg) (wire.Message, error) {
+	inner, err := reg.Unmarshal(m.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("msg: job %d envelope: %w", m.Job, err)
+	}
+	return inner, nil
+}

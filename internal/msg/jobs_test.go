@@ -1,0 +1,59 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+
+	"specsync/internal/wire"
+)
+
+func TestJobMsgRoundtrip(t *testing.T) {
+	reg := Registry()
+	inner := &PushReq{Seq: 3, Iter: 7, PullVersion: 10, Dense: []float64{1, 2, 3}}
+	env := WrapJob(5, inner)
+	data := wire.Marshal(env)
+
+	m, err := reg.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal envelope: %v", err)
+	}
+	got, ok := m.(*JobMsg)
+	if !ok {
+		t.Fatalf("decoded %T, want *JobMsg", m)
+	}
+	if got.Job != 5 {
+		t.Errorf("job = %d, want 5", got.Job)
+	}
+	back, err := UnwrapJob(reg, got)
+	if err != nil {
+		t.Fatalf("unwrap: %v", err)
+	}
+	req, ok := back.(*PushReq)
+	if !ok {
+		t.Fatalf("inner decoded %T, want *PushReq", back)
+	}
+	if req.Seq != 3 || req.Iter != 7 || req.PullVersion != 10 || len(req.Dense) != 3 {
+		t.Errorf("inner fields lost: %+v", req)
+	}
+	if !bytes.Equal(got.Payload, wire.Marshal(inner)) {
+		t.Error("payload is not the kind-prefixed inner encoding")
+	}
+}
+
+func TestJobMsgUnwrapRejectsGarbage(t *testing.T) {
+	reg := Registry()
+	if _, err := UnwrapJob(reg, &JobMsg{Job: 2, Payload: []byte{0xff, 0xff}}); err == nil {
+		t.Error("garbage payload accepted")
+	}
+	if _, err := UnwrapJob(reg, &JobMsg{Job: 2, Payload: nil}); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestJobMsgIsData(t *testing.T) {
+	// The envelope wraps only worker→server data traffic, so the
+	// control/data split must classify it as data.
+	if IsControl(KindJobMsg) {
+		t.Error("JobMsg classified as control")
+	}
+}

@@ -505,6 +505,7 @@ func Registry() *wire.Registry {
 		{Kind: KindShardState, Name: "ShardState", New: func() wire.Message { return &ShardState{} }},
 		{Kind: KindMigrateDone, Name: "MigrateDone", New: func() wire.Message { return &MigrateDone{} }},
 		{Kind: KindScaleCmd, Name: "ScaleCmd", New: func() wire.Message { return &ScaleCmd{} }},
+		{Kind: KindJobMsg, Name: "JobMsg", New: func() wire.Message { return &JobMsg{} }},
 	})
 }
 
@@ -515,7 +516,8 @@ func IsControl(k wire.Kind) bool {
 	switch k {
 	case KindPullReq, KindPullResp, KindPushReq, KindPushAck,
 		KindPullReqV2, KindPullRespV2, KindPushReqV2,
-		KindShardState: // migrating parameter segments are data, not control
+		KindShardState, // migrating parameter segments are data, not control
+		KindJobMsg:     // fleet envelope: wraps only worker→server data traffic
 		return false
 	default:
 		return true

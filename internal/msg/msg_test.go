@@ -63,8 +63,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 26 {
-		t.Errorf("registry has %d kinds, want 26", len(kinds))
+	if len(kinds) != 27 {
+		t.Errorf("registry has %d kinds, want 27", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)

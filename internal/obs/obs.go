@@ -14,6 +14,7 @@ package obs
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -40,6 +41,11 @@ type Obs struct {
 	staleH   *Histogram
 
 	cluster atomic.Pointer[ClusterSnapshot]
+
+	// jobClusters holds one scheduler-published snapshot per job in a
+	// multi-tenant fleet (keyed by job label); the fleet-level view in
+	// cluster is composed by the job manager.
+	jobClusters sync.Map // string -> *ClusterSnapshot
 }
 
 // New builds an Obs with the standard SpecSync metric families registered.
@@ -90,6 +96,59 @@ func (o *Obs) ClusterSnapshot() (ClusterSnapshot, bool) {
 	return *p, true
 }
 
+// PublishCluster stores a cluster view directly (fleet-level composition by
+// the job manager; single-job runs publish through SchedulerObs instead).
+func (o *Obs) PublishCluster(snap ClusterSnapshot) {
+	if o == nil {
+		return
+	}
+	o.cluster.Store(&snap)
+}
+
+// JobClusterSnapshot returns the latest snapshot published by one job's
+// scheduler in a multi-tenant fleet.
+func (o *Obs) JobClusterSnapshot(job string) (ClusterSnapshot, bool) {
+	if o == nil {
+		return ClusterSnapshot{}, false
+	}
+	p, ok := o.jobClusters.Load(job)
+	if !ok {
+		return ClusterSnapshot{}, false
+	}
+	return *p.(*ClusterSnapshot), true
+}
+
+// JobView namespaces handles for one tenant of a multi-job fleet: every
+// series its Worker/Server/Scheduler handles create carries an extra
+// ("job", name) label pair, so two jobs' worker 0 do not collide in the
+// shared registry, and the per-job scheduler publishes its cluster view into
+// a per-job slot instead of the fleet-level one. Summary still totals across
+// all jobs (SumCounters ignores labels).
+type JobView struct {
+	o   *Obs
+	job string
+}
+
+// Job returns the handle namespace for one job.
+func (o *Obs) Job(name string) JobView { return JobView{o: o, job: name} }
+
+// Worker returns the job-labeled handle for worker i.
+func (v JobView) Worker(i int) *WorkerObs { return v.o.worker(i, v.job) }
+
+// Server returns the job-labeled handle for one shard slot.
+func (v JobView) Server(shard int) *ServerObs { return v.o.server(shard, v.job) }
+
+// Scheduler returns the job-labeled scheduler handle.
+func (v JobView) Scheduler() *SchedulerObs { return v.o.scheduler(v.job) }
+
+// jobLabels appends the ("job", name) pair when the handle is job-scoped.
+func jobLabels(base []string, job string) []string {
+	if job == "" {
+		return base
+	}
+	return append(base, "job", job)
+}
+
 // WorkerObs instruments one worker's iteration lifecycle. Its phase-state
 // fields are only touched from that worker's event loop (single-threaded in
 // both stacks), while the shared histograms and counters are atomic. All
@@ -116,21 +175,28 @@ type WorkerObs struct {
 
 // Worker returns the handle for worker i. Handles share registry series, so
 // a restarted worker incarnation keeps accumulating into the same metrics.
-func (o *Obs) Worker(i int) *WorkerObs {
+func (o *Obs) Worker(i int) *WorkerObs { return o.worker(i, "") }
+
+func (o *Obs) worker(i int, job string) *WorkerObs {
 	if o == nil {
 		return nil
 	}
 	idx := strconv.Itoa(i)
+	node := "worker/" + idx
+	if job != "" {
+		node = "job/" + job + "/" + node
+	}
 	return &WorkerObs{
 		o:     o,
 		index: i,
-		node:  "worker/" + idx,
+		node:  node,
 		iters: o.reg.Counter("specsync_worker_iterations_total",
-			"Completed (fully acknowledged) iterations.", "worker", idx),
+			"Completed (fully acknowledged) iterations.", jobLabels([]string{"worker", idx}, job)...),
 		aborts: o.reg.Counter("specsync_worker_aborts_total",
-			"Speculative abort-and-restart events.", "worker", idx),
+			"Speculative abort-and-restart events.", jobLabels([]string{"worker", idx}, job)...),
 		degraded: o.reg.Gauge("specsync_degraded_workers",
-			"Workers currently in broadcast-speculation failover (scheduler unreachable)."),
+			"Workers currently in broadcast-speculation failover (scheduler unreachable).",
+			jobLabels(nil, job)...),
 	}
 }
 
@@ -224,6 +290,7 @@ func (w *WorkerObs) PushDone(at time.Time, iter int64, staleness int64) {
 // SchedulerObs instruments the scheduler. All methods are nil-safe.
 type SchedulerObs struct {
 	o            *Obs
+	job          string
 	resyncs      *Counter
 	epochs       *Counter
 	evictions    *Counter
@@ -247,50 +314,54 @@ type SchedulerObs struct {
 }
 
 // Scheduler returns the scheduler handle.
-func (o *Obs) Scheduler() *SchedulerObs {
+func (o *Obs) Scheduler() *SchedulerObs { return o.scheduler("") }
+
+func (o *Obs) scheduler(job string) *SchedulerObs {
 	if o == nil {
 		return nil
 	}
+	lbl := jobLabels(nil, job)
 	return &SchedulerObs{
-		o: o,
+		o:   o,
+		job: job,
 		resyncs: o.reg.Counter("specsync_resyncs_total",
-			"Re-sync instructions issued by the scheduler."),
+			"Re-sync instructions issued by the scheduler.", lbl...),
 		epochs: o.reg.Counter("specsync_epochs_total",
-			"Scheduler epoch boundaries (every alive worker pushed)."),
+			"Scheduler epoch boundaries (every alive worker pushed).", lbl...),
 		evictions: o.reg.Counter("specsync_evictions_total",
-			"Workers evicted from membership by liveness timeout."),
+			"Workers evicted from membership by liveness timeout.", lbl...),
 		readmissions: o.reg.Counter("specsync_readmissions_total",
-			"Evicted workers re-admitted after reappearing."),
+			"Evicted workers re-admitted after reappearing.", lbl...),
 		restarts: o.reg.Counter("specsync_scheduler_restarts_total",
-			"Scheduler incarnations started after a crash."),
+			"Scheduler incarnations started after a crash.", lbl...),
 		stateReports: o.reg.Counter("specsync_scheduler_state_reports_total",
-			"Worker state reports consumed during post-restart state rebuild."),
+			"Worker state reports consumed during post-restart state rebuild.", lbl...),
 		specEnabled: o.reg.Gauge("specsync_spec_enabled",
-			"1 when speculative synchronization is active, 0 when paused."),
+			"1 when speculative synchronization is active, 0 when paused.", lbl...),
 		abortTime: o.reg.Gauge("specsync_abort_time_seconds",
-			"Current ABORT_TIME window length."),
+			"Current ABORT_TIME window length.", lbl...),
 		meanRate: o.reg.Gauge("specsync_abort_rate_mean",
-			"Mean per-worker ABORT_RATE threshold fraction."),
+			"Mean per-worker ABORT_RATE threshold fraction.", lbl...),
 		membership: o.reg.Gauge("specsync_membership_epoch",
-			"Monotonic membership epoch (bumped by evictions and readmissions)."),
+			"Monotonic membership epoch (bumped by evictions and readmissions).", lbl...),
 		alive: o.reg.Gauge("specsync_alive_workers",
-			"Workers currently considered alive."),
+			"Workers currently considered alive.", lbl...),
 		generation: o.reg.Gauge("specsync_scheduler_generation",
-			"Current scheduler incarnation (0 = original process)."),
+			"Current scheduler incarnation (0 = original process).", lbl...),
 		joins: o.reg.Counter("specsync_joins_total",
-			"Workers admitted into a running cluster by the elastic protocol."),
+			"Workers admitted into a running cluster by the elastic protocol.", lbl...),
 		leaves: o.reg.Counter("specsync_leaves_total",
-			"Workers retired from a running cluster by a scale plan."),
+			"Workers retired from a running cluster by a scale plan.", lbl...),
 		migrations: o.reg.Counter("specsync_migrations_total",
-			"Committed shard migrations (routing-epoch bumps)."),
+			"Committed shard migrations (routing-epoch bumps).", lbl...),
 		migrationBytes: o.reg.Counter("specsync_migration_bytes_total",
-			"Parameter bytes moved between servers during shard migrations."),
+			"Parameter bytes moved between servers during shard migrations.", lbl...),
 		migrationH: o.reg.Histogram("specsync_migration_seconds",
-			"Duration of one shard migration (freeze to routing commit).", LatencyBuckets),
+			"Duration of one shard migration (freeze to routing commit).", LatencyBuckets, lbl...),
 		clusterWorkers: o.reg.Gauge("specsync_cluster_workers",
-			"Workers currently in membership (elastic runs)."),
+			"Workers currently in membership (elastic runs).", lbl...),
 		clusterServers: o.reg.Gauge("specsync_cluster_servers",
-			"Server shards currently in the routing table (elastic runs)."),
+			"Server shards currently in the routing table (elastic runs).", lbl...),
 	}
 }
 
@@ -416,9 +487,15 @@ func (s *SchedulerObs) AliveWorkers(n int) {
 	s.alive.Set(float64(n))
 }
 
-// PublishCluster stores the latest cluster snapshot for /clusterz.
+// PublishCluster stores the latest cluster snapshot for /clusterz. A
+// job-scoped handle publishes into its job's slot (JobClusterSnapshot); the
+// fleet-level view is composed by the job manager, not by any one tenant.
 func (s *SchedulerObs) PublishCluster(snap ClusterSnapshot) {
 	if s == nil {
+		return
+	}
+	if s.job != "" {
+		s.o.jobClusters.Store(s.job, &snap)
 		return
 	}
 	s.o.cluster.Store(&snap)
@@ -433,20 +510,23 @@ type ServerObs struct {
 }
 
 // Server returns the handle for one shard.
-func (o *Obs) Server(shard int) *ServerObs {
+func (o *Obs) Server(shard int) *ServerObs { return o.server(shard, "") }
+
+func (o *Obs) server(shard int, job string) *ServerObs {
 	if o == nil {
 		return nil
 	}
 	idx := strconv.Itoa(shard)
 	return &ServerObs{
 		pulls: o.reg.Counter("specsync_server_pulls_total",
-			"Parameter pull requests served.", "shard", idx),
+			"Parameter pull requests served.", jobLabels([]string{"shard", idx}, job)...),
 		pushes: o.reg.Counter("specsync_server_pushes_total",
-			"Gradient pushes applied.", "shard", idx),
+			"Gradient pushes applied.", jobLabels([]string{"shard", idx}, job)...),
 		version: o.reg.Gauge("specsync_server_version",
-			"Shard parameter version (applied updates).", "shard", idx),
+			"Shard parameter version (applied updates).", jobLabels([]string{"shard", idx}, job)...),
 		stale: o.reg.Histogram("specsync_server_push_staleness",
-			"Per-shard staleness of each applied push.", StalenessBuckets, "shard", idx),
+			"Per-shard staleness of each applied push.", StalenessBuckets,
+			jobLabels([]string{"shard", idx}, job)...),
 	}
 }
 
