@@ -350,84 +350,103 @@ func (f *Fleet) Obs() *obs.Obs { return f.obs }
 
 // Submit validates and queues one more job; safe before Run and, from other
 // goroutines, while the fleet runs (the job is admitted at the next control
-// tick).
+// tick). The job is fully constructed under the manager lock before it
+// becomes visible to the control loop, so a concurrent tick never observes a
+// half-built job.
 func (f *Fleet) Submit(spec JobSpec) (int, error) {
-	if spec.Servers == 0 {
-		spec.Servers = spec.Workers
-		if spec.Servers > 8 {
-			spec.Servers = 8
-		}
-		if spec.Servers > f.cfg.Servers {
-			spec.Servers = f.cfg.Servers
-		}
-	}
-	if err := validateJobSpec(&spec, f.cfg.Servers); err != nil {
-		return 0, err
-	}
-	j := &jobs.Job{
-		Name:             spec.Name,
-		SchemeName:       spec.Scheme.Name(),
-		Workers:          spec.Workers,
-		SubmitAt:         spec.SubmitAt,
-		TargetLoss:       spec.Workload.TargetLoss,
-		EvalEvery:        spec.Workload.EvalEvery,
-		ConsecutiveBelow: spec.ConsecutiveBelow,
-		Quota:            jobs.Quota{MaxInflightPush: spec.MaxInflightPush, ByteBudget: spec.ByteBudget},
-		Acct:             jobs.NewAcct(),
-	}
-	id := f.mgr.Submit(j)
-
-	f.mu.Lock()
-	if j.Name == "" {
-		j.Name = fmt.Sprintf("job%d", id)
-	}
-	if f.names[j.Name] {
-		j.Name = fmt.Sprintf("%s-%d", j.Name, id)
-	}
-	f.names[j.Name] = true
-	f.mu.Unlock()
-
-	if spec.Seed == 0 {
-		spec.Seed = f.cfg.Seed + int64(id)
-	}
-	cs := codec.NewStats(msg.CodecLabeler(spec.Codec.PushName(), spec.Codec.PullName()))
-	j.Acct.SetRecorder(cs.Tap(j.Acct.Transfer))
-	j.Payload = &fleetJob{
-		spec:       spec,
-		codecStats: cs,
-		probeVec:   tensor.NewVec(spec.Workload.Model.Dim()),
-	}
-	return id, nil
+	return f.submit(func(int) (JobSpec, error) { return spec, nil })
 }
 
 // SubmitRequest resolves a gateway submission (workload and scheme by name)
-// into a JobSpec and queues it.
+// into a JobSpec and queues it. A zero request seed defaults to fleet seed +
+// job ID, resolved once before the workload is built, so the workload's data
+// order and the job's runtime seed agree and seedless submissions still get
+// distinct seeds per job.
 func (f *Fleet) SubmitRequest(req jobs.SubmitRequest) (int, error) {
 	if req.Workers < 1 {
 		return 0, fmt.Errorf("cluster: job needs at least 1 worker")
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = f.cfg.Seed + 1
-	}
-	wl, err := WorkloadByName(req.Workload, req.Workers, seed)
-	if err != nil {
-		return 0, err
-	}
-	sc, err := SchemeByName(req.Scheme, wl.IterTime)
-	if err != nil {
-		return 0, err
-	}
-	return f.Submit(JobSpec{
-		Name:            req.Name,
-		Workload:        wl,
-		Scheme:          sc,
-		Workers:         req.Workers,
-		Servers:         req.Servers,
-		Seed:            req.Seed,
-		SubmitAt:        req.SubmitAt(),
-		MaxInflightPush: req.MaxInflightPush,
-		ByteBudget:      req.ByteBudget,
+	return f.submit(func(id int) (JobSpec, error) {
+		seed := req.Seed
+		if seed == 0 {
+			seed = f.cfg.Seed + int64(id)
+		}
+		wl, err := WorkloadByName(req.Workload, req.Workers, seed)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		sc, err := SchemeByName(req.Scheme, wl.IterTime)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		return JobSpec{
+			Name:            req.Name,
+			Workload:        wl,
+			Scheme:          sc,
+			Workers:         req.Workers,
+			Servers:         req.Servers,
+			Seed:            seed,
+			SubmitAt:        req.SubmitAt(),
+			MaxInflightPush: req.MaxInflightPush,
+			ByteBudget:      req.ByteBudget,
+		}, nil
+	})
+}
+
+// submit reserves the next job ID and finishes construction under the
+// manager lock: build produces the (possibly ID-dependent) spec, which is
+// defaulted, validated, and attached to the job before the manager's control
+// loop or listings can see it. A build or validation error discards the job.
+func (f *Fleet) submit(build func(id int) (JobSpec, error)) (int, error) {
+	j := &jobs.Job{Acct: jobs.NewAcct()}
+	return f.mgr.SubmitPrepared(j, func(id int) error {
+		spec, err := build(id)
+		if err != nil {
+			return err
+		}
+		if spec.Servers == 0 {
+			spec.Servers = spec.Workers
+			if spec.Servers > 8 {
+				spec.Servers = 8
+			}
+			if spec.Servers > f.cfg.Servers {
+				spec.Servers = f.cfg.Servers
+			}
+		}
+		if err := validateJobSpec(&spec, f.cfg.Servers); err != nil {
+			return err
+		}
+		if spec.Seed == 0 {
+			spec.Seed = f.cfg.Seed + int64(id)
+		}
+
+		j.Name = spec.Name
+		f.mu.Lock()
+		if j.Name == "" {
+			j.Name = fmt.Sprintf("job%d", id)
+		}
+		if f.names[j.Name] {
+			j.Name = fmt.Sprintf("%s-%d", j.Name, id)
+		}
+		f.names[j.Name] = true
+		f.mu.Unlock()
+
+		j.SchemeName = spec.Scheme.Name()
+		j.Workers = spec.Workers
+		j.SubmitAt = spec.SubmitAt
+		j.TargetLoss = spec.Workload.TargetLoss
+		j.EvalEvery = spec.Workload.EvalEvery
+		j.ConsecutiveBelow = spec.ConsecutiveBelow
+		j.Quota = jobs.Quota{MaxInflightPush: spec.MaxInflightPush, ByteBudget: spec.ByteBudget}
+
+		cs := codec.NewStats(msg.CodecLabeler(spec.Codec.PushName(), spec.Codec.PullName()))
+		j.Acct.SetRecorder(cs.Tap(j.Acct.Transfer))
+		j.Payload = &fleetJob{
+			spec:       spec,
+			codecStats: cs,
+			probeVec:   tensor.NewVec(spec.Workload.Model.Dim()),
+		}
+		return nil
 	})
 }
 

@@ -320,6 +320,48 @@ func TestFleetGateway(t *testing.T) {
 	}
 }
 
+// TestFleetSeedResolution pins the gateway seed contract: a zero request
+// seed resolves once to fleet seed + job ID (so the workload's data order
+// and the job's runtime seed agree), and distinct seedless submissions get
+// distinct seeds.
+func TestFleetSeedResolution(t *testing.T) {
+	wl, err := NewTiny(4, 7)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	f, err := NewFleet(FleetConfig{
+		Jobs:       []JobSpec{{Workload: wl, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 4, Seed: 7}},
+		Seed:       21,
+		MaxVirtual: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	id1, err := f.SubmitRequest(jobs.SubmitRequest{Workload: "tiny", Scheme: "ssp", Workers: 2})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	id2, err := f.SubmitRequest(jobs.SubmitRequest{Workload: "tiny", Scheme: "ssp", Workers: 2})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	all := f.Manager().Jobs()
+	for _, id := range []int{id1, id2} {
+		fj := all[id].Payload.(*fleetJob)
+		if want := int64(21 + id); fj.spec.Seed != want {
+			t.Errorf("job %d seed = %d, want fleet seed + id = %d", id, fj.spec.Seed, want)
+		}
+	}
+	// An explicit seed passes through untouched.
+	id3, err := f.SubmitRequest(jobs.SubmitRequest{Workload: "tiny", Scheme: "ssp", Workers: 2, Seed: 99})
+	if err != nil {
+		t.Fatalf("submit 3: %v", err)
+	}
+	if got := f.Manager().Jobs()[id3].Payload.(*fleetJob).spec.Seed; got != 99 {
+		t.Errorf("explicit seed = %d, want 99", got)
+	}
+}
+
 // TestFleetClusterz checks the /clusterz fleet snapshot: one JobEntry per
 // job, per-job byte accounting summing to the fleet total, and embedded
 // per-job scheduler views.

@@ -34,7 +34,11 @@ type ManagerConfig struct {
 	Now func() time.Duration
 	// Epoch anchors Now()==0 for absolute timestamps in snapshots.
 	Epoch time.Time
-	// Schedule runs f after d on the runner's event loop.
+	// Schedule runs f after d on the runner's event loop. It is normally
+	// called from Start and from ticks (the runner's own goroutine), but a
+	// Submit that arrives after the control loop has gone quiescent re-arms
+	// the loop from the submitter's goroutine — a runner that exposes
+	// cross-goroutine submission must tolerate that call.
 	Schedule func(d time.Duration, f func())
 	// Spawn creates a job's nodes (workers, scheduler, tenant shards). An
 	// error marks the job Failed.
@@ -45,8 +49,10 @@ type ManagerConfig struct {
 	Cleanup func(*Job)
 	// Probe reads a running job's loss and counters.
 	Probe func(*Job) ProbeSample
-	// OnAllDone fires once when every submitted job is terminal (the fleet
-	// stops its simulator here). Optional.
+	// OnAllDone fires when every submitted job is terminal (the fleet stops
+	// its simulator here). A submission that re-opens a quiescent manager
+	// re-arms the loop, so OnAllDone can fire again at the next quiescence.
+	// Optional.
 	OnAllDone func()
 	// Obs receives the fleet-level cluster snapshot (job listing) each tick.
 	// Optional.
@@ -57,12 +63,13 @@ type ManagerConfig struct {
 type Manager struct {
 	cfg ManagerConfig
 
-	mu      sync.Mutex
-	jobs    []*Job // by ID
-	queue   []*Job // pending, FIFO
-	ticks   int64
-	started bool
-	done    bool
+	mu          sync.Mutex
+	jobs        []*Job // by ID
+	queue       []*Job // pending, FIFO
+	ticks       int64
+	started     bool
+	tickPending bool // a tick is scheduled and has not yet run
+	done        bool
 }
 
 // NewManager validates the config.
@@ -80,13 +87,30 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 }
 
 // Submit assigns the next JobID and queues the job for admission. Safe
-// before or during the run (a job submitted mid-run is admitted at the next
-// tick).
+// before or during the run: a job submitted mid-run is admitted at the next
+// tick, and a submission arriving after the control loop has gone quiescent
+// re-arms it.
 func (m *Manager) Submit(j *Job) int {
+	id, _ := m.SubmitPrepared(j, nil)
+	return id
+}
+
+// SubmitPrepared is Submit with an ID-dependent setup hook: prepare runs
+// under the manager lock with the assigned ID, before the job becomes
+// visible to the control loop or listings, so ID-derived initialization
+// (payloads, default names, seeds) cannot race a concurrent tick. A non-nil
+// error from prepare discards the job — the ID is not consumed — and is
+// returned to the caller.
+func (m *Manager) SubmitPrepared(j *Job, prepare func(id int) error) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.ID = len(m.jobs)
 	j.State = Pending
+	if prepare != nil {
+		if err := prepare(j.ID); err != nil {
+			return 0, err
+		}
+	}
 	if j.ConsecutiveBelow <= 0 {
 		j.ConsecutiveBelow = 5
 	}
@@ -95,7 +119,14 @@ func (m *Manager) Submit(j *Job) int {
 	}
 	m.jobs = append(m.jobs, j)
 	m.queue = append(m.queue, j)
-	return j.ID
+	// The loop stops rescheduling once every job is terminal; a later
+	// submission must re-arm it or it would stay Pending forever.
+	if m.started && !m.tickPending {
+		m.tickPending = true
+		m.done = false
+		m.cfg.Schedule(0, m.tick)
+	}
+	return j.ID, nil
 }
 
 // Start schedules the first control tick (at the current time, so jobs due
@@ -107,6 +138,7 @@ func (m *Manager) Start() {
 		return
 	}
 	m.started = true
+	m.tickPending = true
 	m.cfg.Schedule(0, m.tick)
 }
 
@@ -194,6 +226,7 @@ func (m *Manager) entryLocked(j *Job) obs.JobEntry {
 func (m *Manager) tick() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.tickPending = false
 	now := m.cfg.Now()
 	m.ticks++
 
@@ -276,6 +309,7 @@ func (m *Manager) tick() {
 		}
 		return
 	}
+	m.tickPending = true
 	m.cfg.Schedule(m.cfg.TickEvery, m.tick)
 }
 

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -147,6 +149,184 @@ func TestManagerAdmissionAndConvergence(t *testing.T) {
 	}
 	if m.Ticks() == 0 {
 		t.Errorf("no ticks counted")
+	}
+}
+
+// TestManagerLateSubmit pins the Submit contract after quiescence: once the
+// queue drains and no job is running the loop stops rescheduling, so a later
+// submission must re-arm it (and OnAllDone fires again at the next
+// quiescence) instead of leaving the job Pending forever.
+func TestManagerLateSubmit(t *testing.T) {
+	r := newFakeRunner()
+	m, err := NewManager(r.config(time.Second, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := submitN(m, 1)
+	r.loss[0] = 0.05
+	m.Start()
+	r.step(t) // t=0: admit
+	r.step(t) // t=1s: streak 1
+	r.step(t) // t=2s: streak 2 → converged, quiescent
+	if js[0].State != Converged || !r.allDone {
+		t.Fatalf("setup: state %v, allDone %v", js[0].State, r.allDone)
+	}
+	if len(r.timers) != 0 {
+		t.Fatalf("loop still scheduling after quiescence")
+	}
+
+	r.allDone = false
+	late := &Job{Name: "late", Workers: 1, TargetLoss: 0.1, EvalEvery: time.Second, ConsecutiveBelow: 1}
+	if id := m.Submit(late); id != 1 {
+		t.Fatalf("late job id = %d, want 1", id)
+	}
+	if len(r.timers) != 1 {
+		t.Fatalf("late submit did not re-arm the control loop (%d timers)", len(r.timers))
+	}
+	r.loss[1] = 0.01
+	r.step(t) // re-armed tick: admit
+	if late.State != Running {
+		t.Fatalf("late job state %v, want running", late.State)
+	}
+	r.step(t) // probe → converged → quiescent again
+	if late.State != Converged {
+		t.Fatalf("late job state %v, want converged", late.State)
+	}
+	if !r.allDone {
+		t.Errorf("OnAllDone not re-fired after late job finished")
+	}
+	if len(r.timers) != 0 {
+		t.Errorf("loop still scheduling after second quiescence")
+	}
+}
+
+// TestSubmitPreparedError checks that a failing prepare hook discards the
+// job without consuming its ID or making it visible.
+func TestSubmitPreparedError(t *testing.T) {
+	r := newFakeRunner()
+	m, err := NewManager(r.config(time.Second, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{Name: "bad", Workers: 1}
+	if _, err := m.SubmitPrepared(j, func(int) error { return fmt.Errorf("nope") }); err == nil {
+		t.Fatal("prepare error not returned")
+	}
+	if n := len(m.Jobs()); n != 0 {
+		t.Fatalf("discarded job visible: %d jobs", n)
+	}
+	if id := m.Submit(&Job{Name: "good", Workers: 1, TargetLoss: 0.1, EvalEvery: time.Second}); id != 0 {
+		t.Errorf("discarded job consumed ID: next id = %d, want 0", id)
+	}
+}
+
+// TestSubmitPreparedConcurrent races SubmitPrepared against the control loop
+// (run with -race): the prepare hook sets ID-dependent state under the
+// manager lock, so no tick may ever spawn a job with a nil payload, and
+// submissions that land on a quiescent manager must still be admitted.
+func TestSubmitPreparedConcurrent(t *testing.T) {
+	var tmu sync.Mutex
+	var timers []func()
+	cfg := ManagerConfig{
+		TickEvery: time.Second,
+		Now:       func() time.Duration { return 0 },
+		Schedule: func(d time.Duration, f func()) {
+			tmu.Lock()
+			timers = append(timers, f)
+			tmu.Unlock()
+		},
+		Spawn: func(j *Job) error {
+			if j.Payload == nil {
+				t.Errorf("job %d spawned with nil payload", j.ID)
+			}
+			if j.Name == "" {
+				t.Errorf("job %d spawned with empty name", j.ID)
+			}
+			return nil
+		},
+		Halt:  func(*Job) {},
+		Probe: func(*Job) ProbeSample { return ProbeSample{Loss: 0} },
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+
+	// Driver: fire queued ticks until told to stop and the queue is dry.
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for {
+			tmu.Lock()
+			var f func()
+			if len(timers) > 0 {
+				f = timers[0]
+				timers = timers[1:]
+			}
+			tmu.Unlock()
+			if f != nil {
+				f()
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	const goroutines, perG = 4, 25
+	var subs sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			for i := 0; i < perG; i++ {
+				// Jobs converge on their admission tick (loss 0 < target,
+				// streak 1), so the manager repeatedly goes quiescent and
+				// later submissions exercise the re-arm path.
+				j := &Job{Workers: 1, TargetLoss: 0.1, ConsecutiveBelow: 1}
+				if _, err := m.SubmitPrepared(j, func(id int) error {
+					j.Name = fmt.Sprintf("c%d", id)
+					j.Payload = id
+					return nil
+				}); err != nil {
+					t.Errorf("SubmitPrepared: %v", err)
+				}
+			}
+		}()
+	}
+	subs.Wait()
+	// Let the driver drain every remaining tick (each submission guarantees
+	// a scheduled tick, so the queue only dries up after full admission).
+	for {
+		tmu.Lock()
+		n := len(timers)
+		tmu.Unlock()
+		if n == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	driver.Wait()
+
+	all := m.Jobs()
+	if len(all) != goroutines*perG {
+		t.Fatalf("jobs = %d, want %d", len(all), goroutines*perG)
+	}
+	for _, j := range all {
+		if j.Payload == nil {
+			t.Errorf("job %d has nil payload", j.ID)
+		}
+		if !j.State.Terminal() {
+			t.Errorf("job %d not terminal: %v", j.ID, j.State)
+		}
 	}
 }
 
