@@ -7,6 +7,12 @@
 //
 // Experiment ids: table1, timeline (figs 2/4/6), fig3, fig5, fig8, fig9,
 // fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob.
+//
+// It also gates the perf trajectory: -compare diffs two BENCH_*.json
+// reports (any pair emitted by the bench tools) and exits nonzero when a
+// gated metric regressed beyond tolerance:
+//
+//	specsync-bench -compare BENCH_perf.json /tmp/BENCH_perf.new.json
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"specsync/internal/cluster"
 	"specsync/internal/experiments"
+	"specsync/internal/perf"
 )
 
 func main() {
@@ -27,6 +34,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "specsync-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs two bench reports and fails on gated regressions, so CI
+// can hold every PR against the committed BENCH_*.json baselines.
+func runCompare(paths []string, tolerance, allocTol float64) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-compare needs exactly two report paths (old.json new.json), got %d", len(paths))
+	}
+	oldB, err := os.ReadFile(paths[0])
+	if err != nil {
+		return err
+	}
+	newB, err := os.ReadFile(paths[1])
+	if err != nil {
+		return err
+	}
+	res, err := perf.Compare(oldB, newB, perf.Options{
+		TimeTolerance:  tolerance,
+		AllocTolerance: allocTol,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing %s (baseline) vs %s\n\n", paths[0], paths[1])
+	res.Render(os.Stdout)
+	if regs := res.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond tolerance", len(regs))
+	}
+	fmt.Println("\nno regressions beyond tolerance")
+	return nil
 }
 
 // csvOpener creates files under dir, making the directory on first use.
@@ -49,9 +86,15 @@ func run(args []string) error {
 		maxVirtual = fs.Duration("max", 6*time.Hour, "virtual time budget per training run")
 		quiet      = fs.Bool("quiet", false, "suppress per-run progress lines")
 		csvDir     = fs.String("csv", "", "also export learning/transfer curves as CSV into this directory")
+		compare    = fs.Bool("compare", false, "compare two BENCH_*.json reports (args: old.json new.json) and exit nonzero on regression")
+		tolerance  = fs.Float64("tolerance", 0.5, "allowed fractional regression on time/throughput metrics in -compare mode")
+		allocTol   = fs.Float64("alloc-tolerance", 0.25, "allowed fractional regression on allocation metrics in -compare mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		return runCompare(fs.Args(), *tolerance, *allocTol)
 	}
 	opts := experiments.Options{
 		Workers:    *workers,

@@ -65,7 +65,8 @@ func run(args []string) error {
 		maxIters   = fs.Int64("iters", 200, "worker iterations before stopping (0 = run forever)")
 		debug      = fs.Bool("debug", false, "verbose node logging")
 
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address (\":0\" picks a port)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, /clusterz, /stragglerz and /debugz on this address (\":0\" picks a port)")
+		pprofOn     = fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 
 		codecName = fs.String("codec", "raw", "gradient codec (must match across nodes): "+codec.Names)
 		topkFrac  = fs.Float64("topk", codec.DefaultTopKFrac, "topk codec: fraction of entries kept")
@@ -276,9 +277,15 @@ func run(args []string) error {
 		id, listen, *workers, *servers, sc.Name(), wl.Name)
 
 	if *metricsAddr != "" {
-		cfgHTTP := obs.HTTPConfig{Registry: o.Registry(), Health: healthFunc(id, handler)}
+		cfgHTTP := obs.HTTPConfig{
+			Registry: o.Registry(),
+			Health:   healthFunc(id, handler),
+			Flight:   o.FlightDump,
+			Pprof:    *pprofOn,
+		}
 		if _, isSched := handler.(*core.Scheduler); isSched {
 			cfgHTTP.Cluster = o.ClusterSnapshot
+			cfgHTTP.Stragglers = o.StragglerSnapshot
 		}
 		srv, maddr, err := obs.Serve(*metricsAddr, obs.NewHandler(cfgHTTP))
 		if err != nil {
@@ -358,13 +365,24 @@ func run(args []string) error {
 }
 
 // healthFunc builds the role-appropriate /healthz payload. All fields it
-// reads are atomics on the handlers, safe from the HTTP goroutine.
+// reads are atomics on the handlers, safe from the HTTP goroutine. Uptime is
+// measured from process setup; a single-node deployment always runs one job.
 func healthFunc(id node.ID, handler node.Handler) func() obs.Health {
 	name := string(id)
+	start := time.Now()
+	base := func() obs.Health {
+		return obs.Health{
+			Status:        "ok",
+			Node:          name,
+			UptimeSeconds: time.Since(start).Seconds(),
+			Jobs:          1,
+		}
+	}
 	switch n := handler.(type) {
 	case *worker.Worker:
 		return func() obs.Health {
-			h := obs.Health{Status: "ok", Node: name, Iterations: n.IterationsDone()}
+			h := base()
+			h.Iterations = n.IterationsDone()
 			if n.Stopped() {
 				h.Status = "stopped"
 			}
@@ -372,19 +390,20 @@ func healthFunc(id node.ID, handler node.Handler) func() obs.Health {
 		}
 	case *ps.Server:
 		return func() obs.Health {
-			return obs.Health{Status: "ok", Node: name, Version: n.Version()}
+			h := base()
+			h.Version = n.Version()
+			return h
 		}
 	case *core.Scheduler:
 		return func() obs.Health {
-			return obs.Health{
-				Status:          "ok",
-				Node:            name,
-				Epoch:           int64(n.Epoch()),
-				MembershipEpoch: n.MembershipEpoch(),
-			}
+			h := base()
+			h.Epoch = int64(n.Epoch())
+			h.MembershipEpoch = n.MembershipEpoch()
+			h.Generation = n.Generation()
+			return h
 		}
 	default:
-		return func() obs.Health { return obs.Health{Status: "ok", Node: name} }
+		return base
 	}
 }
 

@@ -43,7 +43,8 @@ func run(args []string) error {
 		naiveWait    = fs.Duration("wait", time.Second, "naive-waiting delay")
 		curvePoints  = fs.Int("curve", 15, "learning-curve rows to print")
 		verboseTune  = fs.Bool("tuning", false, "print adaptive tuning decisions")
-		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /clusterz on this address while running")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz, /clusterz, /stragglerz and /debugz on this address while running")
+		pprofOn      = fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 		spanOut      = fs.String("span-out", "", "write iteration spans as Chrome trace-event JSON to this file")
 		codecName    = fs.String("codec", "raw", "gradient codec: "+codec.Names)
 		topkFrac     = fs.Float64("topk", codec.DefaultTopKFrac, "topk codec: fraction of entries kept")
@@ -216,12 +217,27 @@ func run(args []string) error {
 	o := obs.New(obs.Options{Spans: *spanOut != ""})
 	cfg.Obs = o
 	if *metricsAddr != "" {
+		bootAt := time.Now()
 		handler := obs.NewHandler(obs.HTTPConfig{
 			Registry: o.Registry(),
 			Health: func() obs.Health {
-				return obs.Health{Status: "ok", Node: "driver"}
+				h := obs.Health{
+					Status:        "ok",
+					Node:          "driver",
+					UptimeSeconds: time.Since(bootAt).Seconds(),
+					Jobs:          1,
+				}
+				if snap, ok := o.ClusterSnapshot(); ok {
+					h.Epoch = snap.Epoch
+					h.MembershipEpoch = snap.MembershipEpoch
+					h.Generation = snap.Generation
+				}
+				return h
 			},
-			Cluster: o.ClusterSnapshot,
+			Cluster:    o.ClusterSnapshot,
+			Stragglers: o.StragglerSnapshot,
+			Flight:     o.FlightDump,
+			Pprof:      *pprofOn,
 		})
 		srv, addr, err := obs.Serve(*metricsAddr, handler)
 		if err != nil {
@@ -311,6 +327,14 @@ func run(args []string) error {
 		fmt.Printf("latency: pull p50=%s push p50=%s compute mean=%s staleness p95=%.0f\n",
 			secs(s.Pull.Quantile(0.5)), secs(s.Push.Quantile(0.5)),
 			secs(s.Compute.Mean()), s.Staleness.Quantile(0.95))
+	}
+	if snap, ok := o.StragglerSnapshot(); ok && snap.Flagged > 0 {
+		for _, w := range snap.Workers {
+			if w.State != "ok" {
+				fmt.Printf("straggler: worker %d %s (score %.2f, span %s)\n",
+					w.Worker, w.State, w.Score, secs(w.IterSpanSeconds))
+			}
+		}
 	}
 	fmt.Printf("wall time %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

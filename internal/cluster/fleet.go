@@ -148,6 +148,9 @@ type FleetResult struct {
 	Trace *trace.Collector
 	// Obs is the fleet-wide observability summary (sums across jobs).
 	Obs *obs.Summary
+	// Flight is the fleet flight-recorder dump (admissions, quota trips,
+	// retirements, per-job control-plane events, straggler flags).
+	Flight obs.FlightDump
 	// Ticks is how many manager control ticks ran.
 	Ticks int64
 	// Routing is the final namespaced fleet routing table (one block per
@@ -310,6 +313,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		hosts:     make([]*jobs.ServerHost, cfg.Servers),
 		names:     map[string]bool{},
 	}
+	o.SetTracer(f.collector)
 	for slot := range f.hosts {
 		f.hosts[slot] = jobs.NewServerHost(registry)
 		if err := sim.AddNode(node.ServerID(slot), f.hosts[slot]); err != nil {
@@ -676,28 +680,29 @@ func (f *Fleet) Run() (*FleetResult, error) {
 		Ticks:    f.mgr.Ticks(),
 		Routing:  f.Routing(),
 		Obs:      f.obs.Summary(),
+		Flight:   f.obs.FlightDump(),
 	}
 	if f.cfg.KeepTrace {
 		res.Trace = f.collector
 	}
 	for _, j := range f.mgr.Jobs() {
 		jr := JobResult{
-			ID:           j.ID,
-			Name:         j.Name,
-			SchemeName:   j.SchemeName,
-			State:        j.State,
-			Err:          j.Err,
-			Converged:    j.State == jobs.Converged,
-			ConvergeTime: j.ConvergeTime,
-			TotalIters:   j.Iters,
-			FinalLoss:    j.FinalLoss,
-			Loss:         &j.Loss,
-			IterSeries:   &j.IterSeries,
-			Transfer:     j.Acct.Transfer,
-			Pushes:       j.Pushes,
+			ID:              j.ID,
+			Name:            j.Name,
+			SchemeName:      j.SchemeName,
+			State:           j.State,
+			Err:             j.Err,
+			Converged:       j.State == jobs.Converged,
+			ConvergeTime:    j.ConvergeTime,
+			TotalIters:      j.Iters,
+			FinalLoss:       j.FinalLoss,
+			Loss:            &j.Loss,
+			IterSeries:      &j.IterSeries,
+			Transfer:        j.Acct.Transfer,
+			Pushes:          j.Pushes,
 			ThrottledPushes: j.Acct.ThrottledPushes(),
-			AdmittedAt:   j.AdmittedAt,
-			FinishedAt:   j.FinishedAt,
+			AdmittedAt:      j.AdmittedAt,
+			FinishedAt:      j.FinishedAt,
 		}
 		if fj, ok := j.Payload.(*fleetJob); ok {
 			jr.Codec = fj.codecStats

@@ -229,6 +229,10 @@ type Result struct {
 	// abort-to-restart latency histograms, staleness distribution, and the
 	// counter totals.
 	Obs *obs.Summary
+	// Flight is the flight-recorder dump: the last control-plane decisions
+	// (barrier releases, migrations, faults, straggler flags) with virtual
+	// timestamps.
+	Flight obs.FlightDump
 }
 
 // Run executes one simulated training job to convergence (or MaxVirtual).
@@ -313,6 +317,7 @@ func Run(cfg Config) (*Result, error) {
 	if o == nil {
 		o = obs.New(obs.Options{})
 	}
+	o.SetTracer(collector)
 	registry := msg.Registry()
 	o.Registry().SetCollector("transfer", func(w io.Writer) {
 		transfer.WritePrometheus(w, registry.Name)
@@ -656,5 +661,6 @@ func Run(cfg Config) (*Result, error) {
 		res.Trace = collector
 	}
 	res.Obs = o.Summary()
+	res.Flight = o.FlightDump()
 	return res, nil
 }

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"specsync/internal/obs"
+	"specsync/internal/scheme"
+)
+
+func heteroStragglerRun(t *testing.T, seed int64) (*obs.Obs, *Result) {
+	t.Helper()
+	wl, err := NewTiny(4, seed)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	// An unreachable target keeps the run going for the full MaxVirtual so
+	// the slow worker accumulates enough evaluations to escalate from
+	// transient to sustained (SustainAfter consecutive slow rounds).
+	wl.TargetLoss = 0
+	o := obs.New(obs.Options{})
+	res, err := Run(Config{
+		Workload: wl,
+		Scheme:   scheme.Config{Base: scheme.ASP},
+		Workers:  4,
+		Seed:     seed,
+		Obs:      o,
+		// Hiccups off so the only slowdown is the structural one: worker 3
+		// computes at 0.4x speed and must be the lone flagged straggler.
+		DisableHiccups: true,
+		Speeds:         []float64{1, 1, 1, 0.4},
+		MaxVirtual:     2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return o, res
+}
+
+// TestHeteroRunFlagsOnlySlowWorker is the tentpole acceptance criterion: a
+// DES run with one structurally slow worker flags that worker (and only it)
+// as a sustained straggler.
+func TestHeteroRunFlagsOnlySlowWorker(t *testing.T) {
+	o, res := heteroStragglerRun(t, 7)
+	snap, ok := o.StragglerSnapshot()
+	if !ok {
+		t.Fatal("no straggler snapshot after run")
+	}
+	if len(snap.Workers) != 4 {
+		t.Fatalf("snapshot has %d workers, want 4", len(snap.Workers))
+	}
+	for _, w := range snap.Workers {
+		if w.Worker == 3 {
+			if w.State != "sustained" {
+				t.Errorf("worker 3: state %q score %.2f, want sustained", w.State, w.Score)
+			}
+			if w.Score < 1.5 {
+				t.Errorf("worker 3: score %.2f, want >= SlowFactor 1.5", w.Score)
+			}
+		} else if w.State != "ok" {
+			t.Errorf("worker %d: state %q score %.2f, want ok", w.Worker, w.State, w.Score)
+		}
+	}
+	if snap.Flagged != 1 || snap.Sustained != 1 {
+		t.Errorf("flagged=%d sustained=%d, want exactly the slow worker", snap.Flagged, snap.Sustained)
+	}
+
+	// The transition also lands in the flight recorder for post-hoc debugging.
+	var sawFlag bool
+	for _, ev := range res.Flight.Events {
+		if ev.Kind == "straggler-flag" {
+			sawFlag = true
+			break
+		}
+	}
+	if !sawFlag {
+		t.Error("flight recorder has no straggler-flag event")
+	}
+	if len(res.Flight.Events) == 0 {
+		t.Error("flight recorder empty after run")
+	}
+}
+
+// TestStragglerSnapshotSameSeedIdentical asserts the determinism invariant:
+// two same-seed runs export byte-identical straggler telemetry.
+func TestStragglerSnapshotSameSeedIdentical(t *testing.T) {
+	render := func() []byte {
+		o, _ := heteroStragglerRun(t, 7)
+		snap, ok := o.StragglerSnapshot()
+		if !ok {
+			t.Fatal("no snapshot")
+		}
+		b, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := render(), render()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed runs produced different straggler snapshots:\n%s\n%s", a, b)
+	}
+}

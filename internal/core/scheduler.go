@@ -438,6 +438,7 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		if span > 0 {
 			a := s.cfg.SpanAlpha
 			s.spanEWMA[i] = time.Duration((1-a)*float64(s.spanEWMA[i]) + a*float64(span))
+			s.cfg.Obs.WorkerSpan(now, i, s.spanEWMA[i])
 		}
 	}
 	s.lastNotify[i] = now
@@ -560,6 +561,7 @@ func (s *Scheduler) releaseBarrier() {
 		s.waitingBSP[i] = false
 	}
 	s.round++
+	s.cfg.Obs.BarrierRelease(s.ctx.Now(), s.round, s.m)
 	for w := 0; w < s.m; w++ {
 		s.ctx.Send(node.WorkerID(w), &msg.BarrierRelease{Round: s.round})
 	}
@@ -825,6 +827,10 @@ func (s *Scheduler) SpanEstimates() []time.Duration {
 // MembershipEpoch returns the number of membership changes (evictions plus
 // re-admissions) observed so far. Safe for concurrent use.
 func (s *Scheduler) MembershipEpoch() int64 { return s.membershipEpoch.Load() }
+
+// Generation returns this scheduler's incarnation number (immutable after
+// construction, so safe for concurrent use).
+func (s *Scheduler) Generation() int64 { return s.cfg.Generation }
 
 // Alive reports current membership (only meaningful from the scheduler's own
 // goroutine/mailbox, e.g. in tests after the sim has drained).

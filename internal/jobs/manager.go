@@ -249,12 +249,20 @@ func (m *Manager) tick() {
 				j.State = Failed
 				j.Err = err.Error()
 				j.FinishedAt = now
+				m.cfg.Obs.RecordFlight(obs.FlightEvent{
+					At: m.cfg.Epoch.Add(now), Kind: "job-spawn-failed", Node: "jobs",
+					Job: j.Name, Detail: j.Err,
+				})
 				continue
 			}
 			j.State = Running
 			j.AdmittedAt = now
 			j.nextProbe = now + j.EvalEvery
 			running++
+			m.cfg.Obs.RecordFlight(obs.FlightEvent{
+				At: m.cfg.Epoch.Add(now), Kind: "job-admit", Node: "jobs",
+				Job: j.Name, Value: float64(j.Workers),
+			})
 		default:
 			rest = append(rest, j)
 		}
@@ -366,6 +374,16 @@ func (m *Manager) retireLocked(j *Job, st State, now time.Duration) {
 	}
 	j.State = st
 	j.FinishedAt = now
+	kind := "job-retire"
+	if st == OverBudget {
+		// Quota trips are their own kind so incident debugging can grep for
+		// them directly.
+		kind = "job-over-budget"
+	}
+	m.cfg.Obs.RecordFlight(obs.FlightEvent{
+		At: m.cfg.Epoch.Add(now), Kind: kind, Node: "jobs",
+		Job: j.Name, Value: float64(j.Acct.Bytes()), Detail: st.String(),
+	})
 	if st == Converged {
 		if t, ok := j.Loss.TimeToConverge(j.TargetLoss, j.ConsecutiveBelow); ok {
 			j.ConvergeTime = t

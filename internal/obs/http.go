@@ -4,17 +4,21 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
 // Health is the /healthz payload.
 type Health struct {
-	Status          string `json:"status"` // "ok" or a short problem string
-	Node            string `json:"node,omitempty"`
-	MembershipEpoch int64  `json:"membership_epoch"`
-	Epoch           int64  `json:"epoch,omitempty"`
-	Iterations      int64  `json:"iterations,omitempty"`
-	Version         int64  `json:"version,omitempty"` // server shard parameter version
+	Status          string  `json:"status"` // "ok" or a short problem string
+	Node            string  `json:"node,omitempty"`
+	UptimeSeconds   float64 `json:"uptime_seconds"` // filled by the handler when zero
+	Generation      int64   `json:"generation,omitempty"`
+	Jobs            int     `json:"jobs,omitempty"`
+	MembershipEpoch int64   `json:"membership_epoch"`
+	Epoch           int64   `json:"epoch,omitempty"`
+	Iterations      int64   `json:"iterations,omitempty"`
+	Version         int64   `json:"version,omitempty"` // server shard parameter version
 }
 
 // WorkerState is one worker's row in a ClusterSnapshot.
@@ -27,6 +31,10 @@ type WorkerState struct {
 	WindowArmed     bool    `json:"window_armed"`
 	WindowCount     int     `json:"window_count"`
 	WindowThreshold int     `json:"window_threshold"`
+
+	// Straggler-detector decoration (empty until the worker has been scored).
+	StragglerScore float64 `json:"straggler_score,omitempty"`
+	Straggler      string  `json:"straggler,omitempty"` // "ok" | "transient" | "sustained"
 }
 
 // ClusterSnapshot is the scheduler-aggregated /clusterz payload: push-rate
@@ -57,14 +65,14 @@ type ClusterSnapshot struct {
 // JobEntry is one job's row in the fleet /clusterz listing and the payload
 // served by the jobs gateway (GET /jobs, GET /jobs/{id}).
 type JobEntry struct {
-	ID         int    `json:"id"`
-	Name       string `json:"name"`
-	State      string `json:"state"`
-	Scheme     string `json:"scheme"`
-	Workers    int    `json:"workers"`
-	Error      string `json:"error,omitempty"`
-	Iterations int64  `json:"iterations"`
-	Pushes     int64  `json:"pushes"`
+	ID         int     `json:"id"`
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	Scheme     string  `json:"scheme"`
+	Workers    int     `json:"workers"`
+	Error      string  `json:"error,omitempty"`
+	Iterations int64   `json:"iterations"`
+	Pushes     int64   `json:"pushes"`
 	Loss       float64 `json:"loss"`
 	Converged  bool    `json:"converged"`
 
@@ -88,14 +96,27 @@ type JobEntry struct {
 type HTTPConfig struct {
 	Registry *Registry
 	// Health supplies the /healthz payload; nil serves a static "ok".
+	// UptimeSeconds is filled in by the handler when the supplier leaves it
+	// zero (measured from handler construction).
 	Health func() Health
 	// Cluster supplies /clusterz; nil (or ok=false) yields 404 — only the
 	// scheduler aggregates a cluster view.
 	Cluster func() (ClusterSnapshot, bool)
+	// Stragglers supplies /stragglerz; nil (or ok=false) yields 404.
+	// Typically Obs.StragglerSnapshot.
+	Stragglers func() (StragglerSnapshot, bool)
+	// Flight supplies /debugz (the control-plane flight recorder dump); nil
+	// yields 404. Typically Obs.FlightDump.
+	Flight func() FlightDump
+	// Pprof mounts net/http/pprof under /debug/pprof/ — off by default
+	// because profiling endpoints don't belong on every exposed port.
+	Pprof bool
 }
 
-// NewHandler builds the /metrics, /healthz, and /clusterz handler.
+// NewHandler builds the /metrics, /healthz, /clusterz, /stragglerz, and
+// /debugz handler (plus /debug/pprof/ when enabled).
 func NewHandler(cfg HTTPConfig) http.Handler {
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -105,6 +126,9 @@ func NewHandler(cfg HTTPConfig) http.Handler {
 		h := Health{Status: "ok"}
 		if cfg.Health != nil {
 			h = cfg.Health()
+		}
+		if h.UptimeSeconds == 0 {
+			h.UptimeSeconds = time.Since(start).Seconds()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if h.Status != "ok" {
@@ -122,12 +146,42 @@ func NewHandler(cfg HTTPConfig) http.Handler {
 			http.Error(w, "cluster view not published yet", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(snap)
+		writeJSON(w, snap)
 	})
+	mux.HandleFunc("/stragglerz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Stragglers == nil {
+			http.Error(w, "no straggler detector on this node", http.StatusNotFound)
+			return
+		}
+		snap, ok := cfg.Stragglers()
+		if !ok {
+			http.Error(w, "no straggler observations yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/debugz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Flight == nil {
+			http.Error(w, "no flight recorder on this node", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.Flight())
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // Serve binds addr (":0" picks a free port) and serves h in the background.

@@ -1,0 +1,214 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"specsync/internal/cluster"
+	"specsync/internal/obs"
+	"specsync/internal/scheme"
+)
+
+func httpGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestStragglerAndDebugEndpoints drives the new telemetry endpoints against a
+// real simulated run: /stragglerz and /debugz must serve JSON that round-trips
+// into their Go types, /healthz must report uptime, and pprof only mounts
+// when asked.
+func TestStragglerAndDebugEndpoints(t *testing.T) {
+	// BSP so the scheduler releases barriers: every release is a flight
+	// event, giving /debugz real content to serve.
+	wl, err := cluster.NewTiny(4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Options{})
+	if _, err := cluster.Run(cluster.Config{
+		Workload:   wl,
+		Scheme:     scheme.Config{Base: scheme.BSP},
+		Workers:    4,
+		Seed:       11,
+		MaxVirtual: 10 * time.Minute,
+		Obs:        o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := obs.NewHandler(obs.HTTPConfig{
+		Registry:   o.Registry(),
+		Health:     func() obs.Health { return obs.Health{Status: "ok", Node: "driver", Jobs: 1} },
+		Cluster:    o.ClusterSnapshot,
+		Stragglers: o.StragglerSnapshot,
+		Flight:     o.FlightDump,
+		Pprof:      true,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, body := httpGet(t, srv, "/stragglerz")
+	if code != 200 {
+		t.Fatalf("/stragglerz -> %d: %s", code, body)
+	}
+	var snap obs.StragglerSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/stragglerz not JSON: %v", err)
+	}
+	if len(snap.Workers) != 4 {
+		t.Errorf("straggler snapshot has %d workers, want 4", len(snap.Workers))
+	}
+	for _, w := range snap.Workers {
+		if w.State == "" || w.Score <= 0 || w.Samples == 0 {
+			t.Errorf("incomplete straggler row: %+v", w)
+		}
+	}
+
+	code, body = httpGet(t, srv, "/debugz")
+	if code != 200 {
+		t.Fatalf("/debugz -> %d: %s", code, body)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debugz not JSON: %v", err)
+	}
+	if len(dump.Events) == 0 || dump.Recorded == 0 {
+		t.Errorf("flight dump empty after run: recorded=%d", dump.Recorded)
+	}
+	var sawBarrier bool
+	for _, ev := range dump.Events {
+		if ev.Kind == "barrier-release" {
+			sawBarrier = true
+			break
+		}
+	}
+	if !sawBarrier {
+		t.Error("flight dump has no barrier-release events")
+	}
+
+	code, body = httpGet(t, srv, "/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz -> %d", code)
+	}
+	var health obs.Health
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if health.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0 (auto-filled)", health.UptimeSeconds)
+	}
+	if health.Jobs != 1 {
+		t.Errorf("jobs = %d, want 1", health.Jobs)
+	}
+
+	if code, _ = httpGet(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ -> %d with Pprof enabled", code)
+	}
+
+	// Unwired handler: telemetry endpoints 404, pprof stays unmounted.
+	bare := httptest.NewServer(obs.NewHandler(obs.HTTPConfig{Registry: o.Registry()}))
+	defer bare.Close()
+	for _, path := range []string{"/stragglerz", "/debugz", "/debug/pprof/"} {
+		if code, _ := httpGet(t, bare, path); code != 404 {
+			t.Errorf("%s on bare handler -> %d, want 404", path, code)
+		}
+	}
+}
+
+// TestFleetEndpointsJobLabeled runs a two-job fleet and asserts the telemetry
+// is job-scoped end to end: job-labeled series in /metrics, per-job rows in
+// /stragglerz, and admission events in /debugz.
+func TestFleetEndpointsJobLabeled(t *testing.T) {
+	wlA, err := cluster.NewTiny(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlB, err := cluster.NewTiny(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Options{})
+	_, err = cluster.RunFleet(cluster.FleetConfig{
+		Jobs: []cluster.JobSpec{
+			{Name: "alpha", Workload: wlA, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 4, Seed: 7},
+			{Name: "beta", Workload: wlB, Scheme: scheme.Config{Base: scheme.ASP}, Workers: 4, Seed: 8,
+				Speeds: []float64{1, 1, 1, 0.4}},
+		},
+		Seed:       7,
+		MaxVirtual: 2 * time.Minute,
+		Obs:        o,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+
+	srv := httptest.NewServer(obs.NewHandler(obs.HTTPConfig{
+		Registry:   o.Registry(),
+		Stragglers: o.StragglerSnapshot,
+		Flight:     o.FlightDump,
+	}))
+	defer srv.Close()
+
+	code, body := httpGet(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics -> %d", code)
+	}
+	for _, want := range []string{
+		"specsync_worker_iterations_total",
+		"specsync_worker_phase_seconds_bucket",
+		"specsync_straggler_score",
+		`job="alpha"`,
+		`job="beta"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	code, body = httpGet(t, srv, "/stragglerz")
+	if code != 200 {
+		t.Fatalf("/stragglerz -> %d: %s", code, body)
+	}
+	var snap obs.StragglerSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/stragglerz not JSON: %v", err)
+	}
+	jobsSeen := map[string]int{}
+	for _, w := range snap.Workers {
+		jobsSeen[w.Job]++
+	}
+	if jobsSeen["alpha"] != 4 || jobsSeen["beta"] != 4 {
+		t.Errorf("straggler rows per job = %v, want 4 each for alpha/beta", jobsSeen)
+	}
+
+	code, body = httpGet(t, srv, "/debugz")
+	if code != 200 {
+		t.Fatalf("/debugz -> %d", code)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debugz not JSON: %v", err)
+	}
+	admits := map[string]bool{}
+	for _, ev := range dump.Events {
+		if ev.Kind == "job-admit" {
+			admits[ev.Job] = true
+		}
+	}
+	if !admits["alpha"] || !admits["beta"] {
+		t.Errorf("job-admit events for %v, want both alpha and beta", admits)
+	}
+}

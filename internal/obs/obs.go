@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"specsync/internal/trace"
 )
 
 // Options configures an Obs instance.
@@ -25,14 +27,23 @@ type Options struct {
 	// Chrome trace-event JSON. Off by default — a long run produces three
 	// spans per iteration per worker.
 	Spans bool
+
+	// FlightCapacity bounds the always-on flight recorder ring
+	// (DefaultFlightCapacity when zero).
+	FlightCapacity int
+
+	// Stragglers tunes the straggler detector; zero values pick defaults.
+	Stragglers StragglerOptions
 }
 
 // Obs bundles the metrics registry, the optional span log, and the latest
 // scheduler cluster snapshot. A nil *Obs yields nil handles, so wiring is
 // optional at every layer.
 type Obs struct {
-	reg   *Registry
-	spans *SpanLog
+	reg        *Registry
+	spans      *SpanLog
+	flight     *FlightRecorder
+	stragglers *StragglerDetector
 
 	pullH    *Histogram
 	computeH *Histogram
@@ -55,6 +66,8 @@ func New(opts Options) *Obs {
 	if opts.Spans {
 		o.spans = NewSpanLog()
 	}
+	o.flight = NewFlightRecorder(opts.FlightCapacity)
+	o.stragglers = newStragglerDetector(opts.Stragglers, reg, o.spans, o.flight)
 	o.pullH = reg.Histogram("specsync_pull_seconds",
 		"Latency of one parameter pull (request fan-out to last shard response).", LatencyBuckets)
 	o.computeH = reg.Histogram("specsync_compute_seconds",
@@ -82,6 +95,56 @@ func (o *Obs) Spans() *SpanLog {
 		return nil
 	}
 	return o.spans
+}
+
+// Flight returns the always-on control-plane flight recorder.
+func (o *Obs) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// FlightDump snapshots the flight recorder for /debugz and run results.
+func (o *Obs) FlightDump() FlightDump {
+	if o == nil {
+		return FlightDump{}
+	}
+	return o.flight.Dump()
+}
+
+// RecordFlight appends one control-plane event to the flight recorder.
+// Components outside obs (the job manager, fault injectors) use this.
+func (o *Obs) RecordFlight(ev FlightEvent) {
+	if o == nil {
+		return
+	}
+	o.flight.Record(ev)
+}
+
+// Stragglers returns the straggler detector.
+func (o *Obs) Stragglers() *StragglerDetector {
+	if o == nil {
+		return nil
+	}
+	return o.stragglers
+}
+
+// StragglerSnapshot renders the detector state for /stragglerz.
+func (o *Obs) StragglerSnapshot() (StragglerSnapshot, bool) {
+	if o == nil {
+		return StragglerSnapshot{}, false
+	}
+	return o.stragglers.Snapshot()
+}
+
+// SetTracer routes obs-originated events (straggler flag transitions) into a
+// trace collector alongside the components' own events.
+func (o *Obs) SetTracer(t trace.Tracer) {
+	if o == nil {
+		return
+	}
+	o.stragglers.setTracer(t)
 }
 
 // ClusterSnapshot returns the most recent scheduler-published cluster view.
@@ -156,11 +219,18 @@ func jobLabels(base []string, job string) []string {
 type WorkerObs struct {
 	o        *Obs
 	index    int
+	job      string
 	node     string
 	iters    *Counter
 	aborts   *Counter
 	degraded *Gauge
 	isDeg    bool
+
+	// Per-worker phase histograms (quantile-ready in /metrics, unlike the
+	// straggler detector's EWMAs).
+	pullPhH    *Histogram
+	computePhH *Histogram
+	pushPhH    *Histogram
 
 	pulling      bool
 	pullStart    time.Time
@@ -186,9 +256,15 @@ func (o *Obs) worker(i int, job string) *WorkerObs {
 	if job != "" {
 		node = "job/" + job + "/" + node
 	}
+	phaseH := func(phase string) *Histogram {
+		return o.reg.Histogram("specsync_worker_phase_seconds",
+			"Per-worker pull/compute/push phase latency, for straggler quantiles.",
+			LatencyBuckets, jobLabels([]string{"worker", idx, "phase", phase}, job)...)
+	}
 	return &WorkerObs{
 		o:     o,
 		index: i,
+		job:   job,
 		node:  node,
 		iters: o.reg.Counter("specsync_worker_iterations_total",
 			"Completed (fully acknowledged) iterations.", jobLabels([]string{"worker", idx}, job)...),
@@ -197,21 +273,28 @@ func (o *Obs) worker(i int, job string) *WorkerObs {
 		degraded: o.reg.Gauge("specsync_degraded_workers",
 			"Workers currently in broadcast-speculation failover (scheduler unreachable).",
 			jobLabels(nil, job)...),
+		pullPhH:    phaseH("pull"),
+		computePhH: phaseH("compute"),
+		pushPhH:    phaseH("push"),
 	}
 }
 
 // Degraded publishes this worker's scheduler-failover state; the shared
-// gauge counts workers currently running degraded.
-func (w *WorkerObs) Degraded(on bool) {
+// gauge counts workers currently running degraded and the transition lands
+// in the flight recorder.
+func (w *WorkerObs) Degraded(at time.Time, on bool) {
 	if w == nil || w.isDeg == on {
 		return
 	}
 	w.isDeg = on
+	kind := "degraded-exit"
 	if on {
 		w.degraded.Add(1)
+		kind = "degraded-enter"
 	} else {
 		w.degraded.Add(-1)
 	}
+	w.o.flight.Record(FlightEvent{At: at, Kind: kind, Node: w.node, Job: w.job})
 }
 
 // PullStart marks the fan-out of pull requests. Re-issues of an already
@@ -235,7 +318,10 @@ func (w *WorkerObs) PullDone(at time.Time, iter int64) {
 		return
 	}
 	w.pulling = false
-	w.o.pullH.Observe(at.Sub(w.pullStart).Seconds())
+	secs := at.Sub(w.pullStart).Seconds()
+	w.o.pullH.Observe(secs)
+	w.pullPhH.Observe(secs)
+	w.o.stragglers.ObservePhase(w.job, w.index, PhasePull, at, secs)
 	w.o.spans.Add(Span{Node: w.node, Name: "pull", Start: w.pullStart, End: at, Iter: iter})
 	if w.aborted {
 		w.aborted = false
@@ -269,7 +355,10 @@ func (w *WorkerObs) ComputeDone(at time.Time, iter int64) {
 		return
 	}
 	w.computing = false
-	w.o.computeH.Observe(at.Sub(w.computeStart).Seconds())
+	secs := at.Sub(w.computeStart).Seconds()
+	w.o.computeH.Observe(secs)
+	w.computePhH.Observe(secs)
+	w.o.stragglers.ObservePhase(w.job, w.index, PhaseCompute, at, secs)
 	w.o.spans.Add(Span{Node: w.node, Name: "compute", Start: w.computeStart, End: at, Iter: iter})
 	w.pushing, w.pushStart = true, at
 }
@@ -282,7 +371,10 @@ func (w *WorkerObs) PushDone(at time.Time, iter int64, staleness int64) {
 	}
 	w.pushing = false
 	w.iters.Inc()
-	w.o.pushH.Observe(at.Sub(w.pushStart).Seconds())
+	secs := at.Sub(w.pushStart).Seconds()
+	w.o.pushH.Observe(secs)
+	w.pushPhH.Observe(secs)
+	w.o.stragglers.ObservePhase(w.job, w.index, PhasePush, at, secs)
 	w.o.staleH.Observe(float64(staleness))
 	w.o.spans.Add(Span{Node: w.node, Name: "push", Start: w.pushStart, End: at, Iter: iter, Value: staleness})
 }
@@ -365,6 +457,27 @@ func (o *Obs) scheduler(job string) *SchedulerObs {
 	}
 }
 
+// WorkerSpan feeds the scheduler's per-worker iteration-span estimate (its
+// notify-interval EWMA) into the straggler detector, which re-scores the
+// worker against the fleet median.
+func (s *SchedulerObs) WorkerSpan(at time.Time, worker int, span time.Duration) {
+	if s == nil {
+		return
+	}
+	s.o.stragglers.ObserveSpan(s.job, worker, at, span.Seconds())
+}
+
+// BarrierRelease records a synchronization barrier opening (BSP/SSP rounds).
+func (s *SchedulerObs) BarrierRelease(at time.Time, round int64, workers int) {
+	if s == nil {
+		return
+	}
+	s.o.flight.Record(FlightEvent{
+		At: at, Kind: "barrier-release", Node: "scheduler", Job: s.job,
+		Iter: round, Value: float64(workers),
+	})
+}
+
 // Join records a worker admission and the resulting cluster size.
 func (s *SchedulerObs) Join(at time.Time, worker int, membershipEpoch int64) {
 	if s == nil {
@@ -373,6 +486,8 @@ func (s *SchedulerObs) Join(at time.Time, worker int, membershipEpoch int64) {
 	s.joins.Inc()
 	s.membership.Set(float64(membershipEpoch))
 	s.o.spans.Add(Span{Node: "scheduler", Name: "join", Start: at, Value: membershipEpoch})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "join", Node: "scheduler", Job: s.job,
+		Iter: membershipEpoch, Value: float64(worker)})
 }
 
 // Leave records a planned worker retirement.
@@ -383,6 +498,8 @@ func (s *SchedulerObs) Leave(at time.Time, worker int, membershipEpoch int64) {
 	s.leaves.Inc()
 	s.membership.Set(float64(membershipEpoch))
 	s.o.spans.Add(Span{Node: "scheduler", Name: "leave", Start: at, Value: membershipEpoch})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "leave", Node: "scheduler", Job: s.job,
+		Iter: membershipEpoch, Value: float64(worker)})
 }
 
 // MigrationDone records a committed shard migration.
@@ -394,6 +511,8 @@ func (s *SchedulerObs) MigrationDone(at time.Time, epoch int64, bytes int64, dur
 	s.migrationBytes.Add(bytes)
 	s.migrationH.Observe(dur.Seconds())
 	s.o.spans.Add(Span{Node: "scheduler", Name: "migrate", Start: at.Add(-dur), End: at, Iter: epoch, Value: bytes})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "migration-commit", Node: "scheduler", Job: s.job,
+		Iter: epoch, Value: float64(bytes)})
 }
 
 // ClusterSize publishes the current membership counts.
@@ -413,6 +532,8 @@ func (s *SchedulerObs) Restarted(at time.Time, gen int64) {
 	s.restarts.Inc()
 	s.generation.Set(float64(gen))
 	s.o.spans.Add(Span{Node: "scheduler", Name: "restart", Start: at, Value: gen})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "scheduler-restart", Node: "scheduler", Job: s.job,
+		Value: float64(gen)})
 }
 
 // StateReport records one worker state report applied to the rebuild.
@@ -467,6 +588,8 @@ func (s *SchedulerObs) Evict(at time.Time, worker int, membershipEpoch int64) {
 	s.evictions.Inc()
 	s.membership.Set(float64(membershipEpoch))
 	s.o.spans.Add(Span{Node: "scheduler", Name: "evict", Start: at, Value: membershipEpoch})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "evict", Node: "scheduler", Job: s.job,
+		Iter: membershipEpoch, Value: float64(worker)})
 }
 
 // Readmit records an evicted worker rejoining.
@@ -477,6 +600,8 @@ func (s *SchedulerObs) Readmit(at time.Time, worker int, membershipEpoch int64) 
 	s.readmissions.Inc()
 	s.membership.Set(float64(membershipEpoch))
 	s.o.spans.Add(Span{Node: "scheduler", Name: "readmit", Start: at, Value: membershipEpoch})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "readmit", Node: "scheduler", Job: s.job,
+		Iter: membershipEpoch, Value: float64(worker)})
 }
 
 // AliveWorkers publishes the current alive-worker count.
@@ -487,12 +612,20 @@ func (s *SchedulerObs) AliveWorkers(n int) {
 	s.alive.Set(float64(n))
 }
 
-// PublishCluster stores the latest cluster snapshot for /clusterz. A
+// PublishCluster stores the latest cluster snapshot for /clusterz, first
+// decorating each worker row with its straggler score and flag level. A
 // job-scoped handle publishes into its job's slot (JobClusterSnapshot); the
 // fleet-level view is composed by the job manager, not by any one tenant.
 func (s *SchedulerObs) PublishCluster(snap ClusterSnapshot) {
 	if s == nil {
 		return
+	}
+	for i := range snap.Workers {
+		w := &snap.Workers[i]
+		if score, level, ok := s.o.stragglers.Flag(s.job, w.Index); ok {
+			w.StragglerScore = score
+			w.Straggler = level.String()
+		}
 	}
 	if s.job != "" {
 		s.o.jobClusters.Store(s.job, &snap)
@@ -571,6 +704,12 @@ type Summary struct {
 	MigrationBytes    int64
 	ServerPushes      int64
 	Spans             int
+
+	// StragglerFlags counts ok→flagged transitions across all workers;
+	// FlightEvents is the total recorded by the flight recorder (including
+	// events the ring has since dropped).
+	StragglerFlags int64
+	FlightEvents   uint64
 }
 
 // Summary snapshots the registry into a Summary (nil on a nil Obs).
@@ -598,5 +737,7 @@ func (o *Obs) Summary() *Summary {
 		MigrationBytes:    o.reg.SumCounters("specsync_migration_bytes_total"),
 		ServerPushes:      o.reg.SumCounters("specsync_server_pushes_total"),
 		Spans:             o.spans.Len(),
+		StragglerFlags:    o.reg.SumCounters("specsync_straggler_flags_total"),
+		FlightEvents:      o.flight.Recorded(),
 	}
 }

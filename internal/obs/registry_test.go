@@ -209,3 +209,47 @@ func TestWritePrometheusFormat(t *testing.T) {
 		t.Error("two exposition writes differ")
 	}
 }
+
+// TestWorkerPhaseHistogramExposition pins the exposition format of the
+// labeled per-worker phase histograms: cumulative le buckets, +Inf, _sum and
+// _count, all carrying the worker/phase (and job) label pairs, so Prometheus
+// can compute phase quantiles per worker.
+func TestWorkerPhaseHistogramExposition(t *testing.T) {
+	o := New(Options{})
+	w := o.Worker(2)
+	base := time.Unix(0, 0)
+	w.PullStart(base, 1)
+	w.PullDone(base.Add(40*time.Millisecond), 1)     // pull: 0.04s
+	w.ComputeDone(base.Add(540*time.Millisecond), 1) // compute: 0.5s
+	w.PushDone(base.Add(590*time.Millisecond), 1, 0) // push: 0.05s
+
+	jw := o.Job("jobA").Worker(0)
+	jw.PullStart(base, 1)
+	jw.PullDone(base.Add(100*time.Millisecond), 1)
+
+	var sb strings.Builder
+	o.Registry().WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE specsync_worker_phase_seconds histogram\n",
+		`specsync_worker_phase_seconds_bucket{worker="2",phase="pull",le="0.05"} 1` + "\n",
+		`specsync_worker_phase_seconds_bucket{worker="2",phase="pull",le="+Inf"} 1` + "\n",
+		`specsync_worker_phase_seconds_sum{worker="2",phase="pull"} 0.04` + "\n",
+		`specsync_worker_phase_seconds_count{worker="2",phase="pull"} 1` + "\n",
+		`specsync_worker_phase_seconds_bucket{worker="2",phase="compute",le="0.5"} 1` + "\n",
+		`specsync_worker_phase_seconds_count{worker="2",phase="push"} 1` + "\n",
+		`specsync_worker_phase_seconds_count{worker="0",phase="pull",job="jobA"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Buckets are cumulative: every le bound above the observation reports
+	// the same count as +Inf for a single-observation series.
+	if strings.Contains(out, `specsync_worker_phase_seconds_bucket{worker="2",phase="pull",le="0.025"} 1`) {
+		// 0.04 must NOT land in the 0.025 bucket.
+		t.Error("0.04s observation counted in le=0.025 bucket")
+	}
+}

@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"specsync/internal/trace"
+)
+
+// StragglerLevel classifies one worker's slowdown state following the Wong
+// straggler taxonomy: a transient flag (GC pause, disk hiccup) clears on its
+// own, a sustained flag (degraded host, congested link) persists and is the
+// signal mitigation should act on.
+type StragglerLevel int
+
+// Straggler levels, ordered by severity.
+const (
+	StragglerOK StragglerLevel = iota
+	StragglerTransient
+	StragglerSustained
+)
+
+func (l StragglerLevel) String() string {
+	switch l {
+	case StragglerTransient:
+		return "transient"
+	case StragglerSustained:
+		return "sustained"
+	default:
+		return "ok"
+	}
+}
+
+// StragglerOptions tunes the detector. Zero values select the defaults.
+type StragglerOptions struct {
+	// Alpha is the EWMA weight for phase-duration and push-rate samples.
+	// Default 0.3 (matches the scheduler's span alpha).
+	Alpha float64
+	// SlowFactor flags a worker whose span estimate exceeds this multiple of
+	// the fleet median. Default 1.5.
+	SlowFactor float64
+	// SustainAfter promotes a transient flag to sustained after this many
+	// consecutive over-threshold evaluations. Default 4.
+	SustainAfter int
+	// ClearAfter clears a flag after this many consecutive below-threshold
+	// evaluations. Default 2.
+	ClearAfter int
+	// MinSamples is the number of span observations a worker needs before it
+	// is scored (and before it contributes to the fleet median). Default 3.
+	MinSamples int
+}
+
+func (o StragglerOptions) withDefaults() StragglerOptions {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	if o.SlowFactor <= 1 {
+		o.SlowFactor = 1.5
+	}
+	if o.SustainAfter <= 0 {
+		o.SustainAfter = 4
+	}
+	if o.ClearAfter <= 0 {
+		o.ClearAfter = 2
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	return o
+}
+
+// StragglerState is one worker's row in a StragglerSnapshot.
+type StragglerState struct {
+	Job             string  `json:"job,omitempty"`
+	Worker          int     `json:"worker"`
+	State           string  `json:"state"` // "ok" | "transient" | "sustained"
+	Score           float64 `json:"score"` // span / fleet median (1.0 = median pace)
+	IterSpanSeconds float64 `json:"iter_span_seconds"`
+	PushRate        float64 `json:"push_rate"` // pushes/sec EWMA from notify intervals
+	PullSeconds     float64 `json:"pull_seconds"`
+	ComputeSeconds  float64 `json:"compute_seconds"`
+	PushSeconds     float64 `json:"push_seconds"`
+	Samples         int     `json:"samples"`
+}
+
+// StragglerSnapshot is the /stragglerz payload: every scored worker sorted
+// by job then index, stamped with the detector's last observation time (so
+// same-seed DES runs export byte-identical snapshots).
+type StragglerSnapshot struct {
+	At         time.Time        `json:"at"`
+	SlowFactor float64          `json:"slow_factor"`
+	Flagged    int              `json:"flagged"` // transient + sustained
+	Sustained  int              `json:"sustained"`
+	Workers    []StragglerState `json:"workers"`
+}
+
+// stragglerWorker is the detector's per-(job, worker) state. Guarded by the
+// detector mutex.
+type stragglerWorker struct {
+	index   int
+	span    float64 // scheduler's notify-interval EWMA, the scoring signal
+	samples int
+	lastAt  time.Time
+	rate    float64    // pushes/sec EWMA derived from notify intervals
+	phase   [3]float64 // pull/compute/push EWMAs (diagnostic detail)
+	phaseN  [3]int
+	score   float64
+	over    int // consecutive over-threshold evaluations
+	under   int // consecutive below-threshold evaluations
+	level   StragglerLevel
+
+	scoreG *Gauge
+	stateG *Gauge
+	flags  *Counter
+}
+
+type stragglerJob struct {
+	name       string
+	workers    map[int]*stragglerWorker
+	flaggedG   *Gauge
+	sustainedG *Gauge
+}
+
+// StragglerDetector scores each worker's iteration span against the fleet
+// median and flags outliers with hysteresis. The scoring signal is the
+// scheduler's per-worker notify-interval EWMA (available in both the DES and
+// live stacks); worker-side phase durations and push rate ride along as
+// diagnostic detail. All state transitions export gauges, trace events, and
+// flight-recorder entries. Methods are nil-safe and evaluation is pure
+// bookkeeping — no messages, no timers — so detection is deterministic under
+// the simulator.
+type StragglerDetector struct {
+	mu     sync.Mutex
+	opts   StragglerOptions
+	reg    *Registry
+	spans  *SpanLog
+	flight *FlightRecorder
+	tracer trace.Tracer
+	jobs   map[string]*stragglerJob
+	lastAt time.Time
+}
+
+func newStragglerDetector(opts StragglerOptions, reg *Registry, spans *SpanLog, flight *FlightRecorder) *StragglerDetector {
+	return &StragglerDetector{
+		opts:   opts.withDefaults(),
+		reg:    reg,
+		spans:  spans,
+		flight: flight,
+		jobs:   make(map[string]*stragglerJob),
+	}
+}
+
+// setTracer routes flag/clear transitions into a trace collector.
+func (d *StragglerDetector) setTracer(t trace.Tracer) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.tracer = t
+	d.mu.Unlock()
+}
+
+func (d *StragglerDetector) jobLocked(job string) *stragglerJob {
+	j, ok := d.jobs[job]
+	if !ok {
+		lbl := jobLabels(nil, job)
+		j = &stragglerJob{
+			name:    job,
+			workers: make(map[int]*stragglerWorker),
+			flaggedG: d.reg.Gauge("specsync_stragglers_flagged",
+				"Workers currently flagged as stragglers (transient or sustained).", lbl...),
+			sustainedG: d.reg.Gauge("specsync_stragglers_sustained",
+				"Workers currently flagged as sustained stragglers.", lbl...),
+		}
+		d.jobs[job] = j
+	}
+	return j
+}
+
+func (d *StragglerDetector) workerLocked(j *stragglerJob, index int) *stragglerWorker {
+	w, ok := j.workers[index]
+	if !ok {
+		idx := jobLabels([]string{"worker", itoa(index)}, j.name)
+		w = &stragglerWorker{
+			index: index,
+			scoreG: d.reg.Gauge("specsync_straggler_score",
+				"Slowdown score: worker span EWMA over the fleet median (1.0 = median pace).", idx...),
+			stateG: d.reg.Gauge("specsync_straggler_state",
+				"Straggler flag level: 0 ok, 1 transient, 2 sustained.", idx...),
+			flags: d.reg.Counter("specsync_straggler_flags_total",
+				"Times this worker entered a flagged state from ok.", idx...),
+		}
+		j.workers[index] = w
+	}
+	return w
+}
+
+// ObserveSpan feeds one worker's current iteration-span estimate (the
+// scheduler's notify-interval EWMA) and re-scores that worker against its
+// job's median.
+func (d *StragglerDetector) ObserveSpan(job string, worker int, at time.Time, spanSeconds float64) {
+	if d == nil || spanSeconds <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobLocked(job)
+	w := d.workerLocked(j, worker)
+	if !w.lastAt.IsZero() {
+		if dt := at.Sub(w.lastAt).Seconds(); dt > 0 {
+			inst := 1 / dt
+			if w.rate == 0 {
+				w.rate = inst
+			} else {
+				w.rate = (1-d.opts.Alpha)*w.rate + d.opts.Alpha*inst
+			}
+		}
+	}
+	w.span = spanSeconds
+	w.samples++
+	w.lastAt = at
+	d.lastAt = at
+	d.scoreLocked(j, w, at)
+}
+
+// Phase indices for ObservePhase.
+const (
+	PhasePull = iota
+	PhaseCompute
+	PhasePush
+)
+
+// ObservePhase feeds one completed pull/compute/push duration from the
+// worker lifecycle hooks. Phases refine the snapshot's per-phase EWMAs; they
+// do not trigger scoring (the scheduler span feed does).
+func (d *StragglerDetector) ObservePhase(job string, worker int, phase int, at time.Time, seconds float64) {
+	if d == nil || phase < 0 || phase > PhasePush || seconds < 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobLocked(job)
+	w := d.workerLocked(j, worker)
+	if w.phaseN[phase] == 0 {
+		w.phase[phase] = seconds
+	} else {
+		w.phase[phase] = (1-d.opts.Alpha)*w.phase[phase] + d.opts.Alpha*seconds
+	}
+	w.phaseN[phase]++
+	if at.After(d.lastAt) {
+		d.lastAt = at
+	}
+}
+
+// scoreLocked recomputes w's slowdown score against its job's median span
+// and walks the hysteresis state machine.
+func (d *StragglerDetector) scoreLocked(j *stragglerJob, w *stragglerWorker, at time.Time) {
+	if w.samples < d.opts.MinSamples {
+		return
+	}
+	eligible := make([]float64, 0, len(j.workers))
+	for _, p := range j.workers {
+		if p.samples >= d.opts.MinSamples {
+			eligible = append(eligible, p.span)
+		}
+	}
+	if len(eligible) < 2 {
+		w.score = 1
+		w.scoreG.Set(1)
+		return
+	}
+	sort.Float64s(eligible)
+	var median float64
+	if n := len(eligible); n%2 == 1 {
+		median = eligible[n/2]
+	} else {
+		median = (eligible[n/2-1] + eligible[n/2]) / 2
+	}
+	if median <= 0 {
+		return
+	}
+	w.score = w.span / median
+	w.scoreG.Set(w.score)
+
+	if w.score >= d.opts.SlowFactor {
+		w.over++
+		w.under = 0
+	} else {
+		w.under++
+		if w.under >= d.opts.ClearAfter {
+			w.over = 0
+		}
+	}
+	next := w.level
+	switch {
+	case w.over >= d.opts.SustainAfter:
+		next = StragglerSustained
+	case w.over >= 1:
+		if w.level < StragglerTransient {
+			next = StragglerTransient
+		}
+	case w.under >= d.opts.ClearAfter:
+		next = StragglerOK
+	}
+	if next != w.level {
+		d.transitionLocked(j, w, next, at)
+	}
+}
+
+// transitionLocked applies a level change and exports it everywhere: state
+// gauge, flag counter, per-job gauges, trace event, span marker, and the
+// flight recorder.
+func (d *StragglerDetector) transitionLocked(j *stragglerJob, w *stragglerWorker, next StragglerLevel, at time.Time) {
+	prev := w.level
+	w.level = next
+	w.stateG.Set(float64(next))
+	if prev == StragglerOK && next > StragglerOK {
+		w.flags.Inc()
+	}
+	var flagged, sustained int
+	for _, p := range j.workers {
+		if p.level > StragglerOK {
+			flagged++
+		}
+		if p.level == StragglerSustained {
+			sustained++
+		}
+	}
+	j.flaggedG.Set(float64(flagged))
+	j.sustainedG.Set(float64(sustained))
+
+	kind := trace.KindStragglerFlag
+	name := "straggler flag"
+	fkind := "straggler-flag"
+	if next == StragglerOK {
+		kind = trace.KindStragglerClear
+		name = "straggler clear"
+		fkind = "straggler-clear"
+	}
+	node := "worker/" + itoa(w.index)
+	if d.tracer != nil {
+		d.tracer.Record(trace.Event{At: at, Worker: w.index, Kind: kind, Value: int64(next)})
+	}
+	d.spans.Add(Span{Node: node, Name: name, Start: at, Value: int64(next)})
+	d.flight.Record(FlightEvent{
+		At: at, Kind: fkind, Node: node, Job: j.name,
+		Value:  w.score,
+		Detail: fmt.Sprintf("%s -> %s (score %.2f)", prev, next, w.score),
+	})
+}
+
+// Flag returns the current score and level for one worker (ok=false when the
+// worker has never been scored). Used to decorate /clusterz rows.
+func (d *StragglerDetector) Flag(job string, worker int) (score float64, level StragglerLevel, ok bool) {
+	if d == nil {
+		return 0, StragglerOK, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, jok := d.jobs[job]
+	if !jok {
+		return 0, StragglerOK, false
+	}
+	w, wok := j.workers[worker]
+	if !wok || w.samples < d.opts.MinSamples {
+		return 0, StragglerOK, false
+	}
+	return w.score, w.level, true
+}
+
+// Snapshot renders the detector state for /stragglerz, sorted by job then
+// worker index. ok is false until at least one span has been observed.
+func (d *StragglerDetector) Snapshot() (StragglerSnapshot, bool) {
+	if d == nil {
+		return StragglerSnapshot{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := StragglerSnapshot{At: d.lastAt, SlowFactor: d.opts.SlowFactor}
+	names := make([]string, 0, len(d.jobs))
+	for name := range d.jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		j := d.jobs[name]
+		idxs := make([]int, 0, len(j.workers))
+		for i := range j.workers {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			w := j.workers[i]
+			snap.Workers = append(snap.Workers, StragglerState{
+				Job:             name,
+				Worker:          i,
+				State:           w.level.String(),
+				Score:           w.score,
+				IterSpanSeconds: w.span,
+				PushRate:        w.rate,
+				PullSeconds:     w.phase[PhasePull],
+				ComputeSeconds:  w.phase[PhaseCompute],
+				PushSeconds:     w.phase[PhasePush],
+				Samples:         w.samples,
+			})
+			if w.level > StragglerOK {
+				snap.Flagged++
+			}
+			if w.level == StragglerSustained {
+				snap.Sustained++
+			}
+		}
+	}
+	return snap, len(snap.Workers) > 0
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

@@ -53,6 +53,9 @@ var kindNames = map[Kind]string{
 	KindJoin:      "join",
 	KindLeave:     "leave",
 	KindMigrate:   "migrate",
+
+	KindStragglerFlag:  "straggler-flag",
+	KindStragglerClear: "straggler-clear",
 }
 
 var kindByName = func() map[string]Kind {

@@ -53,6 +53,12 @@ const (
 	// KindMigrate marks the scheduler committing a shard migration; Worker is
 	// -1, Iter holds the new routing epoch, and Value the migrated bytes.
 	KindMigrate
+	// KindStragglerFlag marks the straggler detector flagging a worker;
+	// Value is 1 for a transient flag, 2 when promoted to sustained.
+	KindStragglerFlag
+	// KindStragglerClear marks a flagged worker's slowdown score returning
+	// below threshold long enough to clear the flag.
+	KindStragglerClear
 )
 
 // SchedulerNode is the Event.Worker sentinel for scheduler crash/recover
@@ -90,6 +96,10 @@ func (k Kind) String() string {
 		return "leave"
 	case KindMigrate:
 		return "migrate"
+	case KindStragglerFlag:
+		return "straggler-flag"
+	case KindStragglerClear:
+		return "straggler-clear"
 	default:
 		return "unknown"
 	}

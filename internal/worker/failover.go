@@ -50,7 +50,7 @@ func (wk *Worker) enterDegraded() {
 	}
 	wk.degraded.Store(true)
 	wk.cfg.Faults.RecordDegraded()
-	wk.cfg.Obs.Degraded(true)
+	wk.cfg.Obs.Degraded(wk.ctx.Now(), true)
 	wk.record(trace.KindDegrade, 1)
 	wk.ctx.Logf("worker %d: scheduler silent for %v; broadcast failover %v",
 		wk.cfg.Index, wk.cfg.SchedulerTimeout, wk.canBroadcastFailover())
@@ -68,7 +68,7 @@ func (wk *Worker) exitDegraded() {
 	}
 	wk.degraded.Store(false)
 	wk.cfg.Faults.RecordDegradedRecover()
-	wk.cfg.Obs.Degraded(false)
+	wk.cfg.Obs.Degraded(wk.ctx.Now(), false)
 	wk.record(trace.KindDegrade, 0)
 	wk.ctx.Logf("worker %d: scheduler back (gen %d); centralized path restored", wk.cfg.Index, wk.schedGen)
 }
