@@ -79,7 +79,7 @@ func csvOpener(dir string) func(name string) (io.WriteCloser, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("specsync-bench", flag.ContinueOnError)
 	var (
-		runWhat    = fs.String("run", "all", "experiment id (table1, timeline, fig3, fig5, fig8, fig9, fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob) or 'all'")
+		runWhat    = fs.String("run", "all", "experiment id (table1, timeline, fig3, fig5, fig8, fig9, fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob, failover) or 'all'")
 		workers    = fs.Int("workers", 40, "cluster size")
 		seed       = fs.Int64("seed", 1, "master seed")
 		size       = fs.String("size", "full", "workload size: full or small")
@@ -89,6 +89,9 @@ func run(args []string) error {
 		compare    = fs.Bool("compare", false, "compare two BENCH_*.json reports (args: old.json new.json) and exit nonzero on regression")
 		tolerance  = fs.Float64("tolerance", 0.5, "allowed fractional regression on time/throughput metrics in -compare mode")
 		allocTol   = fs.Float64("alloc-tolerance", 0.25, "allowed fractional regression on allocation metrics in -compare mode")
+
+		replicas     = fs.Int("replicas", 2, "failover experiment: shard backups per range")
+		standbySched = fs.Int("standby-schedulers", 1, "failover experiment: standby scheduler incarnations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,7 +112,7 @@ func run(args []string) error {
 
 	ids := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		ids = []string{"table1", "timeline", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "staleness", "ablations", "codecs", "elastic", "multijob"}
+		ids = []string{"table1", "timeline", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "staleness", "ablations", "codecs", "elastic", "multijob", "failover"}
 	}
 
 	// fig8/fig9 and fig12/fig13 share runs; cache results.
@@ -235,6 +238,12 @@ func run(args []string) error {
 			r.Render(os.Stdout)
 		case "multijob":
 			r, err := experiments.MultiJob(opts)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "failover":
+			r, err := experiments.Failover(opts, *replicas, *standbySched)
 			if err != nil {
 				return err
 			}

@@ -12,9 +12,20 @@
 //	specsync-node -role worker -index 1  -workers 2 -servers 1 -base-port 7000
 //
 // Ports are assigned as base-port+0..servers-1 for servers, then workers,
-// then the scheduler. The scheduler broadcasts Start once it boots, so start
-// it after the servers and workers are listening (or restart stragglers —
-// workers also begin on the first Start they see).
+// then the scheduler, then standby schedulers (-standby-schedulers), then
+// shard replicas (-replicas, shard-major). The scheduler broadcasts Start
+// once it boots, so start it after the servers and workers are listening
+// (or restart stragglers — workers also begin on the first Start they see).
+//
+// High availability: give every process the same -standby-schedulers and
+// -replicas counts, then additionally run
+//
+//	specsync-node -role standby -index 1 ... -standby-schedulers 1
+//	specsync-node -role replica -index 0 -replica 1 ... -replicas 1
+//
+// The scheduler ships its state to the standbys and each server forwards
+// acknowledged pushes to its replicas; if the scheduler process dies, a
+// standby elects itself, announces the new term, and the workers follow it.
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"specsync/internal/obs"
 	"specsync/internal/optimizer"
 	"specsync/internal/ps"
+	"specsync/internal/replica"
 	"specsync/internal/scheme"
 	"specsync/internal/worker"
 )
@@ -80,6 +92,12 @@ func run(args []string) error {
 		schedTimeout    = fs.Duration("scheduler-timeout", 0, "worker role: enter degraded mode when the scheduler is silent this long (0 disables)")
 		beaconEvery     = fs.Duration("beacon-every", 0, "scheduler role: broadcast liveness beacons on this period (0 disables)")
 		generation      = fs.Int64("generation", 0, "scheduler role: incarnation number; >0 means this process replaces a crashed scheduler and asks workers for state")
+
+		standbySched   = fs.Int("standby-schedulers", 0, "standby scheduler incarnations in the topology (every process must agree); the scheduler ships state snapshots to them and a standby takes over if it dies")
+		replicas       = fs.Int("replicas", 0, "warm backups per parameter shard in the topology (every process must agree); servers forward acknowledged pushes to them")
+		replicaSlot    = fs.Int("replica", 1, "replica role: 1-based backup slot within shard -index")
+		replicateEvery = fs.Duration("replicate-every", 250*time.Millisecond, "scheduler/standby roles: snapshot-shipping period, doubling as the leader liveness heartbeat")
+		electionAfter  = fs.Duration("election-timeout", 2*time.Second, "standby role: base leader-silence timeout before calling an election (randomized to [T,2T))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +113,10 @@ func run(args []string) error {
 			port += i
 		} else if i := node.WorkerIndex(id); i >= 0 {
 			port += *servers + i
+		} else if i := node.StandbyIndex(id); i >= 1 {
+			port += *servers + *workers + i // scheduler/i follows the leader slot
+		} else if s, r := node.ReplicaOf(id); s >= 0 {
+			port += *servers + *workers + 1 + *standbySched + s*(*replicas) + (r - 1)
 		} else {
 			port += *servers + *workers // scheduler
 		}
@@ -109,6 +131,14 @@ func run(args []string) error {
 		all = append(all, node.WorkerID(i))
 	}
 	all = append(all, node.Scheduler)
+	for i := 1; i <= *standbySched; i++ {
+		all = append(all, node.StandbyID(i))
+	}
+	for s := 0; s < *servers; s++ {
+		for r := 1; r <= *replicas; r++ {
+			all = append(all, node.ReplicaID(s, r))
+		}
+	}
 	for _, id := range all {
 		peers[id] = addr(id)
 	}
@@ -177,6 +207,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *replicas > 0 {
+			var backups []node.ID
+			for r := 1; r <= *replicas; r++ {
+				backups = append(backups, node.ReplicaID(*index, r))
+			}
+			shard.SetBackups(backups)
+		}
 		if *checkpointDir != "" {
 			if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
 				return err
@@ -189,6 +226,35 @@ func run(args []string) error {
 			}
 		}
 		handler = shard
+	case "replica":
+		if *index < 0 || *index >= *servers {
+			return fmt.Errorf("replica shard index %d out of range", *index)
+		}
+		if *replicaSlot < 1 || *replicaSlot > *replicas {
+			return fmt.Errorf("replica slot %d out of range 1..%d (set -replicas on every process)", *replicaSlot, *replicas)
+		}
+		id = node.ReplicaID(*index, *replicaSlot)
+		initRng := rand.New(rand.NewSource(*seed ^ 0x1217))
+		initVec := wl.Model.Init(initRng)
+		opt, err := optimizer.NewSGD(optimizer.SGDConfig{
+			Schedule: wl.Schedule, Momentum: wl.Momentum, Clip: wl.Clip,
+		}, ranges[*index].Len())
+		if err != nil {
+			return err
+		}
+		backup, err := ps.New(ps.Config{
+			Range:      ranges[*index],
+			Init:       initVec[ranges[*index].Lo:ranges[*index].Hi],
+			Optimizer:  opt,
+			Replica:    true,
+			Obs:        o.Server(*index),
+			DeltaPull:  ccfg.UsesDelta(),
+			CodecStats: codecStats,
+		})
+		if err != nil {
+			return err
+		}
+		handler = backup
 	case "worker":
 		if *index < 0 || *index >= *workers {
 			return fmt.Errorf("worker index %d out of range", *index)
@@ -252,8 +318,49 @@ func run(args []string) error {
 			}
 		}
 		handler = sched
+		if *standbySched > 0 {
+			ldr, err := replica.NewLeader(replica.LeaderConfig{
+				Sched:          sched,
+				Standbys:       *standbySched,
+				ReplicateEvery: *replicateEvery,
+				Term:           *generation,
+				Obs:            o,
+			})
+			if err != nil {
+				return err
+			}
+			handler = ldr
+		}
+	case "standby":
+		if *index < 1 || *index > *standbySched {
+			return fmt.Errorf("standby index %d out of range 1..%d (set -standby-schedulers on every process)", *index, *standbySched)
+		}
+		id = node.StandbyID(*index)
+		sb, err := replica.NewStandby(replica.StandbyConfig{
+			Index:           *index,
+			Standbys:        *standbySched,
+			Workers:         *workers,
+			ElectionTimeout: *electionAfter,
+			ReplicateEvery:  *replicateEvery,
+			MakeScheduler: func(gen int64) (*core.Scheduler, error) {
+				return core.NewScheduler(core.SchedulerConfig{
+					Workers:         *workers,
+					Scheme:          sc,
+					InitialSpan:     wl.IterTime,
+					LivenessTimeout: *livenessTimeout,
+					Generation:      gen,
+					BeaconEvery:     *beaconEvery,
+					Obs:             o.Scheduler(),
+				})
+			},
+			Obs: o,
+		})
+		if err != nil {
+			return err
+		}
+		handler = sb
 	default:
-		return fmt.Errorf("role must be server, worker, or scheduler (got %q)", *role)
+		return fmt.Errorf("role must be server, worker, scheduler, standby, or replica (got %q)", *role)
 	}
 
 	listen := peers[id]
@@ -283,7 +390,8 @@ func run(args []string) error {
 			Flight:   o.FlightDump,
 			Pprof:    *pprofOn,
 		}
-		if _, isSched := handler.(*core.Scheduler); isSched {
+		switch handler.(type) {
+		case *core.Scheduler, *replica.Leader, *replica.Standby:
 			cfgHTTP.Cluster = o.ClusterSnapshot
 			cfgHTTP.Stragglers = o.StragglerSnapshot
 		}
@@ -359,6 +467,16 @@ func run(args []string) error {
 				enabled, abortTime, _ := n.Hyperparameters()
 				fmt.Printf("%s: epoch %d, %d resyncs, spec=%v window=%v\n",
 					id, n.Epoch(), n.ReSyncsSent(), enabled, abortTime.Round(time.Millisecond))
+			case *replica.Leader:
+				fmt.Printf("%s: leader term %d, epoch %d, %d snapshots shipped\n",
+					id, n.Term(), n.Sched().Epoch(), n.Shipped())
+			case *replica.Standby:
+				if s := n.Sched(); s != nil {
+					fmt.Printf("%s: %s term %d, epoch %d, %d snapshots shipped\n",
+						id, n.Role(), n.Term(), s.Epoch(), n.Shipped())
+				} else {
+					fmt.Printf("%s: %s term %d, awaiting leader snapshots\n", id, n.Role(), n.Term())
+				}
 			}
 		}
 	}
@@ -400,6 +518,32 @@ func healthFunc(id node.ID, handler node.Handler) func() obs.Health {
 			h.Epoch = int64(n.Epoch())
 			h.MembershipEpoch = n.MembershipEpoch()
 			h.Generation = n.Generation()
+			// A standalone scheduler process serves unopposed: it is the
+			// leader by definition, and its generation doubles as the term.
+			h.Role, h.Term, h.Leader = "leader", n.Generation(), name
+			return h
+		}
+	case *replica.Leader:
+		return func() obs.Health {
+			h := base()
+			s := n.Sched()
+			h.Epoch = int64(s.Epoch())
+			h.MembershipEpoch = s.MembershipEpoch()
+			h.Generation = s.Generation()
+			h.Role, h.Term, h.Leader = n.Role().String(), n.Term(), name
+			return h
+		}
+	case *replica.Standby:
+		return func() obs.Health {
+			h := base()
+			h.Role, h.Term = n.Role().String(), n.Term()
+			if s := n.Sched(); s != nil {
+				// Elected: this incarnation now serves the cluster.
+				h.Epoch = int64(s.Epoch())
+				h.MembershipEpoch = s.MembershipEpoch()
+				h.Generation = s.Generation()
+				h.Leader = name
+			}
 			return h
 		}
 	default:

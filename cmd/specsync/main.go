@@ -58,6 +58,9 @@ func run(args []string) error {
 		schedTimeout  = fs.Duration("scheduler-timeout", 0, "worker-side scheduler failure-detector timeout (0 = auto when the plan crashes the scheduler)")
 		beaconEvery   = fs.Duration("beacon-every", 0, "scheduler liveness beacon period (0 = auto when the plan crashes the scheduler)")
 
+		replicas     = fs.Int("replicas", 0, "parameter-shard backups per range (primary-backup replication; crash-server promotes a backup with zero lost pushes)")
+		standbySched = fs.Int("standby-schedulers", 0, "standby scheduler incarnations (term-based election; crash-scheduler fails over instead of degrading)")
+
 		scalePlanPath = fs.String("scale-plan", "", "JSON scale-plan file: workers/servers join and leave mid-run (see internal/elastic)")
 		elasticN      = fs.Int("elastic", 0, "grow the cluster by this many workers (and servers/4, rounded up) mid-run, then shrink back")
 		elasticUpAt   = fs.Duration("elastic-up", 30*time.Second, "-elastic: when the extra nodes join (virtual time)")
@@ -72,7 +75,12 @@ func run(args []string) error {
 	// the reasons are in DESIGN.md (Elasticity, Fault tolerance).
 	scaling := *scalePlanPath != "" || *elasticN > 0
 	faulty := *faultPlanPath != "" || *churn > 0 || *schedCrashes > 0
+	replicated := *replicas > 0 || *standbySched > 0
 	switch {
+	case replicated && scaling:
+		return fmt.Errorf("replication (-replicas/-standby-schedulers) cannot be combined with -scale-plan/-elastic: migrations re-cut shard ranges under the backups (see DESIGN.md, Replication)")
+	case *standbySched > 0 && *decentral:
+		return fmt.Errorf("-decentralized cannot be combined with -standby-schedulers: there is no scheduler to replicate")
 	case *scalePlanPath != "" && *elasticN > 0:
 		return fmt.Errorf("use either -scale-plan or -elastic, not both")
 	case *faultPlanPath != "" && (*churn > 0 || *schedCrashes > 0):
@@ -160,6 +168,7 @@ func run(args []string) error {
 	if *hetero {
 		cfg.Speeds = cluster.InstanceSpeeds(*workers)
 	}
+	cfg.Replication = cluster.Replication{Replicas: *replicas, StandbySchedulers: *standbySched}
 	cfg.SchedulerTimeout = *schedTimeout
 	cfg.BeaconEvery = *beaconEvery
 	if *faultPlanPath != "" && (*churn > 0 || *schedCrashes > 0) {
@@ -232,6 +241,9 @@ func run(args []string) error {
 					h.MembershipEpoch = snap.MembershipEpoch
 					h.Generation = snap.Generation
 				}
+				if leader, term, ok := o.LeaderLease(); ok {
+					h.Role, h.Term, h.Leader = "leader", term, leader
+				}
 				return h
 			},
 			Cluster:    o.ClusterSnapshot,
@@ -288,11 +300,27 @@ func run(args []string) error {
 		st := res.Faults.Stats()
 		fmt.Printf("faults: %d crashes, %d restarts (%d restored from checkpoint), %d evictions, %d readmissions, %d dropped msgs\n",
 			st.Crashes, st.Restarts, st.Restores, st.Evictions, st.Readmissions, st.Drops)
+		if st.LostPushes > 0 {
+			fmt.Printf("faults: %d acknowledged pushes lost to restore rollback\n", st.LostPushes)
+		}
 		if st.SchedulerCrashes > 0 {
 			fmt.Printf("scheduler: %d crashes, %d restarts (%d restored from checkpoint), %d state reports, %d degraded entries, %d recoveries\n",
 				st.SchedulerCrashes, st.SchedulerRestarts, st.SchedulerRestores,
 				st.StateReports, st.DegradedEnters, st.DegradedRecovers)
 		}
+	}
+	if rs := res.Replication; rs != nil {
+		fmt.Printf("replication: %d shard backups, %d standby schedulers; %d forwarded, %d applied, %d deduped; %d snapshots shipped\n",
+			rs.Replicas, rs.StandbySchedulers, rs.Forwarded, rs.Applied, rs.Deduped, rs.SnapshotsShipped)
+		if rs.Elections > 0 {
+			fmt.Printf("failover: %d elections, leader %s serving at term %d, %d shard promotions\n",
+				rs.Elections, rs.LeaderNode, rs.FinalTerm, rs.Promotions)
+		} else if rs.Promotions > 0 {
+			fmt.Printf("failover: %d shard promotions\n", rs.Promotions)
+		}
+	}
+	if res.ParamsDigest != "" {
+		fmt.Printf("params digest %s\n", res.ParamsDigest)
 	}
 	if res.Scale != nil {
 		fmt.Printf("elastic: %d joins, %d leaves, %d migrations (%s moved", res.Scale.Joins, res.Scale.Leaves,

@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
@@ -18,6 +22,7 @@ import (
 	"specsync/internal/obs"
 	"specsync/internal/optimizer"
 	"specsync/internal/ps"
+	"specsync/internal/replica"
 	"specsync/internal/scheme"
 	"specsync/internal/tensor"
 	"specsync/internal/trace"
@@ -75,6 +80,11 @@ type Config struct {
 	CheckAtExpiryOnly bool
 	// RecordAccuracy also samples classification accuracy at each probe.
 	RecordAccuracy bool
+	// MaxItersPerWorker stops each worker after completing this many
+	// iterations; zero means run until convergence or MaxVirtual. A fixed
+	// per-worker budget makes two runs end after the identical applied
+	// update sequence, which is what the zero-loss digest comparison needs.
+	MaxItersPerWorker int64
 	// Debug, if non-nil, receives node logs.
 	Debug io.Writer
 	// OnTune forwards scheduler tuning decisions.
@@ -119,6 +129,58 @@ type Config struct {
 	// instance so Result.Obs is always populated; pass obs.New with
 	// Options{Spans: true} to also retain span traces for export.
 	Obs *obs.Obs
+	// Replication configures the replicated control and data planes. The
+	// zero value disables both. Mutually exclusive with Scale (promotion
+	// and election rebuild nodes at the static initial shape), and requires
+	// any fault plan to be crash-only (a dropped replication message would
+	// silently stall a backup; see DESIGN.md, Replication).
+	Replication Replication
+}
+
+// Replication configures scheduler standbys and parameter-shard backups.
+type Replication struct {
+	// Replicas is the number of backup replicas per parameter shard (R).
+	// Each primary forwards every applied push, version-stamped, to its R
+	// backups in the same step that acknowledges it, so a crash-server
+	// event promotes a backup with zero lost pushes instead of rolling the
+	// shard back to a checkpoint.
+	Replicas int
+	// StandbySchedulers is the number of standby scheduler incarnations
+	// (S). The serving leader ships its durable snapshot to all S standbys
+	// every ReplicateEvery; a crash-scheduler event then ends in a
+	// term-based election among the standbys instead of degraded broadcast
+	// mode, with workers redirected by LeaderAnnounce.
+	StandbySchedulers int
+	// ReplicateEvery is the leader's snapshot-shipping period, which
+	// doubles as its liveness heartbeat. Zero means IterTime/2.
+	ReplicateEvery time.Duration
+	// ElectionTimeout is the standbys' election-timeout base (each standby
+	// randomizes into [T, 2T)). Zero means IterTime — short enough that a
+	// successor is elected before any worker's own SchedulerTimeout (4x
+	// IterTime) trips it into degraded mode.
+	ElectionTimeout time.Duration
+}
+
+// Enabled reports whether any replication is configured.
+func (r Replication) Enabled() bool { return r.Replicas > 0 || r.StandbySchedulers > 0 }
+
+// ReplicationStats summarizes the replicated planes after a run.
+type ReplicationStats struct {
+	// Replicas / StandbySchedulers echo the configuration.
+	Replicas, StandbySchedulers int
+	// Elections is the number of standby elections won; FinalTerm the
+	// highest term reached (0 = the bootstrap leader never died).
+	Elections, FinalTerm int64
+	// LeaderNode is the node serving as scheduler at the end of the run.
+	LeaderNode string
+	// Promotions is the number of backup shards promoted to primary.
+	Promotions int64
+	// Forwarded / Applied / Deduped count replicated pushes: primary
+	// forwards, backup applies, and duplicate pushes absorbed by the
+	// replicated-path dedup.
+	Forwarded, Applied, Deduped int64
+	// SnapshotsShipped counts scheduler snapshot replication ticks.
+	SnapshotsShipped int64
 }
 
 func (c *Config) applyDefaults() {
@@ -151,6 +213,28 @@ func (c *Config) applyDefaults() {
 			c.RetryAfter = 2 * it
 		}
 		if c.Faults.HasSchedulerCrash() {
+			if c.SchedulerTimeout == 0 {
+				c.SchedulerTimeout = 4 * it
+			}
+			if c.BeaconEvery == 0 {
+				c.BeaconEvery = it
+			}
+		}
+	}
+	if c.Replication.Enabled() {
+		it := c.Workload.IterTime
+		if c.Replication.ReplicateEvery == 0 {
+			// Well under the election timeout so a healthy leader never
+			// looks silent.
+			c.Replication.ReplicateEvery = it / 2
+		}
+		if c.Replication.ElectionTimeout == 0 {
+			// Fires within 2x IterTime (randomized to [T, 2T)), well before
+			// the workers' own SchedulerTimeout of 4x IterTime — failover
+			// completes without any worker entering degraded mode.
+			c.Replication.ElectionTimeout = it
+		}
+		if c.Replication.StandbySchedulers > 0 {
 			if c.SchedulerTimeout == 0 {
 				c.SchedulerTimeout = 4 * it
 			}
@@ -233,6 +317,15 @@ type Result struct {
 	// (barrier releases, migrations, faults, straggler flags) with virtual
 	// timestamps.
 	Flight obs.FlightDump
+	// Replication is the replicated-plane accounting (elections, terms,
+	// promotions, forwarded/applied pushes). Nil unless Config.Replication
+	// was enabled.
+	Replication *ReplicationStats
+	// ParamsDigest is the hex SHA-256 over the final assembled parameter
+	// vector. Byte-identical runs produce identical digests, which is how
+	// the zero-loss failover claim is checked: a replicated crash run must
+	// end at exactly the fault-free digest.
+	ParamsDigest string
 }
 
 // Run executes one simulated training job to convergence (or MaxVirtual).
@@ -273,6 +366,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cfg.Scheme.Decentralized {
 			return nil, fmt.Errorf("cluster: Scale cannot be combined with decentralized speculation (the peer list is static)")
+		}
+	}
+	if cfg.Replication.Replicas < 0 || cfg.Replication.StandbySchedulers < 0 {
+		return nil, fmt.Errorf("cluster: negative replication counts")
+	}
+	if cfg.Replication.Enabled() {
+		if cfg.Scale != nil {
+			return nil, fmt.Errorf("cluster: Replication cannot be combined with Scale (promotion and election rebuild nodes at the static cluster shape)")
+		}
+		if cfg.Faults != nil && !cfg.Faults.CrashOnly() {
+			return nil, fmt.Errorf("cluster: Replication requires a crash-only fault plan (a dropped or partitioned replication message would silently stall a backup; see DESIGN.md, Replication)")
 		}
 	}
 	cfg.applyDefaults()
@@ -344,8 +448,11 @@ func Run(cfg Config) (*Result, error) {
 	initVec := mdl.Init(initRng)
 
 	var faultM *metrics.Faults
-	if cfg.Faults != nil {
+	if cfg.Faults != nil || cfg.Replication.Enabled() {
 		faultM = metrics.NewFaults(msg.IsControl)
+		o.Registry().SetCollector("faults", func(w io.Writer) {
+			faultM.WritePrometheus(w)
+		})
 	}
 
 	// makeServer / makeWorker build a node from scratch; used for initial
@@ -405,6 +512,7 @@ func Run(cfg Config) (*Result, error) {
 			Tracer:           collector,
 			Obs:              o.Worker(i),
 			AbortLateFrac:    cfg.AbortLateFrac,
+			MaxIters:         cfg.MaxItersPerWorker,
 			NumWorkers:       cfg.Workers,
 			HeartbeatEvery:   cfg.HeartbeatEvery,
 			RetryAfter:       cfg.RetryAfter,
@@ -432,6 +540,48 @@ func Run(cfg Config) (*Result, error) {
 		servers[i] = srv
 		if err := sim.AddNode(node.ServerID(i), srv); err != nil {
 			return nil, err
+		}
+	}
+
+	// Shard backups: R replicas per shard, each a real ps.Server with the
+	// same initial parameters and optimizer, in replica mode (serves no
+	// worker traffic, applies the primary's version-stamped forward stream).
+	// Starting identical and applying the identical sequence keeps every
+	// backup byte-for-byte in sync with its primary.
+	var shardReplicas [][]*ps.Server
+	if R := cfg.Replication.Replicas; R > 0 {
+		makeReplica := func(shard int) (*ps.Server, error) {
+			r := ranges[shard]
+			opt, err := newOptimizer(r.Len())
+			if err != nil {
+				return nil, err
+			}
+			return ps.New(ps.Config{
+				Range:      r,
+				Init:       initVec[r.Lo:r.Hi],
+				Optimizer:  opt,
+				Replica:    true,
+				Obs:        o.Server(shard),
+				DeltaPull:  cfg.Codec.UsesDelta(),
+				CodecStats: codecStats,
+			})
+		}
+		shardReplicas = make([][]*ps.Server, cfg.Servers)
+		for shard := range ranges {
+			backups := make([]node.ID, R)
+			shardReplicas[shard] = make([]*ps.Server, R)
+			for r := 1; r <= R; r++ {
+				backups[r-1] = node.ReplicaID(shard, r)
+				rep, err := makeReplica(shard)
+				if err != nil {
+					return nil, err
+				}
+				shardReplicas[shard][r-1] = rep
+				if err := sim.AddNode(node.ReplicaID(shard, r), rep); err != nil {
+					return nil, err
+				}
+			}
+			servers[shard].SetBackups(backups)
 		}
 	}
 
@@ -486,15 +636,67 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sim.AddNode(node.Scheduler, sched); err != nil {
-		return nil, err
-	}
 
 	// Iterations and aborts retired by crashed worker incarnations; the
 	// replacement starts its counters from zero. Likewise re-syncs and epochs
-	// retired by crashed scheduler incarnations.
+	// retired by crashed (or deposed) scheduler incarnations.
 	var retiredIters, retiredAborts, retiredResyncs int64
 	var maxEpochs int
+
+	// retireScheduler folds the outgoing incarnation's counters into the
+	// retired totals and swaps the accounting reference to its successor.
+	retireScheduler := func(s *core.Scheduler) {
+		retiredResyncs += sched.ReSyncsSent()
+		if e := sched.Epoch(); e > maxEpochs {
+			maxEpochs = e
+		}
+		sched = s
+	}
+
+	// Control-plane replication: the bootstrap scheduler serves behind a
+	// Leader wrapper that ships its snapshot to S standby incarnations; a
+	// crash then ends in an election instead of degraded broadcast mode.
+	var leader *replica.Leader
+	var standbys []*replica.Standby
+	if S := cfg.Replication.StandbySchedulers; S > 0 {
+		leader, err = replica.NewLeader(replica.LeaderConfig{
+			Sched:          sched,
+			Standbys:       S,
+			ReplicateEvery: cfg.Replication.ReplicateEvery,
+			Obs:            o,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.AddNode(node.Scheduler, leader); err != nil {
+			return nil, err
+		}
+		for i := 1; i <= S; i++ {
+			sb, err := replica.NewStandby(replica.StandbyConfig{
+				Index:           i,
+				Standbys:        S,
+				Workers:         maxWorkers,
+				ElectionTimeout: cfg.Replication.ElectionTimeout,
+				ReplicateEvery:  cfg.Replication.ReplicateEvery,
+				MakeScheduler:   makeScheduler,
+				OnPromote:       func(_ *replica.Standby, s *core.Scheduler) { retireScheduler(s) },
+				Faults:          faultM,
+				Obs:             o,
+			})
+			if err != nil {
+				return nil, err
+			}
+			standbys = append(standbys, sb)
+			if err := sim.AddNode(node.StandbyID(i), sb); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := sim.AddNode(node.Scheduler, sched); err != nil {
+			return nil, err
+		}
+	}
+
 	var inj *faults.SimInjector
 	if cfg.Faults != nil {
 		inj, err = faults.AttachSim(sim, faults.SimOptions{
@@ -511,6 +713,23 @@ func Run(cfg Config) (*Result, error) {
 			NewScheduler: makeScheduler,
 			Server:       func(shard int) *ps.Server { return servers[shard] },
 			Scheduler:    func() *core.Scheduler { return sched },
+			Replicas:     cfg.Replication.Replicas,
+			Standbys:     cfg.Replication.StandbySchedulers,
+			ReplicaServer: func(shard, r int) *ps.Server {
+				if shardReplicas == nil || r < 1 || r > len(shardReplicas[shard]) {
+					return nil
+				}
+				return shardReplicas[shard][r-1]
+			},
+			OnPromote: func(shard int, srv *ps.Server) {
+				o.RecordFlight(obs.FlightEvent{
+					At:     sim.Now(),
+					Kind:   "replica-promote",
+					Node:   string(node.ServerID(shard)),
+					Value:  float64(srv.Version()),
+					Detail: "backup promoted to shard primary",
+				})
+			},
 			OnWorkerRestart: func(i int, h node.Handler) {
 				retiredIters += workers[i].IterationsDone()
 				retiredAborts += workers[i].Aborts()
@@ -519,13 +738,7 @@ func Run(cfg Config) (*Result, error) {
 			OnServerRestart: func(shard int, srv *ps.Server) {
 				servers[shard] = srv
 			},
-			OnSchedulerRestart: func(s *core.Scheduler) {
-				retiredResyncs += sched.ReSyncsSent()
-				if e := sched.Epoch(); e > maxEpochs {
-					maxEpochs = e
-				}
-				sched = s
-			},
+			OnSchedulerRestart: func(s *core.Scheduler) { retireScheduler(s) },
 		})
 		if err != nil {
 			return nil, err
@@ -657,10 +870,70 @@ func Run(cfg Config) (*Result, error) {
 		res.ConvergeTime = t
 		res.Converged = true
 	}
+	if cfg.Replication.Enabled() {
+		rs := &ReplicationStats{
+			Replicas:          cfg.Replication.Replicas,
+			StandbySchedulers: cfg.Replication.StandbySchedulers,
+			LeaderNode:        string(node.Scheduler),
+		}
+		if leader != nil {
+			rs.SnapshotsShipped = leader.Shipped()
+		}
+		for i, sb := range standbys {
+			rs.Elections += sb.Elections()
+			rs.SnapshotsShipped += sb.Shipped()
+			if t := sb.Term(); t > rs.FinalTerm {
+				rs.FinalTerm = t
+			}
+			if sb.Role() == replica.RoleLeader {
+				rs.LeaderNode = string(node.StandbyID(i + 1))
+			}
+		}
+		// Replicated-push accounting over the union of every server that ever
+		// served or backed a shard: the promoted backup appears both in
+		// servers and in its replica slot, so dedup by pointer.
+		seen := make(map[*ps.Server]bool)
+		tally := func(srv *ps.Server) {
+			if srv == nil || seen[srv] {
+				return
+			}
+			seen[srv] = true
+			f, a, d := srv.ReplStats()
+			rs.Forwarded += f
+			rs.Applied += a
+			rs.Deduped += d
+		}
+		for _, srv := range servers {
+			tally(srv)
+		}
+		for _, reps := range shardReplicas {
+			for _, rep := range reps {
+				tally(rep)
+			}
+		}
+		if faultM != nil {
+			rs.Promotions = faultM.Stats().Promotions
+		}
+		res.Replication = rs
+	}
 	if cfg.KeepTrace {
 		res.Trace = collector
 	}
 	res.Obs = o.Summary()
 	res.Flight = o.FlightDump()
+	res.ParamsDigest = paramsDigest(assemble())
 	return res, nil
+}
+
+// paramsDigest hashes a parameter vector bit-exactly (IEEE-754 bits, little
+// endian), so two runs share a digest iff their final models are
+// byte-identical.
+func paramsDigest(w tensor.Vec) string {
+	h := sha256.New()
+	var b [8]byte
+	for _, v := range w {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

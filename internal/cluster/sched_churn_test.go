@@ -91,6 +91,52 @@ func TestSchedulerChurnConvergesAllSchemes(t *testing.T) {
 	}
 }
 
+// TestDegradedFlightRoundTrip drives a worker through a full degraded-mode
+// round trip (scheduler silent past the timeout, then a restarted incarnation
+// re-adopts the fleet) and requires the flight recorder to hold the story in
+// order: for every worker that entered degraded mode, its degraded-enter
+// event precedes a matching degraded-exit.
+func TestDegradedFlightRoundTrip(t *testing.T) {
+	res, err := Run(schedChurnConfig(t,
+		scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}, 4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Faults.Stats()
+	if st.DegradedEnters < 1 {
+		t.Fatalf("degraded enters = %d, want >= 1 (scenario must trip the failure detector)", st.DegradedEnters)
+	}
+	enters := res.Flight.Filter("degraded-enter")
+	exits := res.Flight.Filter("degraded-exit")
+	if int64(len(enters)) != st.DegradedEnters {
+		t.Errorf("flight recorder holds %d degraded-enter events, fault stats say %d", len(enters), st.DegradedEnters)
+	}
+	if int64(len(exits)) != st.DegradedRecovers {
+		t.Errorf("flight recorder holds %d degraded-exit events, fault stats say %d", len(exits), st.DegradedRecovers)
+	}
+	// Per worker: alternating enter/exit starting with enter, ending closed.
+	state := map[string]string{}
+	for _, ev := range res.Flight.Events {
+		switch ev.Kind {
+		case "degraded-enter":
+			if state[ev.Node] == "in" {
+				t.Errorf("%s: degraded-enter while already degraded (seq %d)", ev.Node, ev.Seq)
+			}
+			state[ev.Node] = "in"
+		case "degraded-exit":
+			if state[ev.Node] != "in" {
+				t.Errorf("%s: degraded-exit without a preceding enter (seq %d)", ev.Node, ev.Seq)
+			}
+			state[ev.Node] = "out"
+		}
+	}
+	for node, s := range state {
+		if s == "in" {
+			t.Errorf("%s: still degraded at end of run — exit event never recorded", node)
+		}
+	}
+}
+
 // TestSchedulerChurnReproducible requires byte-identical traces across two
 // same-seed runs of the scheduler-crash plan: the failure detector, beacons,
 // handshake, and degraded-mode speculation must all live in virtual time.

@@ -87,6 +87,46 @@ func TestCrashSilencesTimersAndDropsDeliveries(t *testing.T) {
 	}
 }
 
+// TestCrashedSenderInFlightStillDelivers pins the crash semantic the
+// replication design rests on: Crash(id) drops messages TO the dead node,
+// but messages it already sent keep flowing to their destinations. A shard
+// primary that forwards an acknowledged push to its backup and then dies
+// therefore cannot take the push with it — the forward is already on the
+// wire, and the promoted backup applies it (the zero-loss invariant in
+// DESIGN.md, Replication).
+func TestCrashedSenderInFlightStillDelivers(t *testing.T) {
+	s := newSim(t, Config{Seed: 1, Net: NetModel{Latency: 5 * time.Millisecond}})
+	sender, receiver := &echoNode{}, &echoNode{}
+	if err := s.AddNode(node.WorkerID(0), sender); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddNode(node.WorkerID(1), receiver); err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+
+	// Put two messages in flight, then kill the sender before either's
+	// 5ms delivery time arrives.
+	s.nodes[node.WorkerID(0)].Send(node.WorkerID(1), &ping{Seq: 1})
+	s.nodes[node.WorkerID(0)].Send(node.WorkerID(1), &ping{Seq: 2})
+	if err := s.Crash(node.WorkerID(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(50 * time.Millisecond)
+
+	if len(receiver.seen) != 2 {
+		t.Fatalf("in-flight sends from a crashed sender: delivered %d, want 2 (%v)", len(receiver.seen), receiver.seen)
+	}
+	// The reverse direction really is dropped: nothing reaches the corpse.
+	if err := s.Inject(node.WorkerID(1), node.WorkerID(0), &ping{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(50 * time.Millisecond)
+	if len(sender.seen) != 0 {
+		t.Errorf("crashed node received %v", sender.seen)
+	}
+}
+
 func TestCrashRestartErrors(t *testing.T) {
 	s := newSim(t, Config{Seed: 1})
 	if err := s.AddNode(node.WorkerID(0), &echoNode{}); err != nil {

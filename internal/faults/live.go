@@ -45,6 +45,18 @@ type LiveOptions struct {
 	// a restarted scheduler; ok=false restarts it cold (state rebuilds from
 	// worker StateReports alone).
 	SchedulerCheckpoint func() (core.SchedulerSnapshot, bool)
+
+	// Replicas / ReplicaServer / Server / OnPromote / Standbys mirror
+	// SimOptions: with Replicas > 0 a crashed shard recovers by promoting
+	// its next surviving backup once it has drained the dead primary's
+	// replication stream (Server pins the catch-up target at crash time),
+	// and with Standbys > 0 a crashed scheduler is left to the standby
+	// election instead of being restarted here.
+	Replicas      int
+	ReplicaServer func(shard, r int) *ps.Server
+	Server        func(shard int) *ps.Server
+	OnPromote     func(shard int, srv *ps.Server)
+	Standbys      int
 }
 
 // LiveInjector executes a plan against a live.Network in wall-clock time.
@@ -54,13 +66,15 @@ type LiveInjector struct {
 	opts   LiveOptions
 	filter *Filter
 
-	mu       sync.Mutex
-	net      *live.Network
-	start    time.Time
-	timers   []*time.Timer
-	schedGen int64
-	errs     []error
-	stopped  bool
+	mu           sync.Mutex
+	net          *live.Network
+	start        time.Time
+	timers       []*time.Timer
+	schedGen     int64
+	promoted     map[int]int
+	crashVersion map[int]int64
+	errs         []error
+	stopped      bool
 }
 
 // NewLive validates the plan and builds the injector.
@@ -84,16 +98,23 @@ func NewLive(opts LiveOptions) (*LiveInjector, error) {
 			if ev.Node >= opts.NumServers {
 				return nil, fmt.Errorf("faults: event %d: server %d out of range (n=%d)", i, ev.Node, opts.NumServers)
 			}
-			if ev.RestartAfter > 0 && opts.NewServer == nil {
+			if ev.RestartAfter > 0 && opts.NewServer == nil && opts.Replicas == 0 {
 				return nil, fmt.Errorf("faults: event %d restarts a server but NewServer is nil", i)
 			}
+			if opts.Replicas > 0 && (opts.ReplicaServer == nil || opts.Server == nil) {
+				return nil, fmt.Errorf("faults: event %d: Replicas=%d needs the ReplicaServer and Server accessors", i, opts.Replicas)
+			}
 		case KindCrashScheduler:
-			if ev.RestartAfter > 0 && opts.NewScheduler == nil {
+			if ev.RestartAfter > 0 && opts.NewScheduler == nil && opts.Standbys == 0 {
 				return nil, fmt.Errorf("faults: event %d restarts the scheduler but NewScheduler is nil", i)
 			}
 		}
 	}
-	return &LiveInjector{opts: opts, filter: NewFilter(opts.Plan, opts.Faults)}, nil
+	return &LiveInjector{
+		opts: opts, filter: NewFilter(opts.Plan, opts.Faults),
+		promoted:     make(map[int]int),
+		crashVersion: make(map[int]int64),
+	}, nil
 }
 
 // Hook adapts the plan's message faults to live.NetworkConfig.Fault. It is
@@ -165,6 +186,13 @@ func (l *LiveInjector) crash(ev Event) {
 		// holds it down, so this one — and its restart — is a no-op.
 		return
 	}
+	if ev.Kind == KindCrashServer && l.opts.Server != nil {
+		if srv := l.opts.Server(ev.Node); srv != nil {
+			l.mu.Lock()
+			l.crashVersion[ev.Node] = srv.Version()
+			l.mu.Unlock()
+		}
+	}
 	if err := net.Crash(id); err != nil {
 		l.fail(err)
 		return
@@ -176,6 +204,11 @@ func (l *LiveInjector) crash(ev Event) {
 	}
 	if l.opts.Tracer != nil {
 		l.opts.Tracer.Record(trace.Event{At: time.Now(), Worker: traceWorker, Kind: trace.KindCrash})
+	}
+	if ev.Kind == KindCrashScheduler && l.opts.Standbys > 0 {
+		// The standby election replaces the scheduler; restarting one here
+		// would fork the control plane into two live incarnations.
+		return
 	}
 	if ev.RestartAfter > 0 {
 		l.mu.Lock()
@@ -209,6 +242,17 @@ func (l *LiveInjector) restart(ev Event, id node.ID, traceWorker int) {
 		}
 		h = wk
 	} else {
+		l.mu.Lock()
+		promote := l.opts.Replicas > 0 && l.promoted[ev.Node] < l.opts.Replicas
+		l.mu.Unlock()
+		if promote {
+			l.promoteReplica(net, ev.Node, id, traceWorker)
+			return
+		}
+		if l.opts.NewServer == nil {
+			l.fail(fmt.Errorf("faults: shard %d exhausted its backups and NewServer is nil", ev.Node))
+			return
+		}
 		srv, err := l.opts.NewServer(ev.Node)
 		if err != nil {
 			l.fail(err)
@@ -223,6 +267,12 @@ func (l *LiveInjector) restart(ev Event, id node.ID, traceWorker int) {
 				l.opts.Faults.RecordRestore()
 				restored = snap.Version
 			}
+		}
+		l.mu.Lock()
+		cv := l.crashVersion[ev.Node]
+		l.mu.Unlock()
+		if cv > restored {
+			l.opts.Faults.RecordLostPushes(cv - restored)
 		}
 		h = srv
 		if l.opts.OnServerRestart != nil {
@@ -244,6 +294,77 @@ func (l *LiveInjector) restart(ev Event, id node.ID, traceWorker int) {
 		if err := net.Inject(node.Scheduler, id, &msg.Start{}); err != nil {
 			l.fail(err)
 		}
+	}
+}
+
+// promoteReplica mirrors the sim injector's zero-loss shard failover in wall
+// time: wait (on the catchUpPoll tick) until the next surviving backup has
+// applied everything the dead primary acknowledged, then detach it from its
+// replica ID and install it at the shard's well-known node ID.
+func (l *LiveInjector) promoteReplica(net *live.Network, shard int, id node.ID, traceWorker int) {
+	l.mu.Lock()
+	r := l.promoted[shard] + 1
+	target := l.crashVersion[shard]
+	l.mu.Unlock()
+	backup := l.opts.ReplicaServer(shard, r)
+	if backup == nil {
+		l.fail(fmt.Errorf("faults: shard %d has no replica %d to promote", shard, r))
+		return
+	}
+	var await func()
+	await = func() {
+		l.mu.Lock()
+		stopped := l.stopped
+		l.mu.Unlock()
+		if stopped {
+			return
+		}
+		if backup.Version() < target {
+			l.mu.Lock()
+			if !l.stopped {
+				l.timers = append(l.timers, time.AfterFunc(catchUpPoll, await))
+			}
+			l.mu.Unlock()
+			return
+		}
+		l.finishPromotion(net, shard, r, id, traceWorker, backup)
+	}
+	await()
+}
+
+func (l *LiveInjector) finishPromotion(net *live.Network, shard, r int, id node.ID, traceWorker int, backup *ps.Server) {
+	if err := net.Crash(node.ReplicaID(shard, r)); err != nil {
+		l.fail(err)
+		return
+	}
+	// The crash only marks the node down; a callback may still be running on
+	// its loop. Drain it before taking over the handler's state.
+	if err := net.Quiesce(node.ReplicaID(shard, r)); err != nil {
+		l.fail(err)
+		return
+	}
+	remaining := make([]node.ID, 0, l.opts.Replicas-r)
+	for i := r + 1; i <= l.opts.Replicas; i++ {
+		remaining = append(remaining, node.ReplicaID(shard, i))
+	}
+	backup.Promote(remaining)
+	if err := net.Restart(id, backup); err != nil {
+		l.fail(err)
+		return
+	}
+	l.mu.Lock()
+	l.promoted[shard] = r
+	l.mu.Unlock()
+	l.opts.Faults.RecordRestart()
+	l.opts.Faults.RecordPromotion()
+	if l.opts.Tracer != nil {
+		l.opts.Tracer.Record(trace.Event{At: time.Now(), Worker: traceWorker, Kind: trace.KindRecover, Value: backup.Version()})
+	}
+	if l.opts.OnServerRestart != nil {
+		l.opts.OnServerRestart(shard, backup)
+	}
+	if l.opts.OnPromote != nil {
+		l.opts.OnPromote(shard, backup)
 	}
 }
 

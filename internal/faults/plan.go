@@ -146,6 +146,22 @@ func (p *Plan) HasSchedulerCrash() bool {
 	return false
 }
 
+// CrashOnly reports whether the plan contains nothing but crash events (no
+// partitions or message faults). Replicated runs require a crash-only plan:
+// a dropped, delayed, or partitioned replication message would silently
+// stall a backup behind the primary it is supposed to stand in for (see
+// DESIGN.md, Replication).
+func (p *Plan) CrashOnly() bool {
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case KindCrashWorker, KindCrashServer, KindCrashScheduler:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // MarshalJSON round-trips through the standard encoder; ParseJSON is the
 // inverse. Durations serialize as nanosecond integers.
 func (p *Plan) JSON() ([]byte, error) {

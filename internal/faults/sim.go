@@ -53,7 +53,35 @@ type SimOptions struct {
 	// restarts restore the most recent snapshot. Zero disables
 	// checkpointing — restarted shards come back at their initial values.
 	CheckpointEvery time.Duration
+
+	// Replicas is the number of backup replicas per shard (R). When
+	// positive, a crashed server recovers by promoting its next surviving
+	// backup — after waiting for the in-flight replication stream to drain,
+	// so no acknowledged push is lost — instead of restoring a checkpoint.
+	// The checkpoint path remains the fallback once a shard's backups are
+	// exhausted by repeated crashes.
+	Replicas int
+	// ReplicaServer returns the live backup server for (shard, r), r being
+	// the 1-based replica slot. Required when Replicas > 0 and the plan
+	// crashes a server (as is the Server accessor, which pins the version
+	// the promotion must catch up to).
+	ReplicaServer func(shard, r int) *ps.Server
+	// OnPromote lets the harness swap its shard reference to the promoted
+	// backup and record the failover (flight events, result accounting).
+	// OnServerRestart also fires for promotions, with the promoted server.
+	OnPromote func(shard int, srv *ps.Server)
+	// Standbys is the number of standby scheduler incarnations. When
+	// positive, a crashed scheduler is not restarted by the injector — the
+	// standbys detect the silence and elect a successor on their own, so
+	// the injector only counts the crash and ignores the event's
+	// RestartAfter.
+	Standbys int
 }
+
+// catchUpPoll is the virtual-time tick on which a promotion re-checks
+// whether the backup has drained the dead primary's in-flight replication
+// stream. Deterministic under the DES (plain virtual delay, no randomness).
+const catchUpPoll = 2 * time.Millisecond
 
 // SimInjector executes a plan against a des.Sim in virtual time.
 type SimInjector struct {
@@ -64,7 +92,12 @@ type SimInjector struct {
 	snaps     map[int]ps.Snapshot
 	schedSnap *core.SchedulerSnapshot
 	schedGen  int64
-	errs      []error
+	// promoted counts backups already consumed per shard; crashVersion pins
+	// each crashed shard's acknowledged version — the catch-up target for a
+	// promotion and the loss baseline for a checkpoint restore.
+	promoted     map[int]int
+	crashVersion map[int]int64
+	errs         []error
 }
 
 // AttachSim validates the plan against the cluster shape, installs the
@@ -90,11 +123,14 @@ func AttachSim(sim *des.Sim, opts SimOptions) (*SimInjector, error) {
 			if ev.Node >= opts.NumServers {
 				return nil, fmt.Errorf("faults: event %d: server %d out of range (n=%d)", i, ev.Node, opts.NumServers)
 			}
-			if ev.RestartAfter > 0 && opts.NewServer == nil {
+			if ev.RestartAfter > 0 && opts.NewServer == nil && opts.Replicas == 0 {
 				return nil, fmt.Errorf("faults: event %d restarts a server but NewServer is nil", i)
 			}
+			if opts.Replicas > 0 && (opts.ReplicaServer == nil || opts.Server == nil) {
+				return nil, fmt.Errorf("faults: event %d: Replicas=%d needs the ReplicaServer and Server accessors", i, opts.Replicas)
+			}
 		case KindCrashScheduler:
-			if ev.RestartAfter > 0 && opts.NewScheduler == nil {
+			if ev.RestartAfter > 0 && opts.NewScheduler == nil && opts.Standbys == 0 {
 				return nil, fmt.Errorf("faults: event %d restarts the scheduler but NewScheduler is nil", i)
 			}
 		}
@@ -103,7 +139,12 @@ func AttachSim(sim *des.Sim, opts SimOptions) (*SimInjector, error) {
 		return nil, fmt.Errorf("faults: CheckpointEvery set but Server accessor is nil")
 	}
 
-	inj := &SimInjector{sim: sim, opts: opts, snaps: make(map[int]ps.Snapshot)}
+	inj := &SimInjector{
+		sim: sim, opts: opts,
+		snaps:        make(map[int]ps.Snapshot),
+		promoted:     make(map[int]int),
+		crashVersion: make(map[int]int64),
+	}
 
 	filter := NewFilter(opts.Plan, opts.Faults)
 	if !filter.Empty() {
@@ -143,6 +184,14 @@ func (inj *SimInjector) crash(ev Event) {
 		// this one — and its restart — is a no-op.
 		return
 	}
+	if ev.Kind == KindCrashServer && inj.opts.Server != nil {
+		// Pin the acknowledged version at the instant of death: a promotion
+		// must not serve until its backup has applied this much, and a
+		// checkpoint restore that comes back below it lost pushes.
+		if srv := inj.opts.Server(ev.Node); srv != nil {
+			inj.crashVersion[ev.Node] = srv.Version()
+		}
+	}
 	if err := inj.sim.Crash(id); err != nil {
 		inj.errs = append(inj.errs, err)
 		return
@@ -154,6 +203,12 @@ func (inj *SimInjector) crash(ev Event) {
 	}
 	if inj.opts.Tracer != nil {
 		inj.opts.Tracer.Record(trace.Event{At: inj.sim.Now(), Worker: traceWorker, Kind: trace.KindCrash})
+	}
+	if ev.Kind == KindCrashScheduler && inj.opts.Standbys > 0 {
+		// The standbys' election timers take it from here; injecting a
+		// restarted incarnation at the old node ID would fork the control
+		// plane into two live schedulers.
+		return
 	}
 	if ev.RestartAfter > 0 {
 		inj.sim.Schedule(ev.RestartAfter, func() { inj.restart(ev, id, traceWorker) })
@@ -175,6 +230,16 @@ func (inj *SimInjector) restart(ev Event, id node.ID, traceWorker int) {
 		}
 		h = wk
 	} else {
+		if inj.opts.Replicas > 0 && inj.promoted[ev.Node] < inj.opts.Replicas {
+			// A surviving backup holds every acknowledged push; promote it
+			// instead of rolling back to a checkpoint.
+			inj.promoteReplica(ev.Node, id, traceWorker)
+			return
+		}
+		if inj.opts.NewServer == nil {
+			inj.errs = append(inj.errs, fmt.Errorf("faults: shard %d exhausted its backups and NewServer is nil", ev.Node))
+			return
+		}
 		srv, err := inj.opts.NewServer(ev.Node)
 		if err != nil {
 			inj.errs = append(inj.errs, err)
@@ -187,6 +252,10 @@ func (inj *SimInjector) restart(ev Event, id node.ID, traceWorker int) {
 			}
 			inj.opts.Faults.RecordRestore()
 			restored = snap.Version
+		}
+		// Everything applied after the last checkpoint died with the node.
+		if cv := inj.crashVersion[ev.Node]; cv > restored {
+			inj.opts.Faults.RecordLostPushes(cv - restored)
 		}
 		h = srv
 		if inj.opts.OnServerRestart != nil {
@@ -210,6 +279,63 @@ func (inj *SimInjector) restart(ev Event, id node.ID, traceWorker int) {
 		if err := inj.sim.Inject(node.Scheduler, id, &msg.Start{}); err != nil {
 			inj.errs = append(inj.errs, err)
 		}
+	}
+}
+
+// promoteReplica recovers a crashed shard from its next surviving backup.
+// The backup may still be draining ReplApply messages the dead primary sent
+// before crashing (in-flight sends deliver; that is the zero-loss basis), so
+// promotion first waits until the backup's version reaches the version the
+// primary had acknowledged, then installs the backup at the shard's node ID —
+// workers keep routing to "server/i" and never learn a failover happened.
+func (inj *SimInjector) promoteReplica(shard int, id node.ID, traceWorker int) {
+	r := inj.promoted[shard] + 1
+	backup := inj.opts.ReplicaServer(shard, r)
+	if backup == nil {
+		inj.errs = append(inj.errs, fmt.Errorf("faults: shard %d has no replica %d to promote", shard, r))
+		return
+	}
+	target := inj.crashVersion[shard]
+	var await func()
+	await = func() {
+		if backup.Version() < target {
+			inj.sim.Schedule(catchUpPoll, await)
+			return
+		}
+		inj.finishPromotion(shard, r, id, traceWorker, backup)
+	}
+	await()
+}
+
+// finishPromotion performs the switch once the backup has caught up: detach
+// the backup handler from its replica node ID (one handler must not serve two
+// live IDs), point it at the backups that remain, and restart the shard's
+// well-known ID with it.
+func (inj *SimInjector) finishPromotion(shard, r int, id node.ID, traceWorker int, backup *ps.Server) {
+	if err := inj.sim.Crash(node.ReplicaID(shard, r)); err != nil {
+		inj.errs = append(inj.errs, err)
+		return
+	}
+	remaining := make([]node.ID, 0, inj.opts.Replicas-r)
+	for i := r + 1; i <= inj.opts.Replicas; i++ {
+		remaining = append(remaining, node.ReplicaID(shard, i))
+	}
+	backup.Promote(remaining)
+	if err := inj.sim.Restart(id, backup); err != nil {
+		inj.errs = append(inj.errs, err)
+		return
+	}
+	inj.promoted[shard] = r
+	inj.opts.Faults.RecordRestart()
+	inj.opts.Faults.RecordPromotion()
+	if inj.opts.Tracer != nil {
+		inj.opts.Tracer.Record(trace.Event{At: inj.sim.Now(), Worker: traceWorker, Kind: trace.KindRecover, Value: backup.Version()})
+	}
+	if inj.opts.OnServerRestart != nil {
+		inj.opts.OnServerRestart(shard, backup)
+	}
+	if inj.opts.OnPromote != nil {
+		inj.opts.OnPromote(shard, backup)
 	}
 }
 

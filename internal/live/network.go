@@ -287,6 +287,26 @@ func (n *Network) Restart(id node.ID, h node.Handler) error {
 	return nil
 }
 
+// Quiesce blocks until id's event loop has finished every callback enqueued
+// before this call, including one mid-execution. After Crash(id) + Quiesce(id)
+// the node's handler is guaranteed to run no further callbacks, so its state
+// may be handed to a new owner — replica promotion reuses the caught-up
+// backup's handler object under the shard's primary ID.
+func (n *Network) Quiesce(id node.ID) error {
+	n.mu.RLock()
+	ln, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("live: Quiesce(%s): unknown node", id)
+	}
+	done := make(chan struct{})
+	if !ln.inbox.push(func() { close(done) }) {
+		return nil // queue closed: the loop has already drained and exited
+	}
+	<-done
+	return nil
+}
+
 // Down reports whether a node is currently crashed.
 func (n *Network) Down(id node.ID) bool {
 	n.mu.RLock()

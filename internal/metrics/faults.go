@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"io"
 	"sync"
 
 	"specsync/internal/wire"
@@ -33,6 +35,10 @@ type Faults struct {
 	stateReports     int64
 	degradedEnters   int64
 	degradedRecovers int64
+
+	lostPushes int64
+	promotions int64
+	elections  int64
 }
 
 // NewFaults builds a Faults counter set; isControl classifies message kinds
@@ -190,6 +196,33 @@ func (f *Faults) RecordDegradedRecover() {
 	}
 }
 
+// RecordLostPushes counts pushes irrecoverably lost by a crash: applied by
+// the dead node but absent from the state its replacement restored. A
+// checkpoint restore loses everything since the last snapshot; a replica
+// promotion records zero — the measurable zero-loss claim.
+func (f *Faults) RecordLostPushes(n int64) {
+	if f == nil || n <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.lostPushes += n
+	f.mu.Unlock()
+}
+
+// RecordPromotion counts one backup replica promoted to shard primary.
+func (f *Faults) RecordPromotion() {
+	if f != nil {
+		f.add(&f.promotions)
+	}
+}
+
+// RecordElection counts one scheduler standby election won.
+func (f *Faults) RecordElection() {
+	if f != nil {
+		f.add(&f.elections)
+	}
+}
+
 func (f *Faults) add(p *int64) {
 	f.mu.Lock()
 	*p++
@@ -209,6 +242,10 @@ type FaultStats struct {
 	SchedulerRestores                   int64
 	StateReports                        int64
 	DegradedEnters, DegradedRecovers    int64
+
+	LostPushes int64
+	Promotions int64
+	Elections  int64
 }
 
 // Stats returns a snapshot of every counter (drop/dup/delay totals summed
@@ -235,6 +272,10 @@ func (f *Faults) Stats() FaultStats {
 		StateReports:      f.stateReports,
 		DegradedEnters:    f.degradedEnters,
 		DegradedRecovers:  f.degradedRecovers,
+
+		LostPushes: f.lostPushes,
+		Promotions: f.promotions,
+		Elections:  f.elections,
 	}
 	for _, n := range f.drops {
 		st.Drops += n
@@ -246,6 +287,30 @@ func (f *Faults) Stats() FaultStats {
 		st.Delays += n
 	}
 	return st
+}
+
+// WritePrometheus writes the fault/recovery counters in the Prometheus text
+// format (register as a Registry collector). Only the counters the
+// replication and recovery dashboards consume are exported; the per-kind
+// drop breakdown stays internal.
+func (f *Faults) WritePrometheus(w io.Writer) {
+	if f == nil {
+		return
+	}
+	st := f.Stats()
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"specsync_crashes_total", "Injected node crashes.", st.Crashes},
+		{"specsync_restarts_total", "Node restarts after crashes.", st.Restarts},
+		{"specsync_restores_total", "Checkpoint restores on restart.", st.Restores},
+		{"specsync_lost_pushes_total", "Pushes lost to crashes (applied but absent from the restored state). Zero under replication.", st.LostPushes},
+		{"specsync_replica_promotions_total", "Backup replicas promoted to shard primary.", st.Promotions},
+		{"specsync_scheduler_elections_total", "Scheduler standby elections won.", st.Elections},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
 }
 
 // DropSplit returns dropped-message counts as (data, control) according to

@@ -506,6 +506,11 @@ func Registry() *wire.Registry {
 		{Kind: KindMigrateDone, Name: "MigrateDone", New: func() wire.Message { return &MigrateDone{} }},
 		{Kind: KindScaleCmd, Name: "ScaleCmd", New: func() wire.Message { return &ScaleCmd{} }},
 		{Kind: KindJobMsg, Name: "JobMsg", New: func() wire.Message { return &JobMsg{} }},
+		{Kind: KindLeaderAnnounce, Name: "LeaderAnnounce", New: func() wire.Message { return &LeaderAnnounce{} }},
+		{Kind: KindVoteReq, Name: "VoteReq", New: func() wire.Message { return &VoteReq{} }},
+		{Kind: KindVoteResp, Name: "VoteResp", New: func() wire.Message { return &VoteResp{} }},
+		{Kind: KindReplState, Name: "ReplState", New: func() wire.Message { return &ReplState{} }},
+		{Kind: KindReplApply, Name: "ReplApply", New: func() wire.Message { return &ReplApply{} }},
 	})
 }
 
@@ -517,6 +522,7 @@ func IsControl(k wire.Kind) bool {
 	case KindPullReq, KindPullResp, KindPushReq, KindPushAck,
 		KindPullReqV2, KindPullRespV2, KindPushReqV2,
 		KindShardState, // migrating parameter segments are data, not control
+		KindReplApply,  // replicated push payloads are data, not control
 		KindJobMsg:     // fleet envelope: wraps only worker→server data traffic
 		return false
 	default:

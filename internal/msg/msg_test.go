@@ -51,6 +51,13 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&MigrateDone{Epoch: 4, Bytes: 4096},
 		&ScaleCmd{Op: ScaleRetireWorker, Node: 5, Servers: []int32{}},
 		&ScaleCmd{Op: ScaleSetServers, Servers: []int32{0, 1, 3}},
+		&LeaderAnnounce{Term: 2, Gen: 3},
+		&VoteReq{Term: 2, Index: 17},
+		&VoteResp{Term: 2, Granted: true},
+		&ReplState{Term: 1, Index: 9, Snap: []byte{1, 2, 3, 4}},
+		&ReplApply{Version: 55, Worker: 3, Iter: 12, Body: ReplBodySparse, Idx: []int32{1, 4}, Grad: []float64{0.5, -1}},
+		&ReplApply{Version: 56, Worker: 0, Iter: 13, Body: ReplBodyDense, Dense: []float64{1, 2, 3}},
+		&ReplApply{Version: 57, Worker: 1, Iter: 14, Body: ReplBodyCodec, Codec: 2, Payload: []byte{9, 9}},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -63,8 +70,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 27 {
-		t.Errorf("registry has %d kinds, want 27", len(kinds))
+	if len(kinds) != 32 {
+		t.Errorf("registry has %d kinds, want 32", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)
@@ -120,13 +127,13 @@ func TestPushReqSparseView(t *testing.T) {
 func TestIsControlClassification(t *testing.T) {
 	// ShardState carries migrating parameter payloads, so it rides the data
 	// path like pushes and pulls; the rest of the elastic protocol is control.
-	data := []wire.Kind{KindPullReq, KindPullResp, KindPushReq, KindPushAck, KindShardState}
+	data := []wire.Kind{KindPullReq, KindPullResp, KindPushReq, KindPushAck, KindShardState, KindReplApply}
 	for _, k := range data {
 		if IsControl(k) {
 			t.Errorf("kind %d misclassified as control", k)
 		}
 	}
-	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat, KindJoinReq, KindJoinAck, KindRoutingUpdate, KindShardTransfer, KindMigrateDone, KindScaleCmd}
+	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat, KindJoinReq, KindJoinAck, KindRoutingUpdate, KindShardTransfer, KindMigrateDone, KindScaleCmd, KindLeaderAnnounce, KindVoteReq, KindVoteResp, KindReplState}
 	for _, k := range control {
 		if !IsControl(k) {
 			t.Errorf("kind %d misclassified as data", k)

@@ -39,6 +39,17 @@ func ServerID(i int) ID { return ID("server/" + strconv.Itoa(i)) }
 // observers; their traffic is excluded from transfer accounting.
 const ProbeID ID = "probe"
 
+// StandbyID returns the ID of the i-th standby scheduler incarnation
+// (1-based: "scheduler/1", "scheduler/2", ...). The well-known Scheduler ID
+// stays index 0 so the bootstrap leader needs no special casing.
+func StandbyID(i int) ID { return ID("scheduler/" + strconv.Itoa(i)) }
+
+// ReplicaID returns the ID of replica r of parameter shard s (1-based r:
+// "replica/0/1" is the first backup of shard 0; the primary is "server/0").
+func ReplicaID(shard, r int) ID {
+	return ID("replica/" + strconv.Itoa(shard) + "/" + strconv.Itoa(r))
+}
+
 // WorkerIndex parses a worker ID back to its index. It returns -1 for
 // non-worker IDs.
 func WorkerIndex(id ID) int {
@@ -48,6 +59,36 @@ func WorkerIndex(id ID) int {
 // ServerIndex parses a server ID back to its index, or -1.
 func ServerIndex(id ID) int {
 	return indexOf(id, "server/")
+}
+
+// StandbyIndex parses a standby-scheduler ID back to its (1-based) index, or
+// -1 for non-standby IDs (including the plain "scheduler" leader ID).
+func StandbyIndex(id ID) int {
+	n := indexOf(id, "scheduler/")
+	if n < 1 {
+		return -1
+	}
+	return n
+}
+
+// ReplicaOf parses a replica ID back to its (shard, replica) pair, or
+// (-1, -1) for non-replica IDs.
+func ReplicaOf(id ID) (shard, r int) {
+	s := string(id)
+	if !strings.HasPrefix(s, "replica/") {
+		return -1, -1
+	}
+	rest := s[len("replica/"):]
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return -1, -1
+	}
+	shard, err1 := strconv.Atoi(rest[:slash])
+	r, err2 := strconv.Atoi(rest[slash+1:])
+	if err1 != nil || err2 != nil || shard < 0 || r < 1 {
+		return -1, -1
+	}
+	return shard, r
 }
 
 func indexOf(id ID, prefix string) int {
@@ -116,7 +157,10 @@ func Validate(id ID) error {
 	if id == Scheduler || id == ProbeID {
 		return nil
 	}
-	if WorkerIndex(id) >= 0 || ServerIndex(id) >= 0 {
+	if WorkerIndex(id) >= 0 || ServerIndex(id) >= 0 || StandbyIndex(id) >= 1 {
+		return nil
+	}
+	if shard, _ := ReplicaOf(id); shard >= 0 {
 		return nil
 	}
 	return fmt.Errorf("node: malformed id %q", id)

@@ -19,6 +19,12 @@ type Health struct {
 	Epoch           int64   `json:"epoch,omitempty"`
 	Iterations      int64   `json:"iterations,omitempty"`
 	Version         int64   `json:"version,omitempty"` // server shard parameter version
+
+	// Replication view: the serving scheduler's role and term (set when
+	// scheduler replication is on; Leader names the serving incarnation).
+	Role   string `json:"role,omitempty"`
+	Term   int64  `json:"term,omitempty"`
+	Leader string `json:"leader,omitempty"`
 }
 
 // WorkerState is one worker's row in a ClusterSnapshot.

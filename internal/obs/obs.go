@@ -53,6 +53,10 @@ type Obs struct {
 
 	cluster atomic.Pointer[ClusterSnapshot]
 
+	// schedLease is the most recent leader report from SchedulerRole, so
+	// /healthz can expose who is serving and at which term.
+	schedLease atomic.Pointer[leaderLease]
+
 	// jobClusters holds one scheduler-published snapshot per job in a
 	// multi-tenant fleet (keyed by job label); the fleet-level view in
 	// cluster is composed by the job manager.
@@ -120,6 +124,51 @@ func (o *Obs) RecordFlight(ev FlightEvent) {
 		return
 	}
 	o.flight.Record(ev)
+}
+
+// SchedulerRole exports one scheduler incarnation's replication role and
+// current term: specsync_scheduler_role{node,role} is 1 for the node's
+// current role and 0 for the others, and specsync_scheduler_term{node}
+// carries the term. Nil-safe.
+func (o *Obs) SchedulerRole(nodeID, role string, term int64) {
+	if o == nil {
+		return
+	}
+	for _, r := range []string{"follower", "candidate", "leader"} {
+		v := 0.0
+		if r == role {
+			v = 1
+		}
+		o.reg.Gauge("specsync_scheduler_role",
+			"Scheduler incarnation replication role (1 = current role).",
+			"node", nodeID, "role", r).Set(v)
+	}
+	o.reg.Gauge("specsync_scheduler_term",
+		"Scheduler replication term this incarnation has seen (serving term once leader).",
+		"node", nodeID).Set(float64(term))
+	if role == "leader" {
+		o.schedLease.Store(&leaderLease{node: nodeID, term: term})
+	}
+}
+
+// leaderLease records the latest leader report (node + term).
+type leaderLease struct {
+	node string
+	term int64
+}
+
+// LeaderLease returns the most recently reported leader incarnation and its
+// term. ok is false until some incarnation has reported itself leader —
+// i.e. always false in runs without scheduler replication.
+func (o *Obs) LeaderLease() (node string, term int64, ok bool) {
+	if o == nil {
+		return "", 0, false
+	}
+	l := o.schedLease.Load()
+	if l == nil {
+		return "", 0, false
+	}
+	return l.node, l.term, true
 }
 
 // Stragglers returns the straggler detector.
@@ -669,6 +718,16 @@ func (s *ServerObs) Pull() {
 		return
 	}
 	s.pulls.Inc()
+}
+
+// Version records the shard's parameter version without counting a served
+// push — the backup-replica replay path, which applies forwarded updates
+// that the primary already counted.
+func (s *ServerObs) Version(version int64) {
+	if s == nil {
+		return
+	}
+	s.version.Set(float64(version))
 }
 
 // Push records one applied push with the shard's new version and the

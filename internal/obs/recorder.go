@@ -35,6 +35,17 @@ type FlightDump struct {
 	Events   []FlightEvent `json:"events"`
 }
 
+// Filter returns the dump's retained events of one kind, oldest-first.
+func (d FlightDump) Filter(kind string) []FlightEvent {
+	var out []FlightEvent
+	for _, ev := range d.Events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
 // FlightRecorder is a bounded, concurrency-safe ring buffer of FlightEvents.
 // Recording is O(1), never blocks on I/O, and never sends messages or
 // schedules timers, preserving the obs determinism invariant. A nil recorder

@@ -75,6 +75,13 @@ type Config struct {
 	Staleness StalenessObserver
 	// Obs, if non-nil, receives pull/push counters and the shard version.
 	Obs *obs.ServerObs
+	// Replica marks this shard instance as a backup: it drops worker data
+	// traffic and only replays the primary's ReplApply stream until a
+	// promotion (Promote) turns it into the serving primary.
+	Replica bool
+	// Backups are the replica node IDs this primary forwards every applied
+	// push to (empty disables replication). Also settable via SetBackups.
+	Backups []node.ID
 	// DeltaPull enables delta-encoded v2 pull responses: the shard caches
 	// the block it last sent each worker and answers a re-pull whose Have
 	// version matches the cache with only the changed entries. Workers on
@@ -118,6 +125,16 @@ type Server struct {
 	// nextTransfer parks a transfer for a later epoch that overtook the
 	// pending epoch's commit in flight; it runs as soon as the commit lands.
 	nextTransfer *msg.ShardTransfer
+
+	// Replication state (see replica.go). backups receives forwarded applies
+	// on the primary; pendingRepl parks reordered ReplApplies on a backup;
+	// lastIter is the replicated per-worker duplicate-suppression watermark.
+	backups       []node.ID
+	pendingRepl   map[int64]*msg.ReplApply
+	lastIter      map[int32]int64
+	replForwarded atomic.Int64
+	replApplied   atomic.Int64
+	replDeduped   atomic.Int64
 }
 
 type pullCacheEntry struct {
@@ -138,7 +155,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Optimizer == nil {
 		return nil, fmt.Errorf("ps: nil optimizer")
 	}
-	return &Server{cfg: cfg, params: cfg.Init.Clone()}, nil
+	return &Server{cfg: cfg, params: cfg.Init.Clone(), backups: cfg.Backups}, nil
 }
 
 // Init implements node.Handler.
@@ -148,9 +165,10 @@ func (s *Server) Init(ctx node.Context) { s.ctx = ctx }
 func (s *Server) Receive(from node.ID, m wire.Message) {
 	switch req := m.(type) {
 	case *msg.PullReq, *msg.PushReq, *msg.PullReqV2, *msg.PushReqV2:
-		if s.frozen {
-			// Mid-migration (or retired/not-yet-committed): drop data traffic.
-			// Workers retry and are re-routed by the next RoutingUpdate.
+		if s.frozen || s.cfg.Replica {
+			// Mid-migration (or retired/not-yet-committed) or a backup
+			// replica: drop data traffic. Workers retry until the routing
+			// commit — or a promotion — puts a serving primary back.
 			return
 		}
 		switch req := m.(type) {
@@ -169,6 +187,8 @@ func (s *Server) Receive(from node.ID, m wire.Message) {
 		case *msg.PushReqV2:
 			s.applyV2(from, req)
 		}
+	case *msg.ReplApply:
+		s.handleReplApply(req)
 	case *msg.ShardTransfer:
 		s.handleTransfer(req)
 	case *msg.ShardState:
@@ -184,6 +204,9 @@ func (s *Server) Receive(from node.ID, m wire.Message) {
 }
 
 func (s *Server) apply(from node.ID, req *msg.PushReq) {
+	if s.dedupPush(from, req.Seq, req.Iter) {
+		return
+	}
 	// Key the LR schedule on this shard's total push count.
 	s.cfg.Optimizer.SetStep(s.version.Load())
 	if req.IsSparse {
@@ -197,6 +220,18 @@ func (s *Server) apply(from node.ID, req *msg.PushReq) {
 		s.cfg.Optimizer.ApplyDense(s.params, req.Dense)
 	}
 	s.acknowledge(from, req.Seq, req.PullVersion)
+	if wi := node.WorkerIndex(from); wi >= 0 && s.replicated() {
+		s.noteApplied(int32(wi), req.Iter)
+		if req.IsSparse {
+			s.forward(int32(wi), req.Iter, func() *msg.ReplApply {
+				return &msg.ReplApply{Body: msg.ReplBodySparse, Idx: req.SparseIdx, Grad: req.SparseVal}
+			})
+		} else {
+			s.forward(int32(wi), req.Iter, func() *msg.ReplApply {
+				return &msg.ReplApply{Body: msg.ReplBodyDense, Dense: req.Dense}
+			})
+		}
+	}
 }
 
 // acknowledge finishes one applied push: version bump, staleness accounting,
@@ -227,6 +262,9 @@ func (s *Server) applyV2(from node.ID, req *msg.PushReqV2) {
 		s.ctx.Logf("server: push from %s uses pull-only codec %s; dropped", from, id)
 		return
 	}
+	if s.dedupPush(from, req.Seq, req.Iter) {
+		return
+	}
 	if s.scratch == nil {
 		s.scratch = tensor.NewVec(s.cfg.Range.Len())
 	}
@@ -237,6 +275,12 @@ func (s *Server) applyV2(from node.ID, req *msg.PushReqV2) {
 	s.cfg.Optimizer.SetStep(s.version.Load())
 	s.cfg.Optimizer.ApplyDense(s.params, s.scratch)
 	s.acknowledge(from, req.Seq, req.PullVersion)
+	if wi := node.WorkerIndex(from); wi >= 0 && s.replicated() {
+		s.noteApplied(int32(wi), req.Iter)
+		s.forward(int32(wi), req.Iter, func() *msg.ReplApply {
+			return &msg.ReplApply{Body: msg.ReplBodyCodec, Codec: req.Codec, Payload: req.Payload}
+		})
+	}
 }
 
 // pullV2 answers a codec-path pull. With DeltaPull enabled and a per-worker

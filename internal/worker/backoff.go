@@ -1,0 +1,64 @@
+package worker
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays for the worker's pull
+// and push retry timers. A fixed retry period synchronizes every worker that
+// lost responses to the same crash: all of them re-fire at the same instant
+// and hammer the recovering shard together. Exponential growth spaces out
+// repeated retries against a node that stays dead, and the jitter de-phases
+// workers that started retrying at the same time.
+//
+// The delay for attempt n (0-based) is Base*Factor^n capped at Cap, then
+// scaled by a uniform factor in [1-Jitter, 1+Jitter] drawn from the
+// Backoff's own RNG. That RNG is dedicated — seeded from the node ID, never
+// the worker's ctx.Rand() — because the training path draws from ctx.Rand()
+// in a fixed per-iteration order and an extra draw would silently change
+// every sampled compute time (and with it the run's golden digests).
+type Backoff struct {
+	// Base is the attempt-0 delay.
+	Base time.Duration
+	// Cap bounds the un-jittered delay.
+	Cap time.Duration
+	// Factor is the per-attempt multiplier.
+	Factor float64
+	// Jitter is the half-width of the uniform scaling band (0.2 = ±20%).
+	Jitter float64
+
+	rng *rand.Rand
+	n   int
+}
+
+// NewBackoff builds the worker-standard policy: Factor 2, Cap 8×base,
+// Jitter ±20%.
+func NewBackoff(base time.Duration, rng *rand.Rand) *Backoff {
+	return &Backoff{Base: base, Cap: 8 * base, Factor: 2, Jitter: 0.2, rng: rng}
+}
+
+// Next returns the delay for the next attempt and advances the attempt
+// counter.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.Base) * math.Pow(b.Factor, float64(b.n))
+	if cap := float64(b.Cap); d > cap {
+		d = cap
+	}
+	b.n++
+	if b.Jitter > 0 && b.rng != nil {
+		d *= 1 + b.Jitter*(2*b.rng.Float64()-1)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Reset returns the policy to attempt 0. Called when the retried round
+// completes, so the next loss starts from Base again.
+func (b *Backoff) Reset() { b.n = 0 }
+
+// Attempt returns the number of delays handed out since the last Reset.
+func (b *Backoff) Attempt() int { return b.n }

@@ -1,0 +1,64 @@
+package worker
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterSequence pins the exact delay sequence for a seeded RNG:
+// exponential growth from Base with ±20% jitter, capped at 8x Base. The
+// golden values guard the jitter math — any change to the draw order or the
+// formula shifts every fault-injected run's retry schedule.
+func TestBackoffJitterSequence(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, rand.New(rand.NewSource(42)))
+	var got []time.Duration
+	for i := 0; i < 6; i++ {
+		got = append(got, b.Next())
+	}
+	want := []time.Duration{
+		94921134, 165280039, 416655016, 706821984, 654021906, 762621855,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("attempt %d: delay %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Reset returns to attempt 0: the next delay is Base-scaled again.
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Errorf("attempt after reset = %d, want 0", b.Attempt())
+	}
+	if d := b.Next(); d < 80*time.Millisecond || d > 120*time.Millisecond {
+		t.Errorf("post-reset delay %v outside the Base jitter band", d)
+	}
+}
+
+// TestBackoffBounds checks the envelope over many draws: every delay stays
+// within the jitter band around min(Base*2^n, Cap).
+func TestBackoffBounds(t *testing.T) {
+	base := 50 * time.Millisecond
+	b := NewBackoff(base, rand.New(rand.NewSource(7)))
+	for n := 0; n < 32; n++ {
+		raw := float64(base) * float64(int64(1)<<uint(min(n, 30)))
+		if capd := float64(b.Cap); raw > capd {
+			raw = capd
+		}
+		d := float64(b.Next())
+		if d < 0.8*raw-1 || d > 1.2*raw+1 {
+			t.Fatalf("attempt %d: delay %v outside [0.8, 1.2] x %v", n, time.Duration(d), time.Duration(raw))
+		}
+	}
+}
+
+// TestBackoffNoJitterRNG ensures a nil RNG degrades to plain exponential
+// backoff instead of panicking.
+func TestBackoffNoJitterRNG(t *testing.T) {
+	b := &Backoff{Base: time.Second, Cap: 4 * time.Second, Factor: 2, Jitter: 0.2}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, w := range want {
+		if d := b.Next(); d != w {
+			t.Errorf("attempt %d: delay %v, want %v", i, d, w)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"specsync/internal/codec"
 	"specsync/internal/core"
 	"specsync/internal/msg"
-	"specsync/internal/node"
 	"specsync/internal/ps"
 	"specsync/internal/wire"
 )
@@ -29,7 +28,7 @@ func (wk *Worker) sendJoinReq() {
 	if wk.started || wk.st == stateStopped {
 		return
 	}
-	wk.ctx.Send(node.Scheduler, &msg.JoinReq{})
+	wk.ctx.Send(wk.schedID, &msg.JoinReq{})
 	if wk.cfg.RetryAfter > 0 {
 		wk.ctx.After(wk.cfg.RetryAfter, wk.sendJoinReq)
 	}

@@ -73,24 +73,39 @@ func (wk *Worker) exitDegraded() {
 	wk.ctx.Logf("worker %d: scheduler back (gen %d); centralized path restored", wk.cfg.Index, wk.schedGen)
 }
 
-// noteSchedulerGen handles SchedulerHello and SchedulerBeacon: a generation
-// newer than any seen means a restarted incarnation is asking for state, so
-// the worker answers with a StateReport (the beacon case covers workers that
-// missed the Hello broadcast). Either message proves the scheduler is alive,
-// ending degraded mode.
-func (wk *Worker) noteSchedulerGen(gen int64) {
+// noteSchedulerGen handles SchedulerHello, SchedulerBeacon, and
+// LeaderAnnounce: a generation newer than any seen means a new scheduler
+// incarnation took over, so the worker adopts the sender as its scheduler
+// (redirecting every scheduler-bound send to it — an elected standby serves
+// from its own node ID) and answers with a StateReport (the beacon case
+// covers workers that missed the Hello or LeaderAnnounce broadcast). A
+// current-generation message from the adopted scheduler proves it alive,
+// ending degraded mode; anything from an older generation is a deposed
+// incarnation's stale beacon and must not touch the failure detector.
+func (wk *Worker) noteSchedulerGen(from node.ID, gen int64) {
+	if gen < wk.schedGen {
+		return
+	}
 	if gen > wk.schedGen {
 		wk.schedGen = gen
+		if from != wk.schedID {
+			wk.ctx.Logf("worker %d: scheduler redirect %s -> %s (gen %d)",
+				wk.cfg.Index, wk.schedID, from, gen)
+			wk.schedID = from
+		}
 		wk.sendStateReport()
 	}
-	wk.exitDegraded()
+	if from == wk.schedID {
+		wk.schedLastSeen = wk.ctx.Now()
+		wk.exitDegraded()
+	}
 }
 
 // sendStateReport tells the (restarted) scheduler where this worker stands:
 // completed iterations double as the SSP clock, and Waiting flags a pending
 // barrier/clock release the new incarnation must re-issue.
 func (wk *Worker) sendStateReport() {
-	wk.ctx.Send(node.Scheduler, &msg.StateReport{
+	wk.ctx.Send(wk.schedID, &msg.StateReport{
 		Iter:     wk.iter,
 		Pushed:   wk.iter > 0,
 		Clock:    wk.iter,

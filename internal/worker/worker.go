@@ -229,10 +229,19 @@ type Worker struct {
 
 	// Scheduler failure-detector state. degraded is atomic only so
 	// live-mode monitors can read it; all writes happen on the worker's
-	// event loop.
+	// event loop. schedID is the node currently serving as scheduler: the
+	// well-known "scheduler" ID until a LeaderAnnounce (or a Hello/Beacon
+	// from a newer generation) redirects the worker to an elected standby.
 	degraded      atomic.Bool
+	schedID       node.ID
 	schedGen      int64 // highest scheduler incarnation seen
 	schedLastSeen time.Time
+
+	// Retry backoff state (nil when RetryAfter is zero). Each uses a
+	// dedicated RNG so jitter draws never perturb ctx.Rand()'s
+	// per-iteration sequence.
+	pullBackoff *Backoff
+	pushBackoff *Backoff
 
 	// Counters (atomic: read by monitoring goroutines in live mode).
 	itersDone  atomic.Int64
@@ -339,6 +348,7 @@ func New(cfg Config) (*Worker, error) {
 	}
 	wk := &Worker{
 		cfg:          cfg,
+		schedID:      node.Scheduler,
 		pullVersions: make([]int64, len(shards)),
 		pushAcked:    make([]bool, len(shards)),
 		w:            tensor.NewVec(cfg.Model.Dim()),
@@ -396,6 +406,15 @@ func (wk *Worker) shardIndexOf(from node.ID) int {
 func (wk *Worker) Init(ctx node.Context) {
 	wk.ctx = ctx
 	wk.schedLastSeen = ctx.Now()
+	if wk.cfg.RetryAfter > 0 {
+		// backoffSeed is an arbitrary fixed master seed: the jitter stream
+		// must be deterministic per node but independent of the run's
+		// training seed (ctx.Rand()), whose draw order is pinned by tests.
+		const backoffSeed = 0x626b6f66 // "bkof"
+		rng := rand.New(rand.NewSource(node.RandSeed(backoffSeed, ctx.Self())))
+		wk.pullBackoff = NewBackoff(wk.cfg.RetryAfter, rng)
+		wk.pushBackoff = NewBackoff(wk.cfg.RetryAfter, rng)
+	}
 	if wk.cfg.HeartbeatEvery > 0 {
 		wk.armHeartbeat()
 	}
@@ -415,7 +434,7 @@ func (wk *Worker) armHeartbeat() {
 		if wk.st == stateStopped {
 			return
 		}
-		wk.ctx.Send(node.Scheduler, &msg.Heartbeat{Iter: wk.iter})
+		wk.ctx.Send(wk.schedID, &msg.Heartbeat{Iter: wk.iter})
 		wk.armHeartbeat()
 	})
 }
@@ -425,7 +444,7 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 	if wk.st == stateStopped {
 		return
 	}
-	if from == node.Scheduler {
+	if from == wk.schedID {
 		wk.schedLastSeen = wk.ctx.Now()
 	}
 	switch mm := m.(type) {
@@ -451,9 +470,11 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 	case *msg.PushNotice:
 		wk.handlePushNotice(from)
 	case *msg.SchedulerHello:
-		wk.noteSchedulerGen(mm.Gen)
+		wk.noteSchedulerGen(from, mm.Gen)
 	case *msg.SchedulerBeacon:
-		wk.noteSchedulerGen(mm.Gen)
+		wk.noteSchedulerGen(from, mm.Gen)
+	case *msg.LeaderAnnounce:
+		wk.noteSchedulerGen(from, mm.Gen)
 	case *msg.JoinAck:
 		wk.handleJoinAck(mm)
 	case *msg.RoutingUpdate:
@@ -514,9 +535,9 @@ func (wk *Worker) startPull() {
 			wk.ctx.Send(node.ServerID(wk.shardSrv[i]), &msg.PullReq{Seq: wk.pullSeq})
 		}
 	}
-	if wk.cfg.RetryAfter > 0 {
+	if wk.pullBackoff != nil {
 		seq := wk.pullSeq
-		wk.ctx.After(wk.cfg.RetryAfter, func() {
+		wk.ctx.After(wk.pullBackoff.Next(), func() {
 			// Still waiting on this pull round: a shard crashed (or the
 			// responses were dropped). Re-pull everything — reads are
 			// idempotent and the Seq bump invalidates stragglers.
@@ -587,6 +608,9 @@ func (wk *Worker) finishShardPull(si int, version int64) {
 	wk.pullVersions[si] = version
 	wk.pullsPending--
 	if wk.pullsPending == 0 {
+		if wk.pullBackoff != nil {
+			wk.pullBackoff.Reset()
+		}
 		wk.record(trace.KindPull, 0)
 		wk.cfg.Obs.PullDone(wk.ctx.Now(), wk.iter)
 		wk.startCompute()
@@ -717,9 +741,9 @@ func (wk *Worker) sendPush() {
 		}
 		wk.ctx.Send(node.ServerID(wk.shardSrv[si]), req)
 	}
-	if wk.cfg.RetryAfter > 0 {
+	if wk.pushBackoff != nil {
 		seq := wk.pushSeq
-		wk.ctx.After(wk.cfg.RetryAfter, func() {
+		wk.ctx.After(wk.pushBackoff.Next(), func() {
 			if wk.st == statePushing && wk.pushSeq == seq && wk.acksPending > 0 {
 				wk.sendPush()
 			}
@@ -749,6 +773,9 @@ func (wk *Worker) handlePushAck(from node.ID, ack *msg.PushAck) {
 // pull for the next iteration is issued immediately, so the notify timestamp
 // doubles as the pull-time proxy the tuner uses).
 func (wk *Worker) finishPush() {
+	if wk.pushBackoff != nil {
+		wk.pushBackoff.Reset()
+	}
 	wk.record(trace.KindPush, 0)
 	wk.record(trace.KindStaleness, wk.stalenessSum/int64(len(wk.shards)))
 	wk.cfg.Obs.PushDone(wk.ctx.Now(), wk.iter, wk.stalenessSum/int64(len(wk.shards)))
@@ -758,7 +785,7 @@ func (wk *Worker) finishPush() {
 		// needs the notify for its barrier/clock service.
 		wk.broadcastNotices()
 		if wk.cfg.Scheme.Base != scheme.ASP {
-			wk.ctx.Send(node.Scheduler, &msg.Notify{Iter: wk.iter})
+			wk.ctx.Send(wk.schedID, &msg.Notify{Iter: wk.iter})
 		}
 	} else {
 		// Degraded failover: peers run local speculation off PushNotices
@@ -767,7 +794,7 @@ func (wk *Worker) finishPush() {
 		if wk.degraded.Load() && wk.canBroadcastFailover() {
 			wk.broadcastNotices()
 		}
-		wk.ctx.Send(node.Scheduler, &msg.Notify{Iter: wk.iter})
+		wk.ctx.Send(wk.schedID, &msg.Notify{Iter: wk.iter})
 	}
 
 	wk.itersDone.Add(1)
