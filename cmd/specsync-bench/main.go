@@ -6,7 +6,10 @@
 //	specsync-bench -run all -workers 40 -seed 1
 //
 // Experiment ids: table1, timeline (figs 2/4/6), fig3, fig5, fig8, fig9,
-// fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob.
+// fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic,
+// multijob, failover, schemes. The schemes id is the scheme-zoo shootout; it
+// additionally writes a JSON report (-schemes-out, BENCH_schemes.json by
+// default) and fails if any cell's double-run trace digests diverge.
 //
 // It also gates the perf trajectory: -compare diffs two BENCH_*.json
 // reports (any pair emitted by the bench tools) and exits nonzero when a
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +70,28 @@ func runCompare(paths []string, tolerance, allocTol float64) error {
 	return nil
 }
 
+// writeSchemesReport emits the shootout's JSON report for the CI compare
+// gate (the BENCH_schemes.json baseline lives at the repository root).
+func writeSchemesReport(r *experiments.SchemesResult, out string) error {
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells, reproducible=%v)\n", out, len(r.Cells), r.Reproducible)
+	return nil
+}
+
 // csvOpener creates files under dir, making the directory on first use.
 func csvOpener(dir string) func(name string) (io.WriteCloser, error) {
 	return func(name string) (io.WriteCloser, error) {
@@ -79,7 +105,7 @@ func csvOpener(dir string) func(name string) (io.WriteCloser, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("specsync-bench", flag.ContinueOnError)
 	var (
-		runWhat    = fs.String("run", "all", "experiment id (table1, timeline, fig3, fig5, fig8, fig9, fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob, failover) or 'all'")
+		runWhat    = fs.String("run", "all", "experiment id (table1, timeline, fig3, fig5, fig8, fig9, fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob, failover, schemes) or 'all'")
 		workers    = fs.Int("workers", 40, "cluster size")
 		seed       = fs.Int64("seed", 1, "master seed")
 		size       = fs.String("size", "full", "workload size: full or small")
@@ -92,6 +118,7 @@ func run(args []string) error {
 
 		replicas     = fs.Int("replicas", 2, "failover experiment: shard backups per range")
 		standbySched = fs.Int("standby-schedulers", 1, "failover experiment: standby scheduler incarnations")
+		schemesOut   = fs.String("schemes-out", "BENCH_schemes.json", "schemes experiment: JSON report path (\"-\" for stdout, \"\" to skip)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,7 +139,7 @@ func run(args []string) error {
 
 	ids := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		ids = []string{"table1", "timeline", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "staleness", "ablations", "codecs", "elastic", "multijob", "failover"}
+		ids = []string{"table1", "timeline", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "staleness", "ablations", "codecs", "elastic", "multijob", "failover", "schemes"}
 	}
 
 	// fig8/fig9 and fig12/fig13 share runs; cache results.
@@ -248,6 +275,20 @@ func run(args []string) error {
 				return err
 			}
 			r.Render(os.Stdout)
+		case "schemes":
+			r, err := experiments.Schemes(opts)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			if err := writeSchemesReport(r, *schemesOut); err != nil {
+				return err
+			}
+			// The shootout doubles as the determinism smoke test: a dynamic
+			// scheme that switches differently on a re-run is a bug, not noise.
+			if !r.Reproducible {
+				return fmt.Errorf("schemes: trace digests differ between identical runs")
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -51,6 +51,7 @@ import (
 	"specsync/internal/ps"
 	"specsync/internal/replica"
 	"specsync/internal/scheme"
+	"specsync/internal/switcher"
 	"specsync/internal/worker"
 )
 
@@ -72,7 +73,10 @@ func run(args []string) error {
 		host       = fs.String("host", "127.0.0.1", "host all nodes share")
 		seed       = fs.Int64("seed", 1, "master seed (must match across nodes)")
 		workload   = fs.String("workload", "tiny", "workload: mf, cifar10, imagenet, tiny")
-		schemeName = fs.String("scheme", "adaptive", "scheme: asp, adaptive, cherry")
+		schemeName = fs.String("scheme", "adaptive", "scheme (must match across nodes): asp, bsp, ssp, adaptive, cherry, sync-switch, abs, psp")
+		switchAt   = fs.Int("switch-at", 5, "sync-switch scheme: epoch of the BSP→ASP handover")
+		pspBeta    = fs.Float64("psp-beta", 0.75, "psp scheme: barrier quorum as a fraction of live workers")
+		metaScheme = fs.Bool("meta-scheme", false, "straggler-driven BSP↔SSP policy (must match across nodes; requires a plain -scheme asp/bsp/ssp)")
 		iterTime   = fs.Duration("iter", 500*time.Millisecond, "nominal compute time per iteration")
 		maxIters   = fs.Int64("iters", 200, "worker iterations before stopping (0 = run forever)")
 		debug      = fs.Bool("debug", false, "verbose node logging")
@@ -148,9 +152,19 @@ func run(args []string) error {
 		return err
 	}
 	wl.IterTime = *iterTime
-	sc, err := buildScheme(*schemeName, wl)
+	sc, err := buildScheme(*schemeName, wl, *switchAt, *pspBeta)
 	if err != nil {
 		return err
+	}
+	// Workers self-measure work spans whenever the discipline can change at
+	// runtime; every process must agree or the scheduler would starve.
+	dynamicScheme := sc.DynamicBase() || *metaScheme
+	if *metaScheme && (sc.Variant != scheme.VariantNone || sc.Spec != scheme.SpecOff) {
+		return fmt.Errorf("-meta-scheme requires a plain base scheme (-scheme asp/bsp/ssp)")
+	}
+	var switcherCfg *switcher.Config
+	if *metaScheme {
+		switcherCfg = &switcher.Config{}
 	}
 	ranges, err := ps.ShardRanges(wl.Model.Dim(), *servers)
 	if err != nil {
@@ -273,6 +287,7 @@ func run(args []string) error {
 			SchedulerTimeout: *schedTimeout,
 			Codec:            ccfg,
 			CodecStats:       codecStats,
+			ReportSpans:      dynamicScheme,
 			Obs:              o.Worker(*index),
 		})
 		if err != nil {
@@ -297,6 +312,7 @@ func run(args []string) error {
 		sched, err = core.NewScheduler(core.SchedulerConfig{
 			Workers:         *workers,
 			Scheme:          sc,
+			Switcher:        switcherCfg,
 			InitialSpan:     wl.IterTime,
 			LivenessTimeout: *livenessTimeout,
 			Generation:      *generation,
@@ -346,6 +362,7 @@ func run(args []string) error {
 				return core.NewScheduler(core.SchedulerConfig{
 					Workers:         *workers,
 					Scheme:          sc,
+					Switcher:        switcherCfg,
 					InitialSpan:     wl.IterTime,
 					LivenessTimeout: *livenessTimeout,
 					Generation:      gen,
@@ -695,14 +712,24 @@ func buildWorkload(name string, workers int, seed int64) (cluster.Workload, erro
 	}
 }
 
-func buildScheme(name string, wl cluster.Workload) (scheme.Config, error) {
+func buildScheme(name string, wl cluster.Workload, switchAt int, pspBeta float64) (scheme.Config, error) {
 	switch name {
 	case "asp":
 		return scheme.Config{Base: scheme.ASP}, nil
+	case "bsp":
+		return scheme.Config{Base: scheme.BSP}, nil
+	case "ssp":
+		return scheme.Config{Base: scheme.SSP, Staleness: 3}, nil
 	case "adaptive":
 		return scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}, nil
 	case "cherry":
 		return scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 4, AbortRate: 0.22}, nil
+	case "sync-switch":
+		return scheme.Config{Variant: scheme.VariantSyncSwitch, SwitchAt: switchAt}, nil
+	case "abs":
+		return scheme.Config{Variant: scheme.VariantABS}, nil
+	case "psp":
+		return scheme.Config{Variant: scheme.VariantPSP, PSPBeta: pspBeta}, nil
 	default:
 		return scheme.Config{}, fmt.Errorf("unknown scheme %q", name)
 	}

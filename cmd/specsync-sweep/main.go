@@ -37,7 +37,7 @@ func run(args []string) error {
 		workers      = fs.Int("workers", 40, "number of workers")
 		servers      = fs.Int("servers", 0, "number of parameter shards (0 = auto)")
 		seed         = fs.Int64("seed", 1, "master random seed")
-		schemes      = fs.String("schemes", "asp,adaptive", "comma list: asp, bsp, ssp:<s>, naive:<dur>, cherry:<dur>:<rate>, adaptive, adaptive-ssp:<s>")
+		schemes      = fs.String("schemes", "asp,adaptive", "comma list: asp, bsp, ssp:<s>, naive:<dur>, cherry:<dur>:<rate>, adaptive, adaptive-ssp:<s>, sync-switch:<epoch>, abs, psp:<beta>")
 		lrs          = fs.String("lrs", "", "comma list of constant learning rates (empty = workload default schedule)")
 		momentum     = fs.Float64("momentum", -1, "override momentum (-1 = workload default)")
 		maxVirtual   = fs.Duration("max", 4*time.Hour, "virtual time budget per run")
@@ -200,6 +200,23 @@ func parseSchemes(s string) ([]scheme.Config, error) {
 				return nil, err
 			}
 			out = append(out, scheme.Config{Base: scheme.SSP, Staleness: s, Spec: scheme.SpecAdaptive})
+		case "sync-switch":
+			e, err := atoiPart(parts, 1, "sync-switch epoch")
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, scheme.Config{Variant: scheme.VariantSyncSwitch, SwitchAt: e})
+		case "abs":
+			out = append(out, scheme.Config{Variant: scheme.VariantABS})
+		case "psp":
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("psp:<beta> required")
+			}
+			b, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("psp beta: %w", err)
+			}
+			out = append(out, scheme.Config{Variant: scheme.VariantPSP, PSPBeta: b})
 		default:
 			return nil, fmt.Errorf("unknown scheme %q", tok)
 		}

@@ -3,6 +3,8 @@
 //
 //	specsync -workload cifar10 -scheme adaptive -workers 40
 //	specsync -workload mf -scheme asp -hetero
+//	specsync -workload mf -scheme bsp -meta-scheme -hetero
+//	specsync -workload mf -scheme psp -psp-beta 0.75 -hetero
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"specsync/internal/metrics"
 	"specsync/internal/obs"
 	"specsync/internal/scheme"
+	"specsync/internal/switcher"
 )
 
 func main() {
@@ -32,7 +35,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("specsync", flag.ContinueOnError)
 	var (
 		workloadName = fs.String("workload", "cifar10", "workload: mf, cifar10, imagenet, tiny")
-		schemeName   = fs.String("scheme", "adaptive", "scheme: asp, bsp, ssp, naive, cherry, adaptive")
+		schemeName   = fs.String("scheme", "adaptive", "scheme: asp, bsp, ssp, naive, cherry, adaptive, sync-switch, abs, psp")
+		switchAt     = fs.Int("switch-at", 5, "sync-switch scheme: epoch at which the fleet hands over from BSP to ASP")
+		pspBeta      = fs.Float64("psp-beta", 0.75, "psp scheme: fraction of live workers whose arrival releases each barrier")
+		metaScheme   = fs.Bool("meta-scheme", false, "enable the straggler-driven meta-scheme policy (BSP while homogeneous, SSP while degraded; requires a plain -scheme asp/bsp/ssp)")
 		decentral    = fs.Bool("decentralized", false, "decentralized speculation: workers broadcast push notices and abort locally, no scheduler tuning (requires -scheme cherry)")
 		workers      = fs.Int("workers", 40, "number of workers")
 		servers      = fs.Int("servers", 0, "number of parameter shards (0 = auto)")
@@ -72,10 +78,28 @@ func run(args []string) error {
 
 	// Fail fast on mutually exclusive flag combinations, before any file or
 	// workload is touched. Each pair is excluded by design, not by accident:
-	// the reasons are in DESIGN.md (Elasticity, Fault tolerance).
+	// the reasons are in DESIGN.md (Elasticity, Fault tolerance, Scheme
+	// switching).
 	scaling := *scalePlanPath != "" || *elasticN > 0
 	faulty := *faultPlanPath != "" || *churn > 0 || *schedCrashes > 0
 	replicated := *replicas > 0 || *standbySched > 0
+	dynamicScheme := *schemeName == "sync-switch" || *schemeName == "abs" || *schemeName == "psp"
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch {
+	case explicit["switch-at"] && *schemeName != "sync-switch":
+		return fmt.Errorf("-switch-at is only meaningful with -scheme sync-switch")
+	case explicit["psp-beta"] && *schemeName != "psp":
+		return fmt.Errorf("-psp-beta is only meaningful with -scheme psp")
+	case *metaScheme && dynamicScheme:
+		return fmt.Errorf("-meta-scheme cannot be combined with -scheme %s: the policy owns the switching decision and a self-switching variant would fight it (see DESIGN.md, Scheme switching)", *schemeName)
+	case *metaScheme && *schemeName != "asp" && *schemeName != "bsp" && *schemeName != "ssp":
+		return fmt.Errorf("-meta-scheme requires a plain base scheme (-scheme asp/bsp/ssp): speculation retunes against a fixed discipline and cannot ride a moving one (see DESIGN.md, Scheme switching)")
+	case *metaScheme && *decentral:
+		return fmt.Errorf("-meta-scheme cannot be combined with -decentralized: the policy lives in the scheduler")
+	case dynamicScheme && *decentral:
+		return fmt.Errorf("-decentralized cannot be combined with -scheme %s: scheme switches are scheduler broadcasts", *schemeName)
+	}
 	switch {
 	case replicated && scaling:
 		return fmt.Errorf("replication (-replicas/-standby-schedulers) cannot be combined with -scale-plan/-elastic: migrations re-cut shard ranges under the backups (see DESIGN.md, Replication)")
@@ -152,6 +176,12 @@ func run(args []string) error {
 		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: wl.IterTime / 4, AbortRate: 0.22, Decentralized: *decentral}
 	case "adaptive":
 		sc = scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}
+	case "sync-switch":
+		sc = scheme.Config{Variant: scheme.VariantSyncSwitch, SwitchAt: *switchAt}
+	case "abs":
+		sc = scheme.Config{Variant: scheme.VariantABS}
+	case "psp":
+		sc = scheme.Config{Variant: scheme.VariantPSP, PSPBeta: *pspBeta}
 	default:
 		return fmt.Errorf("unknown scheme %q", *schemeName)
 	}
@@ -167,6 +197,9 @@ func run(args []string) error {
 	}
 	if *hetero {
 		cfg.Speeds = cluster.InstanceSpeeds(*workers)
+	}
+	if *metaScheme {
+		cfg.Switcher = &switcher.Config{}
 	}
 	cfg.Replication = cluster.Replication{Replicas: *replicas, StandbySchedulers: *standbySched}
 	cfg.SchedulerTimeout = *schedTimeout
@@ -296,6 +329,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("iterations=%d aborts=%d resyncs=%d epochs=%d\n",
 		res.TotalIters, res.Aborts, res.ReSyncs, res.Epochs)
+	if *metaScheme || dynamicScheme {
+		fmt.Printf("scheme: %d live switches, finished under %s\n", res.SchemeSwitches, res.FinalScheme)
+	}
 	if res.Faults != nil {
 		st := res.Faults.Stats()
 		fmt.Printf("faults: %d crashes, %d restarts (%d restored from checkpoint), %d evictions, %d readmissions, %d dropped msgs\n",

@@ -24,6 +24,7 @@ import (
 	"specsync/internal/ps"
 	"specsync/internal/replica"
 	"specsync/internal/scheme"
+	"specsync/internal/switcher"
 	"specsync/internal/tensor"
 	"specsync/internal/trace"
 	"specsync/internal/worker"
@@ -135,6 +136,18 @@ type Config struct {
 	// any fault plan to be crash-only (a dropped replication message would
 	// silently stall a backup; see DESIGN.md, Replication).
 	Replication Replication
+	// Switcher, if non-nil, enables the meta-scheme: the scheduler consumes
+	// straggler telemetry at every epoch boundary and live-switches the
+	// whole fleet between BSP (homogeneous) and SSP (sustained straggler),
+	// with hysteresis. Requires a plain centralized scheme without
+	// speculation (Base set, Variant none, Decentralized false, SpecOff).
+	Switcher *switcher.Config
+	// Slowdowns scripts transient per-worker compute slowdowns: entry i
+	// applies to worker i, zero-Factor entries are ignored. A scripted
+	// window draws no randomness, so an empty list leaves runs
+	// byte-identical; the scheme-switching tests use one to stage a
+	// sustained straggler that later recovers.
+	Slowdowns []worker.Slowdown
 }
 
 // Replication configures scheduler standbys and parameter-shard backups.
@@ -321,6 +334,11 @@ type Result struct {
 	// promotions, forwarded/applied pushes). Nil unless Config.Replication
 	// was enabled.
 	Replication *ReplicationStats
+	// SchemeSwitches counts the SchemeSwitch retargets the scheduler issued
+	// (scheme variants and the meta-scheme; always 0 on static runs), and
+	// FinalScheme names the discipline the fleet ended the run under.
+	SchemeSwitches int64
+	FinalScheme    string
 	// ParamsDigest is the hex SHA-256 over the final assembled parameter
 	// vector. Byte-identical runs produce identical digests, which is how
 	// the zero-loss failover claim is checked: a replicated crash run must
@@ -370,6 +388,34 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Replication.Replicas < 0 || cfg.Replication.StandbySchedulers < 0 {
 		return nil, fmt.Errorf("cluster: negative replication counts")
+	}
+	if cfg.Switcher != nil {
+		if err := cfg.Switcher.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Scheme.Variant != scheme.VariantNone {
+			return nil, fmt.Errorf("cluster: the meta-scheme cannot be combined with scheme variant %s (both rewrite the discipline mid-run)", cfg.Scheme.Variant)
+		}
+		if cfg.Scheme.Decentralized {
+			return nil, fmt.Errorf("cluster: the meta-scheme requires the centralized scheduler (Decentralized unsupported)")
+		}
+		if cfg.Scheme.Spec != scheme.SpecOff {
+			return nil, fmt.Errorf("cluster: the meta-scheme cannot be combined with speculation (a switch into BSP would leave speculation windows with nothing to abort)")
+		}
+		if cfg.Scheme.NaiveWait != 0 {
+			return nil, fmt.Errorf("cluster: the meta-scheme is incompatible with NaiveWait")
+		}
+	}
+	for i, sd := range cfg.Slowdowns {
+		if sd.Factor == 0 && sd.From == 0 && sd.Until == 0 {
+			continue // unscripted slot
+		}
+		if err := sd.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: slowdown for worker %d: %w", i, err)
+		}
+	}
+	if len(cfg.Slowdowns) > cfg.Workers {
+		return nil, fmt.Errorf("cluster: %d slowdown entries for %d workers", len(cfg.Slowdowns), cfg.Workers)
 	}
 	if cfg.Replication.Enabled() {
 		if cfg.Scale != nil {
@@ -520,6 +566,11 @@ func Run(cfg Config) (*Result, error) {
 			Faults:           faultM,
 			Codec:            cfg.Codec,
 			CodecStats:       codecStats,
+			ReportSpans:      cfg.Scheme.DynamicBase() || cfg.Switcher != nil,
+		}
+		if i < len(cfg.Slowdowns) && cfg.Slowdowns[i].Factor >= 1 {
+			sd := cfg.Slowdowns[i]
+			wcfg.Slowdown = &sd
 		}
 		if cfg.Scale != nil {
 			wcfg.Shards = nil
@@ -618,6 +669,7 @@ func Run(cfg Config) (*Result, error) {
 			RateMargin:        cfg.RateMargin,
 			CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
 			LivenessTimeout:   cfg.LivenessTimeout,
+			Switcher:          cfg.Switcher,
 			Generation:        gen,
 			BeaconEvery:       cfg.BeaconEvery,
 			Faults:            faultM,
@@ -865,6 +917,8 @@ func Run(cfg Config) (*Result, error) {
 	if maxEpochs > res.Epochs {
 		res.Epochs = maxEpochs
 	}
+	res.SchemeSwitches = sched.SchemeSwitches()
+	res.FinalScheme = sched.Runtime().String()
 	res.FinalLoss = res.Loss.Last().V
 	if t, ok := res.Loss.TimeToConverge(cfg.Workload.TargetLoss, cfg.ConsecutiveBelow); ok {
 		res.ConvergeTime = t

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"specsync/internal/scheme"
+	"specsync/internal/trace"
+)
+
+// Golden digests captured from the pre-scheme-zoo build (SHA-256 over the
+// JSONL serialization of the full event trace, same recipe as the codec
+// identity test). Every pre-existing scheme must stay byte-identical after
+// the scheme-dispatch refactor that made the active scheme a runtime value:
+// same messages, same simulated timings, same events. The hetero cases pin
+// runs with unequal worker speeds so the straggler/span paths are covered
+// too.
+const (
+	goldenSchemeOriginalDigest = "5761e55884661db1bd4aceeb34730c3af839302614a4c06d836c23a525f0e328"
+	goldenSchemeBSPDigest      = "ab47754768cae57638594445f37b12fede5abaf86843698be56c5a3a7b24272c"
+	goldenSchemeSSPDigest      = "e54e6ace3286f39fc7c372a0f69ef20c230d2c48f8e5d401d0b304fb27f8dba7"
+	goldenSchemeCherryDigest   = "ee234f4803b7174a376a7c40520fa93cc9a178947610a45abebb870309d283c2"
+	goldenSchemeAdaptiveDigest = "53abcfe7cbf55e6da032bbd61b2d42cd771e53743a0fd8462f25d867301fd823"
+	goldenSchemeHeteroBSP      = "6538e804f4b34ee5ac2b1d898055ee812e36c7ba9bef92d5371f5c51999809f6"
+	goldenSchemeHeteroSSP      = "cdfe0cc8203b9d1e7a89631f5ee59110456ba6284ee5cf56659beb17ba0dce88"
+)
+
+func schemeDigest(t *testing.T, sc scheme.Config, speeds []float64) string {
+	t.Helper()
+	wl, err := NewTiny(4, 7)
+	if err != nil {
+		t.Fatalf("build workload: %v", err)
+	}
+	res, err := Run(Config{
+		Workload:   wl,
+		Scheme:     sc,
+		Workers:    4,
+		Seed:       7,
+		Speeds:     speeds,
+		MaxVirtual: 2 * time.Minute,
+		KeepTrace:  true,
+	})
+	if err != nil {
+		t.Fatalf("run %s: %v", sc.Name(), err)
+	}
+	evs := res.Trace.Events()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, evs); err != nil {
+		t.Fatalf("serialize trace: %v", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestPreexistingSchemesByteIdentical pins every scheme that predates the
+// scheme zoo against digests recorded from the seed build, proving the
+// runtime-scheme dispatch refactor introduced no silent behavior drift.
+func TestPreexistingSchemesByteIdentical(t *testing.T) {
+	hetero := []float64{1, 1, 1, 0.55}
+	cases := []struct {
+		name   string
+		sc     scheme.Config
+		speeds []float64
+		digest string
+	}{
+		{"original", scheme.Config{Base: scheme.ASP}, nil, goldenSchemeOriginalDigest},
+		{"bsp", scheme.Config{Base: scheme.BSP}, nil, goldenSchemeBSPDigest},
+		{"ssp3", scheme.Config{Base: scheme.SSP, Staleness: 3}, nil, goldenSchemeSSPDigest},
+		{"cherry", scheme.Config{Base: scheme.ASP, Spec: scheme.SpecFixed, AbortTime: 100 * time.Millisecond, AbortRate: 0.22}, nil, goldenSchemeCherryDigest},
+		{"adaptive", scheme.Config{Base: scheme.ASP, Spec: scheme.SpecAdaptive}, nil, goldenSchemeAdaptiveDigest},
+		{"hetero-bsp", scheme.Config{Base: scheme.BSP}, hetero, goldenSchemeHeteroBSP},
+		{"hetero-ssp", scheme.Config{Base: scheme.SSP, Staleness: 3}, hetero, goldenSchemeHeteroSSP},
+	}
+	for _, tc := range cases {
+		got := schemeDigest(t, tc.sc, tc.speeds)
+		if got != tc.digest {
+			t.Errorf("%s: trace digest %s, golden %s", tc.name, got, tc.digest)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"specsync/internal/scheme"
 	"specsync/internal/wire"
 )
 
@@ -18,7 +19,7 @@ import (
 
 const (
 	schedCheckpointMagic   uint32 = 0x53505348 // "SPSH"
-	schedCheckpointVersion uint8  = 1
+	schedCheckpointVersion uint8  = 2
 )
 
 // SchedulerSnapshot is a point-in-time copy of the scheduler's durable state.
@@ -46,6 +47,16 @@ type SchedulerSnapshot struct {
 	Round     int64
 	Completed []int64
 	MinClock  int64
+
+	// Active discipline (scheme zoo). A restarted incarnation must resume
+	// under the scheme the fleet is already running, not the configured
+	// initial one, or a mid-run switch would silently revert.
+	SchemeBase      int
+	SchemeStaleness int
+	SchemeBeta      float64
+	SchemeEpoch     int64
+	LastSwitchWhy   string
+	LastSwitchAt    time.Time
 }
 
 // Snapshot captures the scheduler's current state. Call it only from the
@@ -69,6 +80,12 @@ func (s *Scheduler) Snapshot() SchedulerSnapshot {
 		Round:           s.round,
 		Completed:       append([]int64(nil), s.completed...),
 		MinClock:        s.minClock,
+		SchemeBase:      int(s.cur.Base),
+		SchemeStaleness: s.cur.Staleness,
+		SchemeBeta:      s.cur.Beta,
+		SchemeEpoch:     s.schemeEpoch,
+		LastSwitchWhy:   s.lastSwitchWhy,
+		LastSwitchAt:    s.lastSwitchAt,
 	}
 	return snap
 }
@@ -108,6 +125,17 @@ func (s *Scheduler) Restore(snap SchedulerSnapshot) error {
 	s.round = snap.Round
 	copy(s.completed, snap.Completed)
 	s.minClock = snap.MinClock
+	if snap.SchemeBase != 0 {
+		s.cur = scheme.Runtime{
+			Base:      scheme.Base(snap.SchemeBase),
+			Staleness: snap.SchemeStaleness,
+			Beta:      snap.SchemeBeta,
+		}
+		s.schemeEpoch = snap.SchemeEpoch
+		s.lastSwitchWhy = snap.LastSwitchWhy
+		s.lastSwitchAt = snap.LastSwitchAt
+		s.switches.Store(snap.SchemeEpoch)
+	}
 
 	s.pushedN, s.aliveN = 0, 0
 	for i := 0; i < s.m; i++ {
@@ -191,6 +219,12 @@ func (snap SchedulerSnapshot) WriteTo(w io.Writer) (int64, error) {
 		buf.Varint(c)
 	}
 	buf.Varint(snap.MinClock)
+	buf.Int(snap.SchemeBase)
+	buf.Int(snap.SchemeStaleness)
+	buf.Float64(snap.SchemeBeta)
+	buf.Varint(snap.SchemeEpoch)
+	buf.String(snap.LastSwitchWhy)
+	writeTime(buf, snap.LastSwitchAt)
 	n, err := w.Write(buf.Bytes())
 	if err != nil {
 		return int64(n), fmt.Errorf("core: writing scheduler checkpoint: %w", err)
@@ -274,6 +308,12 @@ func ReadSchedulerSnapshot(r io.Reader) (SchedulerSnapshot, error) {
 		}
 	}
 	snap.MinClock = rd.Varint()
+	snap.SchemeBase = rd.Int()
+	snap.SchemeStaleness = rd.Int()
+	snap.SchemeBeta = rd.Float64()
+	snap.SchemeEpoch = rd.Varint()
+	snap.LastSwitchWhy = rd.String()
+	snap.LastSwitchAt = readTime(rd)
 	if corrupt {
 		return SchedulerSnapshot{}, fmt.Errorf("core: scheduler checkpoint has an implausible slice length")
 	}

@@ -32,6 +32,12 @@ func sampleSnapshot() SchedulerSnapshot {
 		Round:       5,
 		Completed:   []int64{5, 4, 6},
 		MinClock:    4,
+
+		SchemeBase:      int(scheme.SSP),
+		SchemeStaleness: 3,
+		SchemeEpoch:     2,
+		LastSwitchWhy:   "meta: 1 sustained straggler(s) → SSP(s=3)",
+		LastSwitchAt:    base.Add(3 * time.Second),
 	}
 }
 
@@ -47,6 +53,7 @@ func normalizeTimes(s SchedulerSnapshot) SchedulerSnapshot {
 	for i := range s.History {
 		s.History[i].At = s.History[i].At.UTC()
 	}
+	s.LastSwitchAt = s.LastSwitchAt.UTC()
 	return s
 }
 

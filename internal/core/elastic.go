@@ -112,7 +112,7 @@ func (s *Scheduler) handleJoinReq(from node.ID) {
 
 func (s *Scheduler) sendJoinAck(i int) {
 	var startIter int64
-	switch s.cfg.Scheme.Base {
+	switch s.cur.Base {
 	case scheme.BSP:
 		startIter = s.round
 	case scheme.SSP:
@@ -127,6 +127,9 @@ func (s *Scheduler) sendJoinAck(i int) {
 		StartIter: startIter,
 		MinClock:  s.minClock,
 	})
+	// A joiner boots under the configured scheme; bring it up to the active
+	// discipline (it ignores scheme epochs it has already applied).
+	s.resendScheme(i, s.ctx.Now())
 }
 
 // handleScaleCmd applies one scale-plan command. Server-set changes serialize

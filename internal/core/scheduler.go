@@ -11,6 +11,7 @@ import (
 	"specsync/internal/node"
 	"specsync/internal/obs"
 	"specsync/internal/scheme"
+	"specsync/internal/switcher"
 	"specsync/internal/trace"
 	"specsync/internal/wire"
 )
@@ -85,6 +86,11 @@ type SchedulerConfig struct {
 	// OnRouting, if non-nil, is invoked with a copy of the table after each
 	// commit (the harness re-aims its probe assembly).
 	OnRouting func(*RoutingTable)
+	// Switcher, when non-nil, enables the meta-scheme: the policy is
+	// evaluated at every epoch boundary with the straggler telemetry from
+	// Obs and its decisions are executed as live scheme switches. Requires
+	// a plain (non-variant, non-speculative, centralized) scheme.
+	Switcher *switcher.Config
 }
 
 // Scheduler is the central coordinator (paper Fig. 7): it observes notify
@@ -149,6 +155,18 @@ type Scheduler struct {
 	migBytes    int64
 	pendingOps  []*msg.ScaleCmd
 	scale       scaleCounters
+
+	// Dynamic scheme state (see switch.go). cur is the active discipline;
+	// plain schemes never change it, variants and the meta-scheme rewrite
+	// it through switchTo. workSpan is the EWMA of NotifyV2-reported work
+	// spans, allocated only on dynamic runs.
+	cur           scheme.Runtime
+	schemeEpoch   int64
+	switches      atomic.Int64
+	lastSwitchAt  time.Time
+	lastSwitchWhy string
+	policy        *switcher.Policy
+	workSpan      []time.Duration
 
 	resyncsSent  atomic.Int64
 	tunes        int64
@@ -227,6 +245,19 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		s.alive[i] = true
 		s.joined[i] = true
 	}
+	s.cur = cfg.Scheme.InitialRuntime()
+	if cfg.Switcher != nil {
+		if err := cfg.Switcher.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Scheme.Variant != scheme.VariantNone || cfg.Scheme.Spec != scheme.SpecOff || cfg.Scheme.Decentralized {
+			return nil, fmt.Errorf("core: the meta-scheme requires a plain centralized scheme (got %s)", cfg.Scheme.Name())
+		}
+		s.policy = switcher.New(*cfg.Switcher)
+	}
+	if s.dynamic() {
+		s.workSpan = make([]time.Duration, cfg.Workers)
+	}
 	if cfg.Routing != nil {
 		s.routing = cfg.Routing
 		s.liveServers = s.routing.Servers()
@@ -275,6 +306,14 @@ func (s *Scheduler) Init(ctx node.Context) {
 		}
 		for i := 0; i < s.m; i++ {
 			ctx.Send(node.WorkerID(i), &msg.SchedulerHello{Gen: s.cfg.Generation})
+		}
+		// Workers reset their scheme epoch on a newer-generation hello, so a
+		// restart re-announce restores the checkpointed discipline even if
+		// the fleet had applied switches the checkpoint never saw.
+		if s.dynamic() && s.schemeEpoch > 0 {
+			for i := 0; i < s.m; i++ {
+				s.resendScheme(i, now)
+			}
 		}
 		s.publishCluster(now)
 		return
@@ -328,6 +367,9 @@ func (s *Scheduler) touch(i int, now time.Time) {
 		s.cfg.Tracer.Record(trace.Event{At: now, Worker: i, Kind: trace.KindRecover, Value: epoch})
 	}
 	s.ctx.Logf("scheduler: worker %d re-admitted (membership epoch %d)", i, epoch)
+	// A restarted worker boots under the configured scheme; bring it up to
+	// the active discipline.
+	s.resendScheme(i, now)
 }
 
 // sweepLiveness evicts every member whose last sign of life is stale.
@@ -378,12 +420,12 @@ func (s *Scheduler) dropFromCoordination(i int, now time.Time) {
 	}
 
 	// A BSP barrier waiting on the departed worker must release.
-	if s.cfg.Scheme.Base == scheme.BSP && s.aliveN > 0 && s.barrierN >= s.aliveN {
+	if s.cur.Base == scheme.BSP && s.aliveN > 0 && s.barrierN >= s.barrierNeed() {
 		s.releaseBarrier()
 	}
 
 	// The SSP min-clock may have been pinned by the departed straggler.
-	if s.cfg.Scheme.Base == scheme.SSP {
+	if s.cur.Base == scheme.SSP {
 		s.broadcastMinClock()
 	}
 }
@@ -393,6 +435,8 @@ func (s *Scheduler) Receive(from node.ID, m wire.Message) {
 	switch mm := m.(type) {
 	case *msg.Notify:
 		s.handleNotify(from, mm)
+	case *msg.NotifyV2:
+		s.handleNotifyV2(from, mm)
 	case *msg.Heartbeat:
 		if i := node.WorkerIndex(from); i >= 0 && i < s.m {
 			s.touch(i, s.ctx.Now())
@@ -432,13 +476,18 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 	}
 
 	// Iteration-span estimate (includes abort/restart overheads, which is
-	// what the loss model of Eq. 6 wants).
+	// what the loss model of Eq. 6 wants). On dynamic runs the straggler
+	// detector is fed from worker-reported work spans instead (NotifyV2 in
+	// handleNotifyV2): notify intervals synchronize under a barrier, so
+	// they cannot tell a straggler from the fleet it is stalling.
 	if !s.lastNotify[i].IsZero() {
 		span := now.Sub(s.lastNotify[i])
 		if span > 0 {
 			a := s.cfg.SpanAlpha
 			s.spanEWMA[i] = time.Duration((1-a)*float64(s.spanEWMA[i]) + a*float64(span))
-			s.cfg.Obs.WorkerSpan(now, i, s.spanEWMA[i])
+			if s.workSpan == nil {
+				s.cfg.Obs.WorkerSpan(now, i, s.spanEWMA[i])
+			}
 		}
 	}
 	s.lastNotify[i] = now
@@ -482,21 +531,21 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 	// release carries a round number the waiting workers will accept; the
 	// waitingBSP guard keeps duplicated notifies and post-restart
 	// StateReports from double-counting one worker into the barrier.
-	if s.cfg.Scheme.Base == scheme.BSP {
+	if s.cur.Base == scheme.BSP {
 		if n.Iter > s.round {
 			s.round = n.Iter
 		}
 		if !s.waitingBSP[i] {
 			s.waitingBSP[i] = true
 			s.barrierN++
-			if s.barrierN >= s.aliveN {
+			if s.barrierN >= s.barrierNeed() {
 				s.releaseBarrier()
 			}
 		}
 	}
 
 	// SSP clocks (the min is taken over live members only).
-	if s.cfg.Scheme.Base == scheme.SSP {
+	if s.cur.Base == scheme.SSP {
 		if c := n.Iter + 1; c > s.completed[i] {
 			s.completed[i] = c
 		}
@@ -504,6 +553,24 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 	}
 
 	s.publishCluster(now)
+}
+
+// handleNotifyV2 consumes the dynamic-run notify: the worker's self-measured
+// work span (pull+compute+push, no barrier or gate waits) feeds the
+// straggler detector — a signal independent of how tightly the active
+// discipline synchronizes the fleet — and the rest is plain notify handling.
+func (s *Scheduler) handleNotifyV2(from node.ID, n *msg.NotifyV2) {
+	i := node.WorkerIndex(from)
+	if i >= 0 && i < s.m && s.workSpan != nil && n.Span > 0 {
+		a := s.cfg.SpanAlpha
+		if s.workSpan[i] == 0 {
+			s.workSpan[i] = n.Span
+		} else {
+			s.workSpan[i] = time.Duration((1-a)*float64(s.workSpan[i]) + a*float64(n.Span))
+		}
+		s.cfg.Obs.WorkerSpan(s.ctx.Now(), i, s.workSpan[i])
+	}
+	s.handleNotify(from, &msg.Notify{Iter: n.Iter})
 }
 
 // publishCluster refreshes the /clusterz snapshot: per-worker push rates over
@@ -551,6 +618,11 @@ func (s *Scheduler) publishCluster(now time.Time) {
 		Generation:       s.cfg.Generation,
 		RestoredFromCk:   s.restored,
 		StateReports:     s.stateReports,
+		Scheme:           s.cur.String(),
+		SchemeEpoch:      s.schemeEpoch,
+		SchemeSwitches:   s.switches.Load(),
+		LastSwitchReason: s.lastSwitchWhy,
+		LastSwitchAt:     s.lastSwitchAt,
 	})
 }
 
@@ -591,7 +663,7 @@ func (s *Scheduler) handleStateReport(i int, r *msg.StateReport) {
 		}
 	}
 
-	switch s.cfg.Scheme.Base {
+	switch s.cur.Base {
 	case scheme.SSP:
 		if r.Clock > s.completed[i] {
 			s.completed[i] = r.Clock
@@ -621,7 +693,7 @@ func (s *Scheduler) handleStateReport(i int, r *msg.StateReport) {
 			} else if !s.waitingBSP[i] {
 				s.waitingBSP[i] = true
 				s.barrierN++
-				if s.barrierN >= s.aliveN {
+				if s.barrierN >= s.barrierNeed() {
 					s.releaseBarrier()
 				}
 			}
@@ -748,6 +820,9 @@ func (s *Scheduler) epochBoundary(now time.Time) {
 	}
 	s.pushedN = 0
 	s.epochStart = now
+	if s.dynamic() {
+		s.maybeSwitch(now)
+	}
 }
 
 func (s *Scheduler) retune(now time.Time) {

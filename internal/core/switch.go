@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/scheme"
+	"specsync/internal/switcher"
+	"specsync/internal/trace"
+)
+
+// Scheduler-side scheme switching: the runtime mechanics behind the
+// Sync-Switch and ABS variants and the meta-scheme policy. The active
+// discipline lives in s.cur (a scheme.Runtime); every decision point is an
+// epoch boundary, and a switch follows the elastic migration's
+// freeze→commit discipline in miniature:
+//
+//  1. Freeze: the outgoing discipline's in-flight coordination state (the
+//     BSP barrier count) is discarded — nothing new is admitted into it.
+//  2. Rebuild: the incoming discipline's clocks are seeded from the
+//     notify counts the scheduler already tracks for every scheme (round =
+//     the furthest-ahead live member for BSP, completed[i] = notifyCount[i]
+//     with a never-regressing min for SSP), exactly the way the
+//     post-restart StateReport rebuild seeds them.
+//  3. Commit: one SchemeSwitch broadcast carries the new base, bound, and
+//     the rebuilt round/min-clock baselines. Each worker applies it at its
+//     own iteration boundary — a worker parked at an outgoing barrier or
+//     staleness gate re-evaluates immediately against the baselines, and
+//     in-flight pushes are untouched because pushes never depended on the
+//     scheme.
+//
+// Switches are keyed by a monotonically increasing scheme epoch so a stale
+// or duplicated broadcast (restart re-announce, readmission resend) can
+// never roll a worker back.
+
+// dynamic reports whether this run can rewrite its discipline mid-flight.
+func (s *Scheduler) dynamic() bool {
+	return s.cfg.Scheme.DynamicBase() || s.policy != nil
+}
+
+// barrierNeed is the number of barrier arrivals that releases the current
+// round: all live members for BSP, a β-fraction quorum for PSP.
+func (s *Scheduler) barrierNeed() int {
+	need := s.aliveN
+	if b := s.cur.Beta; b > 0 && b < 1 && s.aliveN > 0 {
+		q := int(math.Ceil(b * float64(s.aliveN)))
+		if q < 1 {
+			q = 1
+		}
+		if q < need {
+			need = q
+		}
+	}
+	return need
+}
+
+// maybeSwitch is called at every epoch boundary; it runs the variant
+// schedules and the meta-scheme policy, issuing at most one switch.
+func (s *Scheduler) maybeSwitch(now time.Time) {
+	epoch := s.epoch.Load()
+	switch s.cfg.Scheme.Variant {
+	case scheme.VariantSyncSwitch:
+		if s.cur.Base == scheme.BSP && epoch >= int64(s.cfg.Scheme.SwitchAt) {
+			s.switchTo(scheme.Runtime{Base: scheme.ASP},
+				fmt.Sprintf("sync-switch: scheduled BSP→ASP handover at epoch %d", epoch), now)
+		}
+		return
+	case scheme.VariantABS:
+		if bound := s.absBound(); bound != s.cur.Staleness {
+			rt := s.cur
+			rt.Staleness = bound
+			s.switchTo(rt,
+				fmt.Sprintf("abs: push-arrival spread re-derived bound %d→%d at epoch %d", s.cur.Staleness, bound, epoch), now)
+		}
+		return
+	}
+	if s.policy == nil {
+		return
+	}
+	flagged, sustained, median, max := s.cfg.Obs.StragglerCounts()
+	d, fire := s.policy.Evaluate(now, switcher.Telemetry{
+		Flagged: flagged, Sustained: sustained, MedianScore: median, MaxScore: max,
+	})
+	if fire {
+		s.switchTo(d.Target, d.Reason, now)
+	}
+}
+
+// absBound re-derives the ABS staleness bound from the push-arrival spread
+// observed over the finished epoch: the ratio between the slowest and the
+// median live member's work span (spans are themselves EWMAs of push-arrival
+// intervals). A homogeneous fleet rounds to the minimum bound (near-BSP); a
+// k-times straggler loosens the bound to ≈k so the healthy majority can run
+// ahead instead of blocking on the SSP gate every iteration.
+func (s *Scheduler) absBound() int {
+	lo, hi := s.cfg.Scheme.ABSBounds()
+	spans := make([]float64, 0, s.m)
+	slowest := 0.0
+	for i := 0; i < s.m; i++ {
+		if !s.alive[i] {
+			continue
+		}
+		sp := float64(s.spanFor(i))
+		if sp <= 0 {
+			continue
+		}
+		spans = append(spans, sp)
+		if sp > slowest {
+			slowest = sp
+		}
+	}
+	if len(spans) == 0 {
+		return s.cur.Staleness
+	}
+	median := medianOf(spans)
+	if median <= 0 {
+		return s.cur.Staleness
+	}
+	bound := int(slowest/median + 0.5)
+	if bound < lo {
+		bound = lo
+	}
+	if bound > hi {
+		bound = hi
+	}
+	return bound
+}
+
+// spanFor returns the best available span estimate for worker i: the
+// worker-reported work span (scheme-independent) when this is a dynamic run,
+// falling back to the notify-interval EWMA before the first report lands.
+func (s *Scheduler) spanFor(i int) time.Duration {
+	if s.workSpan != nil && s.workSpan[i] > 0 {
+		return s.workSpan[i]
+	}
+	return s.spanEWMA[i]
+}
+
+func medianOf(vs []float64) float64 {
+	// Insertion sort: the slice is small (≤ fleet size) and reused nowhere.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	return vs[len(vs)/2]
+}
+
+// switchTo rebuilds the coordination state for the incoming discipline and
+// commits it to the fleet with one SchemeSwitch broadcast.
+func (s *Scheduler) switchTo(rt scheme.Runtime, reason string, now time.Time) {
+	if rt == s.cur {
+		return
+	}
+	from := s.cur.String()
+	s.schemeEpoch++
+	s.cur = rt
+	s.lastSwitchAt = now
+	s.lastSwitchWhy = reason
+	s.switches.Add(1)
+
+	// Freeze: the outgoing barrier's in-flight count is void either way —
+	// an incoming BSP round starts empty, and ASP/SSP have no barrier.
+	s.barrierN = 0
+	for i := range s.waitingBSP {
+		s.waitingBSP[i] = false
+	}
+
+	// Rebuild the incoming discipline's clocks from the notify counts
+	// (maintained under every scheme), mirroring the post-restart
+	// StateReport rebuild.
+	switch rt.Base {
+	case scheme.BSP:
+		// Round baseline = the furthest-ahead live member's completed
+		// count: every laggard sails through (its rounds are already
+		// released) while the front-runners park until the next quorum.
+		for i := 0; i < s.m; i++ {
+			if s.alive[i] && s.notifyCount[i] > s.round {
+				s.round = s.notifyCount[i]
+			}
+		}
+	case scheme.SSP:
+		for i := 0; i < s.m; i++ {
+			if s.notifyCount[i] > s.completed[i] {
+				s.completed[i] = s.notifyCount[i]
+			}
+		}
+		min := int64(-1)
+		for i := 0; i < s.m; i++ {
+			if !s.alive[i] {
+				continue
+			}
+			if min < 0 || s.completed[i] < min {
+				min = s.completed[i]
+			}
+		}
+		if min > s.minClock {
+			s.minClock = min
+		}
+	}
+
+	s.cfg.Obs.SchemeSwitch(now, s.schemeEpoch, from, rt.String(), reason)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(trace.Event{At: now, Worker: trace.SchedulerNode, Kind: trace.KindSchemeSwitch, Iter: s.schemeEpoch, Value: int64(rt.Base)})
+	}
+	s.ctx.Logf("scheduler: scheme switch #%d %s → %s (%s)", s.schemeEpoch, from, rt.String(), reason)
+
+	// Commit.
+	for w := 0; w < s.m; w++ {
+		s.ctx.Send(node.WorkerID(w), s.schemeMsg(now))
+	}
+}
+
+// schemeMsg encodes the current discipline (and its rebuilt baselines) for
+// broadcast or for a targeted resend to a joiner/readmitted worker.
+func (s *Scheduler) schemeMsg(now time.Time) *msg.SchemeSwitch {
+	return &msg.SchemeSwitch{
+		Epoch:     s.schemeEpoch,
+		Base:      uint8(s.cur.Base),
+		Staleness: int64(s.cur.Staleness),
+		Beta:      s.cur.Beta,
+		Round:     s.round,
+		MinClock:  s.minClock,
+		Reason:    s.lastSwitchWhy,
+		At:        now.Sub(time.Unix(0, 0)),
+	}
+}
+
+// resendScheme brings one worker (a joiner, a readmitted crasher) up to the
+// current scheme epoch. Workers ignore epochs they have already applied.
+func (s *Scheduler) resendScheme(i int, now time.Time) {
+	if !s.dynamic() || s.schemeEpoch == 0 {
+		return
+	}
+	s.ctx.Send(node.WorkerID(i), s.schemeMsg(now))
+}
+
+// Runtime returns the active discipline (only meaningful from the
+// scheduler's own context, e.g. tests after the sim has drained).
+func (s *Scheduler) Runtime() scheme.Runtime { return s.cur }
+
+// SchemeSwitches returns the number of switches issued. Safe for concurrent
+// use.
+func (s *Scheduler) SchemeSwitches() int64 { return s.switches.Load() }

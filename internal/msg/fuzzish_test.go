@@ -23,6 +23,8 @@ func TestTruncationNeverPanics(t *testing.T) {
 		&ReSync{Iter: 12},
 		&BarrierRelease{Round: 4},
 		&MinClock{Clock: 5},
+		&SchemeSwitch{Epoch: 2, Base: 2, Round: 3, Reason: "scheduled"},
+		&NotifyV2{Iter: 6, Span: 42},
 	}
 	for _, m := range samples {
 		full := wire.Marshal(m)

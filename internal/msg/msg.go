@@ -511,6 +511,8 @@ func Registry() *wire.Registry {
 		{Kind: KindVoteResp, Name: "VoteResp", New: func() wire.Message { return &VoteResp{} }},
 		{Kind: KindReplState, Name: "ReplState", New: func() wire.Message { return &ReplState{} }},
 		{Kind: KindReplApply, Name: "ReplApply", New: func() wire.Message { return &ReplApply{} }},
+		{Kind: KindSchemeSwitch, Name: "SchemeSwitch", New: func() wire.Message { return &SchemeSwitch{} }},
+		{Kind: KindNotifyV2, Name: "NotifyV2", New: func() wire.Message { return &NotifyV2{} }},
 	})
 }
 

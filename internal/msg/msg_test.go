@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"specsync/internal/wire"
 )
@@ -58,6 +59,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&ReplApply{Version: 55, Worker: 3, Iter: 12, Body: ReplBodySparse, Idx: []int32{1, 4}, Grad: []float64{0.5, -1}},
 		&ReplApply{Version: 56, Worker: 0, Iter: 13, Body: ReplBodyDense, Dense: []float64{1, 2, 3}},
 		&ReplApply{Version: 57, Worker: 1, Iter: 14, Body: ReplBodyCodec, Codec: 2, Payload: []byte{9, 9}},
+		&SchemeSwitch{Epoch: 3, Base: 3, Staleness: 4, Beta: 0.7, Round: 12, MinClock: 9, Reason: "sustained-straggler", At: 5 * time.Second},
+		&NotifyV2{Iter: 7, Span: 250 * time.Millisecond},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -70,8 +73,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 32 {
-		t.Errorf("registry has %d kinds, want 32", len(kinds))
+	if len(kinds) != 34 {
+		t.Errorf("registry has %d kinds, want 34", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)
@@ -133,7 +136,7 @@ func TestIsControlClassification(t *testing.T) {
 			t.Errorf("kind %d misclassified as control", k)
 		}
 	}
-	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat, KindJoinReq, KindJoinAck, KindRoutingUpdate, KindShardTransfer, KindMigrateDone, KindScaleCmd, KindLeaderAnnounce, KindVoteReq, KindVoteResp, KindReplState}
+	control := []wire.Kind{KindNotify, KindReSync, KindStart, KindStop, KindBarrierRelease, KindMinClock, KindWorkerReady, KindPushNotice, KindHeartbeat, KindJoinReq, KindJoinAck, KindRoutingUpdate, KindShardTransfer, KindMigrateDone, KindScaleCmd, KindLeaderAnnounce, KindVoteReq, KindVoteResp, KindReplState, KindSchemeSwitch, KindNotifyV2}
 	for _, k := range control {
 		if !IsControl(k) {
 			t.Errorf("kind %d misclassified as data", k)
@@ -144,7 +147,7 @@ func TestIsControlClassification(t *testing.T) {
 func TestControlMessagesAreTiny(t *testing.T) {
 	// The paper's centralized design relies on control messages being a few
 	// bytes; regression-guard their encoded sizes.
-	small := []wire.Message{&Notify{Iter: 1 << 40}, &ReSync{Iter: 1 << 40}, &Start{}, &Stop{}, &MinClock{Clock: 99}, &Heartbeat{Iter: 1 << 40}}
+	small := []wire.Message{&Notify{Iter: 1 << 40}, &ReSync{Iter: 1 << 40}, &Start{}, &Stop{}, &MinClock{Clock: 99}, &Heartbeat{Iter: 1 << 40}, &NotifyV2{Iter: 1 << 40, Span: time.Hour}}
 	for _, m := range small {
 		if n := wire.EncodedSize(m); n > 16 {
 			t.Errorf("%T encodes to %d bytes, want <= 16", m, n)

@@ -62,6 +62,15 @@ type ClusterSnapshot struct {
 	RestoredFromCk bool  `json:"restored_from_checkpoint,omitempty"`
 	StateReports   int64 `json:"state_reports,omitempty"`
 
+	// Scheme view: the active synchronization discipline. On dynamic runs
+	// (Sync-Switch, ABS, the meta-scheme) the scheme epoch counts applied
+	// switches and the last-switch fields explain the most recent one.
+	Scheme           string    `json:"scheme,omitempty"`
+	SchemeEpoch      int64     `json:"scheme_epoch,omitempty"`
+	SchemeSwitches   int64     `json:"scheme_switches,omitempty"`
+	LastSwitchReason string    `json:"last_switch_reason,omitempty"`
+	LastSwitchAt     time.Time `json:"last_switch_at,omitempty"`
+
 	// Jobs is the multi-tenant fleet listing (nil for single-job runs). The
 	// fleet-level snapshot carries one entry per job, each embedding that
 	// job's own scheduler view.

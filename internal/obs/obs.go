@@ -452,6 +452,8 @@ type SchedulerObs struct {
 	migrationH     *Histogram
 	clusterWorkers *Gauge
 	clusterServers *Gauge
+
+	schemeSwitches *Counter
 }
 
 // Scheduler returns the scheduler handle.
@@ -503,6 +505,8 @@ func (o *Obs) scheduler(job string) *SchedulerObs {
 			"Workers currently in membership (elastic runs).", lbl...),
 		clusterServers: o.reg.Gauge("specsync_cluster_servers",
 			"Server shards currently in the routing table (elastic runs).", lbl...),
+		schemeSwitches: o.reg.Counter("specsync_scheme_switches_total",
+			"Live synchronization-scheme switches issued by the scheduler (variant schedules and the meta-scheme policy).", lbl...),
 	}
 }
 
@@ -514,6 +518,26 @@ func (s *SchedulerObs) WorkerSpan(at time.Time, worker int, span time.Duration) 
 		return
 	}
 	s.o.stragglers.ObserveSpan(s.job, worker, at, span.Seconds())
+}
+
+// StragglerCounts exposes the detector's current per-job flag counts and
+// median/maximum slowdown scores — the meta-scheme policy's telemetry input.
+func (s *SchedulerObs) StragglerCounts() (flagged, sustained int, median, max float64) {
+	if s == nil {
+		return 0, 0, 0, 0
+	}
+	return s.o.stragglers.Counts(s.job)
+}
+
+// SchemeSwitch records a live synchronization-scheme switch.
+func (s *SchedulerObs) SchemeSwitch(at time.Time, epoch int64, from, to, reason string) {
+	if s == nil {
+		return
+	}
+	s.schemeSwitches.Inc()
+	s.o.spans.Add(Span{Node: "scheduler", Name: "scheme-switch", Start: at, Value: epoch})
+	s.o.flight.Record(FlightEvent{At: at, Kind: "scheme-switch", Node: "scheduler", Job: s.job,
+		Iter: epoch, Detail: from + " → " + to + " (" + reason + ")"})
 }
 
 // BarrierRelease records a synchronization barrier opening (BSP/SSP rounds).
@@ -769,6 +793,9 @@ type Summary struct {
 	// events the ring has since dropped).
 	StragglerFlags int64
 	FlightEvents   uint64
+	// SchemeSwitches counts live discipline retargets (variant schedules and
+	// the meta-scheme policy).
+	SchemeSwitches int64
 }
 
 // Summary snapshots the registry into a Summary (nil on a nil Obs).
@@ -798,5 +825,6 @@ func (o *Obs) Summary() *Summary {
 		Spans:             o.spans.Len(),
 		StragglerFlags:    o.reg.SumCounters("specsync_straggler_flags_total"),
 		FlightEvents:      o.flight.Recorded(),
+		SchemeSwitches:    o.reg.SumCounters("specsync_scheme_switches_total"),
 	}
 }

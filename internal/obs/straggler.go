@@ -371,6 +371,45 @@ func (d *StragglerDetector) Flag(job string, worker int) (score float64, level S
 	return w.score, w.level, true
 }
 
+// Counts returns one job's flagged/sustained straggler counts and the fleet
+// median and maximum slowdown scores. It is the meta-scheme policy's input:
+// pure bookkeeping under the detector lock, no messages or timers, so reading
+// it from the scheduler's execution context stays deterministic under the
+// DES. The maximum matters because mitigation masks its own signal: once the
+// fleet runs SSP a genuine straggler stops contending with the healthy
+// majority and its score can settle just under the flag threshold, so the
+// policy's recover condition needs the raw worst score, not just the flags.
+func (d *StragglerDetector) Counts(job string) (flagged, sustained int, median, max float64) {
+	if d == nil {
+		return 0, 0, 0, 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[job]
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	scores := make([]float64, 0, len(j.workers))
+	for _, w := range j.workers {
+		if w.samples < d.opts.MinSamples {
+			continue
+		}
+		scores = append(scores, w.score)
+		if w.level > StragglerOK {
+			flagged++
+		}
+		if w.level == StragglerSustained {
+			sustained++
+		}
+	}
+	sort.Float64s(scores)
+	if n := len(scores); n > 0 {
+		median = scores[n/2]
+		max = scores[n-1]
+	}
+	return flagged, sustained, median, max
+}
+
 // Snapshot renders the detector state for /stragglerz, sorted by job then
 // worker index. ok is false until at least one span has been observed.
 func (d *StragglerDetector) Snapshot() (StragglerSnapshot, bool) {

@@ -15,6 +15,12 @@ func TestValidate(t *testing.T) {
 		{Base: ASP, Spec: SpecFixed, AbortTime: time.Second, AbortRate: 0.2},
 		{Base: ASP, Spec: SpecAdaptive},
 		{Base: SSP, Staleness: 2, Spec: SpecAdaptive},
+		{Variant: VariantSyncSwitch, SwitchAt: 5},
+		{Variant: VariantABS},
+		{Variant: VariantABS, ABSMin: 2, ABSMax: 6},
+		{Variant: VariantABS, Spec: SpecAdaptive},
+		{Variant: VariantABS, Spec: SpecFixed, AbortTime: time.Second, AbortRate: 0.2},
+		{Variant: VariantPSP, PSPBeta: 0.7},
 	}
 	for i, c := range good {
 		if err := c.Validate(); err != nil {
@@ -31,6 +37,19 @@ func TestValidate(t *testing.T) {
 		{Base: ASP, Spec: SpecFixed},                                         // no abort time
 		{Base: ASP, Spec: SpecFixed, AbortTime: time.Second, AbortRate: 1.5}, // rate > 1
 		{Base: ASP, Spec: Spec(77)},
+		{Variant: Variant(99)},
+		{Variant: VariantSyncSwitch},                               // missing SwitchAt
+		{Variant: VariantSyncSwitch, SwitchAt: 5, Base: BSP},       // base must stay unset
+		{Variant: VariantSyncSwitch, SwitchAt: 5, Spec: SpecFixed}, // speculation × switch
+		{Variant: VariantSyncSwitch, SwitchAt: 5, Decentralized: true},
+		{Variant: VariantSyncSwitch, SwitchAt: 5, NaiveWait: time.Second},
+		{Variant: VariantABS, ABSMin: 6, ABSMax: 2},             // inverted clamp
+		{Variant: VariantABS, Spec: SpecFixed},                  // missing abort params
+		{Variant: VariantPSP},                                   // missing beta
+		{Variant: VariantPSP, PSPBeta: 1},                       // β=1 is plain BSP
+		{Variant: VariantPSP, PSPBeta: 0.5, Spec: SpecAdaptive}, // PSP × speculation
+		{Base: BSP, PSPBeta: 0.5},                               // variant params without Variant
+		{Base: BSP, SwitchAt: 3},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -55,6 +74,43 @@ func TestNames(t *testing.T) {
 	}
 	if got := (Config{Base: ASP, NaiveWait: time.Second}).Name(); !strings.Contains(got, "NaiveWait") {
 		t.Errorf("naive name = %q", got)
+	}
+}
+
+func TestVariantRuntime(t *testing.T) {
+	ss := Config{Variant: VariantSyncSwitch, SwitchAt: 5}
+	if ss.EffectiveBase() != BSP || !ss.DynamicBase() {
+		t.Errorf("Sync-Switch should start as dynamic BSP: %+v", ss.InitialRuntime())
+	}
+	if got := ss.Name(); !strings.Contains(got, "Sync-Switch") || !strings.Contains(got, "e5") {
+		t.Errorf("Sync-Switch name = %q", got)
+	}
+
+	abs := Config{Variant: VariantABS}
+	rt := abs.InitialRuntime()
+	if rt.Base != SSP || rt.Staleness != DefaultABSMin || !abs.DynamicBase() {
+		t.Errorf("ABS initial runtime = %+v", rt)
+	}
+	if min, max := abs.ABSBounds(); min != DefaultABSMin || max != DefaultABSMax {
+		t.Errorf("ABS default bounds = %d..%d", min, max)
+	}
+	if got := abs.Name(); !strings.Contains(got, "ABS") {
+		t.Errorf("ABS name = %q", got)
+	}
+
+	psp := Config{Variant: VariantPSP, PSPBeta: 0.7}
+	rt = psp.InitialRuntime()
+	if rt.Base != BSP || rt.Beta != 0.7 || psp.DynamicBase() {
+		t.Errorf("PSP initial runtime = %+v dynamic=%v", rt, psp.DynamicBase())
+	}
+	if got := rt.String(); !strings.Contains(got, "PSP") {
+		t.Errorf("PSP runtime string = %q", got)
+	}
+	if got := (Runtime{Base: SSP, Staleness: 4}).String(); got != "SSP(s=4)" {
+		t.Errorf("SSP runtime string = %q", got)
+	}
+	if got := (Runtime{Base: BSP}).String(); got != "BSP" {
+		t.Errorf("BSP runtime string = %q", got)
 	}
 }
 

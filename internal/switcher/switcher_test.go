@@ -1,0 +1,95 @@
+package switcher
+
+import (
+	"testing"
+	"time"
+
+	"specsync/internal/scheme"
+)
+
+func at(s int) time.Time { return time.Unix(0, 0).Add(time.Duration(s) * time.Second) }
+
+// TestScriptedHysteresis walks the policy through a scripted straggler
+// episode: homogeneous fleet, a sustained straggler appears, persists, then
+// recovers. Exactly one degrade and one recovery must fire, each only after
+// the condition held for HoldEpochs evaluations.
+func TestScriptedHysteresis(t *testing.T) {
+	p := New(Config{DegradeSustained: 1, HoldEpochs: 2, MinDwell: 5 * time.Second, Staleness: 4})
+	script := []struct {
+		sec       int
+		sustained int
+		wantFire  bool
+		wantBase  scheme.Base
+	}{
+		{0, 0, false, 0},
+		{1, 0, false, 0},
+		{2, 1, false, 0},         // first hit: streak 1 of 2
+		{3, 1, true, scheme.SSP}, // held 2 epochs → degrade
+		{4, 1, false, 0},         // already degraded
+		{5, 1, false, 0},
+		{6, 0, false, 0},         // recovery streak 1 of 2
+		{7, 0, false, 0},         // streak 2, but dwell (5s since t=3) not served
+		{8, 0, true, scheme.BSP}, // dwell served → recover
+		{9, 0, false, 0},
+		{10, 0, false, 0},
+	}
+	for _, step := range script {
+		d, fired := p.Evaluate(at(step.sec), Telemetry{Sustained: step.sustained})
+		if fired != step.wantFire {
+			t.Fatalf("t=%ds sustained=%d: fired=%v, want %v", step.sec, step.sustained, fired, step.wantFire)
+		}
+		if fired && d.Target.Base != step.wantBase {
+			t.Fatalf("t=%ds: switched to %v, want base %v", step.sec, d.Target, step.wantBase)
+		}
+	}
+	if got := p.Switches(); got != 2 {
+		t.Errorf("switches = %d, want 2", got)
+	}
+	if p.Degraded() {
+		t.Error("policy should end un-degraded")
+	}
+}
+
+// TestNoFlapOnBorderline alternates the signal every epoch; with HoldEpochs
+// 2 the policy must never switch at all.
+func TestNoFlapOnBorderline(t *testing.T) {
+	p := New(Config{HoldEpochs: 2})
+	for i := 0; i < 50; i++ {
+		_, fired := p.Evaluate(at(i), Telemetry{Sustained: i % 2})
+		if fired {
+			t.Fatalf("flapped at evaluation %d", i)
+		}
+	}
+}
+
+// TestDwellDefersNotCancels: the degrade condition keeps holding through
+// the dwell window, and the switch fires at the first evaluation after the
+// dwell expires.
+func TestDwellDefersNotCancels(t *testing.T) {
+	p := New(Config{HoldEpochs: 1, MinDwell: 10 * time.Second})
+	if _, fired := p.Evaluate(at(0), Telemetry{Sustained: 1}); !fired {
+		t.Fatal("initial degrade should fire immediately (no prior switch)")
+	}
+	for i := 1; i < 10; i++ {
+		if _, fired := p.Evaluate(at(i), Telemetry{Sustained: 0}); fired {
+			t.Fatalf("recovery fired at t=%ds inside dwell", i)
+		}
+	}
+	d, fired := p.Evaluate(at(10), Telemetry{Sustained: 0})
+	if !fired || d.Target.Base != scheme.BSP {
+		t.Fatalf("recovery should fire at dwell expiry, got fired=%v %v", fired, d.Target)
+	}
+}
+
+func TestValidateAndDefaults(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config should validate: %v", err)
+	}
+	if err := (Config{MinDwell: -time.Second}).Validate(); err == nil {
+		t.Error("negative dwell accepted")
+	}
+	c := Config{}.withDefaults()
+	if c.DegradeSustained != 1 || c.HoldEpochs != 2 || c.MinDwell != 10*time.Second || c.Staleness != 3 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}

@@ -56,6 +56,7 @@ var kindNames = map[Kind]string{
 
 	KindStragglerFlag:  "straggler-flag",
 	KindStragglerClear: "straggler-clear",
+	KindSchemeSwitch:   "scheme-switch",
 }
 
 var kindByName = func() map[string]Kind {

@@ -59,6 +59,11 @@ const (
 	// KindStragglerClear marks a flagged worker's slowdown score returning
 	// below threshold long enough to clear the flag.
 	KindStragglerClear
+	// KindSchemeSwitch marks the scheduler retargeting the fleet onto a new
+	// synchronization discipline (a scheme variant's schedule or the
+	// meta-scheme policy); Worker is SchedulerNode, Iter holds the scheme
+	// epoch, and Value the incoming scheme.Base.
+	KindSchemeSwitch
 )
 
 // SchedulerNode is the Event.Worker sentinel for scheduler crash/recover
@@ -100,6 +105,8 @@ func (k Kind) String() string {
 		return "straggler-flag"
 	case KindStragglerClear:
 		return "straggler-clear"
+	case KindSchemeSwitch:
+		return "scheme-switch"
 	default:
 		return "unknown"
 	}

@@ -88,6 +88,11 @@ func (wk *Worker) noteSchedulerGen(from node.ID, gen int64) {
 	}
 	if gen > wk.schedGen {
 		wk.schedGen = gen
+		// A new incarnation re-announces the active discipline under its own
+		// (checkpoint-restored) scheme-epoch counter; resetting ours makes
+		// that re-broadcast authoritative even if its counter is behind what
+		// we applied — the whole fleet converges on the scheduler's view.
+		wk.schemeEpoch = 0
 		if from != wk.schedID {
 			wk.ctx.Logf("worker %d: scheduler redirect %s -> %s (gen %d)",
 				wk.cfg.Index, wk.schedID, from, gen)

@@ -70,6 +70,27 @@ func (c ComputeModel) Sample(rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// Slowdown scripts a transient compute slowdown: between From and Until
+// (measured from the worker's Init) every sampled compute duration is
+// multiplied by Factor. It draws no randomness, so a nil script leaves runs
+// byte-identical; the scheme-switching tests use one to stage a sustained
+// straggler that later recovers.
+type Slowdown struct {
+	Factor      float64
+	From, Until time.Duration
+}
+
+// Validate reports configuration errors.
+func (s Slowdown) Validate() error {
+	if s.Factor < 1 {
+		return fmt.Errorf("worker: slowdown factor %v must be >= 1", s.Factor)
+	}
+	if s.Until <= s.From || s.From < 0 {
+		return fmt.Errorf("worker: slowdown window [%v, %v) is empty or negative", s.From, s.Until)
+	}
+	return nil
+}
+
 // Config configures one worker.
 type Config struct {
 	// Index is this worker's index (also its data shard).
@@ -142,6 +163,15 @@ type Config struct {
 	FallbackAbortRate float64
 	// Faults, if non-nil, receives degraded-mode transition counts.
 	Faults *metrics.Faults
+	// ReportSpans switches the end-of-iteration notify to msg.NotifyV2,
+	// carrying the worker's self-measured work span (gate-exit to push-acked,
+	// excluding barrier and staleness waits). Dynamic runs (scheme variants,
+	// the meta-scheme) need it: the active discipline synchronizes notify
+	// cadence across the fleet, so scheduler-side arrival intervals stop
+	// distinguishing slow workers from workers waiting at a barrier.
+	ReportSpans bool
+	// Slowdown, if non-nil, scripts a transient compute slowdown window.
+	Slowdown *Slowdown
 	// Codec selects the push/pull wire codecs. The zero value (raw) keeps
 	// the legacy v1 messages and is byte-identical to a worker without the
 	// codec layer; topk/q8 compress pushes with error-feedback residuals,
@@ -223,6 +253,18 @@ type Worker struct {
 	// BSP state.
 	releasedRound int64
 
+	// Active discipline. Static runs pin these to the configured scheme for
+	// the whole run; dynamic runs rewrite them from SchemeSwitch messages,
+	// keyed by a monotonic scheme epoch so stale broadcasts never roll back.
+	curBase      scheme.Base
+	curStaleness int
+	schemeEpoch  int64
+	// workStart is when the current iteration's work began (after any
+	// barrier/staleness wait); ReportSpans runs measure the work span from it.
+	workStart time.Time
+	// initAt anchors the Slowdown script's window offsets.
+	initAt time.Time
+
 	// Decentralized-speculation state: local copy of peer push times. Also
 	// used by the degraded-mode failover when the scheduler is lost.
 	peerPushes []time.Time
@@ -273,6 +315,11 @@ func New(cfg Config) (*Worker, error) {
 	}
 	if err := cfg.Compute.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Slowdown != nil {
+		if err := cfg.Slowdown.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.AbortLateFrac == 0 {
 		cfg.AbortLateFrac = 0.9
@@ -356,6 +403,8 @@ func New(cfg Config) (*Worker, error) {
 		deltaPull:    deltaPull,
 		routingEpoch: routingEpoch,
 	}
+	rt := cfg.Scheme.InitialRuntime()
+	wk.curBase, wk.curStaleness = rt.Base, rt.Staleness
 	wk.setShards(shards, shardSrv)
 	if deltaPull {
 		wk.havePulled = make([]bool, len(shards))
@@ -406,6 +455,7 @@ func (wk *Worker) shardIndexOf(from node.ID) int {
 func (wk *Worker) Init(ctx node.Context) {
 	wk.ctx = ctx
 	wk.schedLastSeen = ctx.Now()
+	wk.initAt = ctx.Now()
 	if wk.cfg.RetryAfter > 0 {
 		// backoffSeed is an arbitrary fixed master seed: the jitter stream
 		// must be deterministic per node but independent of the run's
@@ -467,6 +517,8 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 		wk.handleBarrierRelease(mm)
 	case *msg.MinClock:
 		wk.handleMinClock(mm)
+	case *msg.SchemeSwitch:
+		wk.handleSchemeSwitch(mm)
 	case *msg.PushNotice:
 		wk.handlePushNotice(from)
 	case *msg.SchedulerHello:
@@ -500,10 +552,11 @@ func (wk *Worker) beginIteration() {
 		return
 	}
 	// SSP gate: may start iteration k only while k <= minClock + s.
-	if wk.cfg.Scheme.Base == scheme.SSP && wk.iter > wk.minClock+int64(wk.cfg.Scheme.Staleness) {
+	if wk.curBase == scheme.SSP && wk.iter > wk.minClock+int64(wk.curStaleness) {
 		wk.st = stateBarrier
 		return
 	}
+	wk.workStart = wk.ctx.Now()
 	if d := wk.cfg.Scheme.NaiveWait; d > 0 {
 		// Naïve waiting (paper Sec. III-B): delay the pull request itself.
 		wk.st = statePulling
@@ -625,6 +678,11 @@ func (wk *Worker) startCompute() {
 	wk.st = stateComputing
 	wk.computeStart = wk.ctx.Now()
 	wk.computeDur = wk.cfg.Compute.Sample(wk.ctx.Rand())
+	if s := wk.cfg.Slowdown; s != nil {
+		if at := wk.computeStart.Sub(wk.initAt); at >= s.From && at < s.Until {
+			wk.computeDur = time.Duration(float64(wk.computeDur) * s.Factor)
+		}
+	}
 	wk.computeCancel = wk.ctx.After(wk.computeDur, wk.finishCompute)
 	if wk.cfg.Scheme.Decentralized || (wk.degraded.Load() && wk.canBroadcastFailover()) {
 		wk.armLocalSpeculation()
@@ -794,7 +852,7 @@ func (wk *Worker) finishPush() {
 		if wk.degraded.Load() && wk.canBroadcastFailover() {
 			wk.broadcastNotices()
 		}
-		wk.ctx.Send(wk.schedID, &msg.Notify{Iter: wk.iter})
+		wk.sendNotify()
 	}
 
 	wk.itersDone.Add(1)
@@ -805,7 +863,7 @@ func (wk *Worker) finishPush() {
 		return
 	}
 
-	switch wk.cfg.Scheme.Base {
+	switch wk.curBase {
 	case scheme.BSP:
 		// Wait for the barrier release of the round we just finished.
 		if wk.releasedRound > done {
@@ -818,11 +876,54 @@ func (wk *Worker) finishPush() {
 	}
 }
 
+// sendNotify reports the finished iteration to the scheduler; ReportSpans
+// runs use NotifyV2 so the straggler signal survives barrier-synchronized
+// notify cadence (see Config.ReportSpans).
+func (wk *Worker) sendNotify() {
+	if wk.cfg.ReportSpans {
+		wk.ctx.Send(wk.schedID, &msg.NotifyV2{Iter: wk.iter, Span: wk.ctx.Now().Sub(wk.workStart)})
+		return
+	}
+	wk.ctx.Send(wk.schedID, &msg.Notify{Iter: wk.iter})
+}
+
+// handleSchemeSwitch retargets this worker onto the scheduler's new
+// discipline. The message's Round/MinClock carry the scheduler's rebuilt
+// baselines; adopting them (never regressing) lets a worker parked at the
+// outgoing discipline's gate re-evaluate immediately instead of waiting for
+// a release that may never come. In-flight pulls, computes, and pushes are
+// untouched — none of them depend on the scheme.
+func (wk *Worker) handleSchemeSwitch(sw *msg.SchemeSwitch) {
+	if sw.Epoch <= wk.schemeEpoch {
+		return // stale or duplicated broadcast (restart re-announce, resend)
+	}
+	wk.schemeEpoch = sw.Epoch
+	wk.curBase = scheme.Base(sw.Base)
+	wk.curStaleness = int(sw.Staleness)
+	if sw.Round > wk.releasedRound {
+		wk.releasedRound = sw.Round
+	}
+	if sw.MinClock > wk.minClock {
+		wk.minClock = sw.MinClock
+	}
+	wk.ctx.Logf("worker %d: scheme switch #%d → %s (%s)", wk.cfg.Index, sw.Epoch,
+		scheme.Runtime{Base: wk.curBase, Staleness: wk.curStaleness, Beta: sw.Beta}, sw.Reason)
+	if wk.st == stateBarrier {
+		// Parked at the outgoing gate: re-evaluate under the incoming one.
+		// An incoming BSP admits us only once our just-finished round is
+		// released; SSP re-gates inside beginIteration; ASP always proceeds.
+		if wk.curBase == scheme.BSP && wk.releasedRound < wk.iter {
+			return
+		}
+		wk.beginIteration()
+	}
+}
+
 func (wk *Worker) handleBarrierRelease(br *msg.BarrierRelease) {
 	if br.Round > wk.releasedRound {
 		wk.releasedRound = br.Round
 	}
-	if wk.st == stateBarrier && wk.cfg.Scheme.Base == scheme.BSP {
+	if wk.st == stateBarrier && wk.curBase == scheme.BSP {
 		wk.beginIteration()
 	}
 }
@@ -831,7 +932,7 @@ func (wk *Worker) handleMinClock(mc *msg.MinClock) {
 	if mc.Clock > wk.minClock {
 		wk.minClock = mc.Clock
 	}
-	if wk.st == stateBarrier && wk.cfg.Scheme.Base == scheme.SSP {
+	if wk.st == stateBarrier && wk.curBase == scheme.SSP {
 		wk.beginIteration()
 	}
 }
