@@ -7,9 +7,11 @@
 //
 // Experiment ids: table1, timeline (figs 2/4/6), fig3, fig5, fig8, fig9,
 // fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic,
-// multijob, failover, schemes. The schemes id is the scheme-zoo shootout; it
-// additionally writes a JSON report (-schemes-out, BENCH_schemes.json by
-// default) and fails if any cell's double-run trace digests diverge.
+// multijob, failover, schemes, stragglers. The schemes id is the scheme-zoo
+// shootout and stragglers the straggler-mitigation matrix (scheme × slowdown
+// profile × {none, clone, rebalance}); both additionally write a JSON report
+// (-schemes-out / -stragglers-out, BENCH_*.json by default) and fail if any
+// cell's double-run trace digests diverge.
 //
 // It also gates the perf trajectory: -compare diffs two BENCH_*.json
 // reports (any pair emitted by the bench tools) and exits nonzero when a
@@ -70,9 +72,9 @@ func runCompare(paths []string, tolerance, allocTol float64) error {
 	return nil
 }
 
-// writeSchemesReport emits the shootout's JSON report for the CI compare
-// gate (the BENCH_schemes.json baseline lives at the repository root).
-func writeSchemesReport(r *experiments.SchemesResult, out string) error {
+// writeReport emits a matrix experiment's JSON report for the CI compare
+// gate (the BENCH_*.json baselines live at the repository root).
+func writeReport(r any, out string, cells int, reproducible bool) error {
 	if out == "" {
 		return nil
 	}
@@ -88,7 +90,7 @@ func writeSchemesReport(r *experiments.SchemesResult, out string) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d cells, reproducible=%v)\n", out, len(r.Cells), r.Reproducible)
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells, reproducible=%v)\n", out, cells, reproducible)
 	return nil
 }
 
@@ -105,7 +107,7 @@ func csvOpener(dir string) func(name string) (io.WriteCloser, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("specsync-bench", flag.ContinueOnError)
 	var (
-		runWhat    = fs.String("run", "all", "experiment id (table1, timeline, fig3, fig5, fig8, fig9, fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob, failover, schemes) or 'all'")
+		runWhat    = fs.String("run", "all", "experiment id (table1, timeline, fig3, fig5, fig8, fig9, fig10, fig11, fig12, fig13, table2, staleness, ablations, codecs, elastic, multijob, failover, schemes, stragglers) or 'all'")
 		workers    = fs.Int("workers", 40, "cluster size")
 		seed       = fs.Int64("seed", 1, "master seed")
 		size       = fs.String("size", "full", "workload size: full or small")
@@ -116,9 +118,10 @@ func run(args []string) error {
 		tolerance  = fs.Float64("tolerance", 0.5, "allowed fractional regression on time/throughput metrics in -compare mode")
 		allocTol   = fs.Float64("alloc-tolerance", 0.25, "allowed fractional regression on allocation metrics in -compare mode")
 
-		replicas     = fs.Int("replicas", 2, "failover experiment: shard backups per range")
-		standbySched = fs.Int("standby-schedulers", 1, "failover experiment: standby scheduler incarnations")
-		schemesOut   = fs.String("schemes-out", "BENCH_schemes.json", "schemes experiment: JSON report path (\"-\" for stdout, \"\" to skip)")
+		replicas      = fs.Int("replicas", 2, "failover experiment: shard backups per range")
+		standbySched  = fs.Int("standby-schedulers", 1, "failover experiment: standby scheduler incarnations")
+		schemesOut    = fs.String("schemes-out", "BENCH_schemes.json", "schemes experiment: JSON report path (\"-\" for stdout, \"\" to skip)")
+		stragglersOut = fs.String("stragglers-out", "BENCH_stragglers.json", "stragglers experiment: JSON report path (\"-\" for stdout, \"\" to skip)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,7 +142,7 @@ func run(args []string) error {
 
 	ids := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		ids = []string{"table1", "timeline", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "staleness", "ablations", "codecs", "elastic", "multijob", "failover", "schemes"}
+		ids = []string{"table1", "timeline", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "staleness", "ablations", "codecs", "elastic", "multijob", "failover", "schemes", "stragglers"}
 	}
 
 	// fig8/fig9 and fig12/fig13 share runs; cache results.
@@ -281,13 +284,27 @@ func run(args []string) error {
 				return err
 			}
 			r.Render(os.Stdout)
-			if err := writeSchemesReport(r, *schemesOut); err != nil {
+			if err := writeReport(r, *schemesOut, len(r.Cells), r.Reproducible); err != nil {
 				return err
 			}
 			// The shootout doubles as the determinism smoke test: a dynamic
 			// scheme that switches differently on a re-run is a bug, not noise.
 			if !r.Reproducible {
 				return fmt.Errorf("schemes: trace digests differ between identical runs")
+			}
+		case "stragglers":
+			r, err := experiments.Stragglers(opts)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			if err := writeReport(r, *stragglersOut, len(r.Cells), r.Reproducible); err != nil {
+				return err
+			}
+			// Mitigation must never cost determinism: a clone race or a member
+			// swap that lands differently on a re-run is a bug, not noise.
+			if !r.Reproducible {
+				return fmt.Errorf("stragglers: trace digests differ between identical runs")
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)

@@ -51,6 +51,7 @@ import (
 	"specsync/internal/ps"
 	"specsync/internal/replica"
 	"specsync/internal/scheme"
+	"specsync/internal/stragglers"
 	"specsync/internal/switcher"
 	"specsync/internal/worker"
 )
@@ -77,6 +78,8 @@ func run(args []string) error {
 		switchAt   = fs.Int("switch-at", 5, "sync-switch scheme: epoch of the BSP→ASP handover")
 		pspBeta    = fs.Float64("psp-beta", 0.75, "psp scheme: barrier quorum as a fraction of live workers")
 		metaScheme = fs.Bool("meta-scheme", false, "straggler-driven BSP↔SSP policy (must match across nodes; requires a plain -scheme asp/bsp/ssp)")
+
+		stragglerPlanPath = fs.String("straggler-plan", "", "JSON straggler-plan file (see internal/stragglers); workers run their scripted slowdowns, the scheduler scores its detector against the plan")
 		iterTime   = fs.Duration("iter", 500*time.Millisecond, "nominal compute time per iteration")
 		maxIters   = fs.Int64("iters", 200, "worker iterations before stopping (0 = run forever)")
 		debug      = fs.Bool("debug", false, "verbose node logging")
@@ -157,8 +160,29 @@ func run(args []string) error {
 		return err
 	}
 	// Workers self-measure work spans whenever the discipline can change at
-	// runtime; every process must agree or the scheduler would starve.
-	dynamicScheme := sc.DynamicBase() || *metaScheme
+	// runtime or a straggler plan needs detection; every process must agree
+	// or the scheduler would starve.
+	var stragglerPlan *stragglers.Plan
+	var stragglerScripts [][]worker.SpeedWindow
+	if *stragglerPlanPath != "" {
+		data, err := os.ReadFile(*stragglerPlanPath)
+		if err != nil {
+			return err
+		}
+		if stragglerPlan, err = stragglers.ParseJSON(data); err != nil {
+			return err
+		}
+		if stragglerScripts, err = stragglerPlan.Scripts(*workers); err != nil {
+			return err
+		}
+		if stragglerPlan.HasCongest() {
+			// The TCP transport has no bandwidth model to scale; congest
+			// episodes only act under the simulator (link penalty) or an
+			// in-process live.Network (stragglers.LiveHook).
+			fmt.Fprintln(os.Stderr, "specsync-node: warning: congest episodes in the plan are ignored on the TCP transport")
+		}
+	}
+	dynamicScheme := sc.DynamicBase() || *metaScheme || !stragglerPlan.Empty()
 	if *metaScheme && (sc.Variant != scheme.VariantNone || sc.Spec != scheme.SpecOff) {
 		return fmt.Errorf("-meta-scheme requires a plain base scheme (-scheme asp/bsp/ssp)")
 	}
@@ -274,12 +298,19 @@ func run(args []string) error {
 			return fmt.Errorf("worker index %d out of range", *index)
 		}
 		id = node.WorkerID(*index)
+		// Each worker plays only its own row of the plan's speed scripts;
+		// windows are measured from Init, so co-started processes line up.
+		var script []worker.SpeedWindow
+		if stragglerScripts != nil {
+			script = stragglerScripts[*index]
+		}
 		wkr, err = worker.New(worker.Config{
 			Index:            *index,
 			Shards:           ranges,
 			Model:            wl.Model,
 			Scheme:           sc,
 			Compute:          worker.ComputeModel{Base: wl.IterTime, Speed: 1, JitterSigma: wl.JitterSigma},
+			Script:           script,
 			MaxIters:         *maxIters,
 			NumWorkers:       *workers,
 			HeartbeatEvery:   *heartbeatEvery,
@@ -309,6 +340,11 @@ func run(args []string) error {
 		handler = wkr
 	case "scheduler":
 		id = node.Scheduler
+		if !stragglerPlan.Empty() {
+			// Ground truth for /stragglerz detector scoring: precision and
+			// recall are measured against the plan's scripted victims.
+			o.Scheduler().SetStragglerTruth(stragglerPlan.Targets())
+		}
 		sched, err = core.NewScheduler(core.SchedulerConfig{
 			Workers:         *workers,
 			Scheme:          sc,
@@ -317,6 +353,7 @@ func run(args []string) error {
 			LivenessTimeout: *livenessTimeout,
 			Generation:      *generation,
 			BeaconEvery:     *beaconEvery,
+			TrackSpans:      !stragglerPlan.Empty(),
 			Obs:             o.Scheduler(),
 		})
 		if err != nil {
@@ -359,6 +396,9 @@ func run(args []string) error {
 			ElectionTimeout: *electionAfter,
 			ReplicateEvery:  *replicateEvery,
 			MakeScheduler: func(gen int64) (*core.Scheduler, error) {
+				if !stragglerPlan.Empty() {
+					o.Scheduler().SetStragglerTruth(stragglerPlan.Targets())
+				}
 				return core.NewScheduler(core.SchedulerConfig{
 					Workers:         *workers,
 					Scheme:          sc,
@@ -367,6 +407,7 @@ func run(args []string) error {
 					LivenessTimeout: *livenessTimeout,
 					Generation:      gen,
 					BeaconEvery:     *beaconEvery,
+					TrackSpans:      !stragglerPlan.Empty(),
 					Obs:             o.Scheduler(),
 				})
 			},

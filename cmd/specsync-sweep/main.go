@@ -20,6 +20,7 @@ import (
 	"specsync/internal/metrics"
 	"specsync/internal/optimizer"
 	"specsync/internal/scheme"
+	"specsync/internal/stragglers"
 	"specsync/internal/trace"
 )
 
@@ -46,6 +47,10 @@ func run(args []string) error {
 		size         = fs.String("size", "full", "workload size: full or small")
 		jitter       = fs.Float64("jitter", -1, "override compute-time lognormal sigma (-1 = workload default)")
 		noHiccups    = fs.Bool("no-hiccups", false, "disable the transient-stall process")
+
+		stragglerSpecs = fs.String("stragglers", "", "straggler specs applied to every run, e.g. 'pause:3@10s, degrade:2x0.4@30s, congest:1x0.25, rack:0-3x0.5' (see internal/stragglers)")
+		mitigations    = fs.String("mitigate", "none", "comma list of mitigations to sweep: none, clone, rebalance (requires -stragglers)")
+		spares         = fs.Int("spares", 0, "spare worker slots for mitigation actions (0 = default 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,57 +88,122 @@ func run(args []string) error {
 		speeds = cluster.InstanceSpeeds(*workers)
 	}
 
+	// The straggler axis: one fixed plan applied to every run, crossed with
+	// the list of mitigations — so a single sweep compares schemes AND
+	// mitigations under the same scripted slowdowns.
+	var plan *stragglers.Plan
+	mitList := []stragglers.Mitigation{stragglers.MitigateNone}
+	if *stragglerSpecs != "" {
+		if plan, err = stragglers.ParseSpecs(*stragglerSpecs); err != nil {
+			return err
+		}
+		if mitList, err = parseMitigations(*mitigations); err != nil {
+			return err
+		}
+	} else if *mitigations != "none" {
+		return fmt.Errorf("-mitigate needs -stragglers (nothing to mitigate)")
+	}
+
 	fmt.Printf("workload=%s workers=%d dim=%d target=%.4f max=%v hetero=%v\n",
 		wl.Name, *workers, wl.Model.Dim(), wl.TargetLoss, *maxVirtual, *hetero)
-	fmt.Printf("%-34s %-7s %-9s %-12s %-8s %-8s %-8s %-9s %-9s %-18s\n",
-		"scheme", "lr", "converged", "time", "iters", "aborts", "epochs", "final", "min", "staleness(p50/p95)")
+	header := []any{"scheme", "lr", "converged", "time", "iters", "aborts", "epochs", "final", "min", "staleness(p50/p95)"}
+	format := "%-34s %-7s %-9s %-12s %-8s %-8s %-8s %-9s %-9s %-18s"
+	if plan != nil {
+		header = append([]any{"mitigation"}, header...)
+		header = append(header, "P", "R")
+		format = "%-11s " + format + " %-5s %-5s"
+	}
+	fmt.Printf(format+"\n", header...)
 
-	for _, sc := range schemeList {
-		lrsToRun := lrList
-		if len(lrsToRun) == 0 {
-			lrsToRun = []float64{0} // sentinel: workload default
-		}
-		for _, lr := range lrsToRun {
-			w := wl
-			lrLabel := "default"
-			if lr > 0 {
-				w.Schedule = optimizer.Const(lr)
-				lrLabel = fmt.Sprintf("%.3f", lr)
+	for _, mit := range mitList {
+		for _, sc := range schemeList {
+			lrsToRun := lrList
+			if len(lrsToRun) == 0 {
+				lrsToRun = []float64{0} // sentinel: workload default
 			}
-			res, err := cluster.Run(cluster.Config{
-				Workload:       w,
-				Scheme:         sc,
-				Workers:        *workers,
-				Servers:        *servers,
-				Seed:           *seed,
-				Speeds:         speeds,
-				MaxVirtual:     *maxVirtual,
-				DisableHiccups: *noHiccups,
-				KeepTrace:      true,
-			})
-			if err != nil {
-				return fmt.Errorf("run %s: %w", sc.Name(), err)
-			}
-			conv := "no"
-			convTime := "-"
-			if res.Converged {
-				conv = "yes"
-				convTime = res.ConvergeTime.Round(time.Second).String()
-			}
-			var stale []float64
-			for _, ev := range res.Trace.Events() {
-				if ev.Kind == trace.KindStaleness {
-					stale = append(stale, float64(ev.Value))
+			for _, lr := range lrsToRun {
+				w := wl
+				lrLabel := "default"
+				if lr > 0 {
+					w.Schedule = optimizer.Const(lr)
+					lrLabel = fmt.Sprintf("%.3f", lr)
 				}
+				res, err := cluster.Run(cluster.Config{
+					Workload:       w,
+					Scheme:         sc,
+					Workers:        *workers,
+					Servers:        *servers,
+					Seed:           *seed,
+					Speeds:         speeds,
+					Stragglers:     plan,
+					Mitigation:     mit,
+					Spares:         *spares,
+					MaxVirtual:     *maxVirtual,
+					DisableHiccups: *noHiccups,
+					KeepTrace:      true,
+				})
+				if err != nil {
+					return fmt.Errorf("run %s: %w", sc.Name(), err)
+				}
+				conv := "no"
+				convTime := "-"
+				if res.Converged {
+					conv = "yes"
+					convTime = res.ConvergeTime.Round(time.Second).String()
+				}
+				var stale []float64
+				for _, ev := range res.Trace.Events() {
+					if ev.Kind == trace.KindStaleness {
+						stale = append(stale, float64(ev.Value))
+					}
+				}
+				box := metrics.BoxOf(stale)
+				row := []any{res.SchemeName, lrLabel, conv, convTime,
+					fmt.Sprintf("%d", res.TotalIters), fmt.Sprintf("%d", res.Aborts),
+					fmt.Sprintf("%d", res.Epochs),
+					fmt.Sprintf("%.4f", res.FinalLoss), fmt.Sprintf("%.4f", res.Loss.Min()),
+					fmt.Sprintf("%.0f/%.0f", box.P50, box.P95)}
+				if plan != nil {
+					var p, r float64
+					if res.Stragglers != nil {
+						p, r = res.Stragglers.Score.Precision, res.Stragglers.Score.Recall
+					}
+					row = append([]any{mitigationLabel(mit)}, row...)
+					row = append(row, fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", r))
+				}
+				fmt.Printf(format+"\n", row...)
 			}
-			box := metrics.BoxOf(stale)
-			fmt.Printf("%-34s %-7s %-9s %-12s %-8d %-8d %-8d %-9.4f %-9.4f %.0f/%.0f\n",
-				res.SchemeName, lrLabel, conv, convTime,
-				res.TotalIters, res.Aborts, res.Epochs, res.FinalLoss, res.Loss.Min(),
-				box.P50, box.P95)
 		}
 	}
 	return nil
+}
+
+// parseMitigations parses the -mitigate comma list.
+func parseMitigations(s string) ([]stragglers.Mitigation, error) {
+	var out []stragglers.Mitigation
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		m, err := stragglers.ParseMitigation(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -mitigate list")
+	}
+	return out, nil
+}
+
+// mitigationLabel renders the mitigation column value.
+func mitigationLabel(m stragglers.Mitigation) string {
+	if m == stragglers.MitigateNone {
+		return "none"
+	}
+	return string(m)
 }
 
 func buildWorkload(name string, size cluster.Size, workers int, seed int64) (cluster.Workload, error) {

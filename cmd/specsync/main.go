@@ -21,6 +21,7 @@ import (
 	"specsync/internal/metrics"
 	"specsync/internal/obs"
 	"specsync/internal/scheme"
+	"specsync/internal/stragglers"
 	"specsync/internal/switcher"
 )
 
@@ -66,6 +67,11 @@ func run(args []string) error {
 
 		replicas     = fs.Int("replicas", 0, "parameter-shard backups per range (primary-backup replication; crash-server promotes a backup with zero lost pushes)")
 		standbySched = fs.Int("standby-schedulers", 0, "standby scheduler incarnations (term-based election; crash-scheduler fails over instead of degrading)")
+
+		stragglerPlanPath = fs.String("straggler-plan", "", "JSON straggler-plan file: scripted pause/degrade/congest/rack slowdowns (see internal/stragglers)")
+		stragglerSpecs    = fs.String("stragglers", "", "comma-separated straggler specs, e.g. 'pause:3@10s, degrade:2x0.4@30s, congest:1x0.25, rack:0-3x0.5'")
+		mitigate          = fs.String("mitigate", "", "straggler mitigation: none, clone (backup-worker racing), rebalance (swap via elastic join/retire); requires -straggler-plan/-stragglers")
+		spares            = fs.Int("spares", 0, "spare worker slots reserved for -mitigate actions (0 = default 2)")
 
 		scalePlanPath = fs.String("scale-plan", "", "JSON scale-plan file: workers/servers join and leave mid-run (see internal/elastic)")
 		elasticN      = fs.Int("elastic", 0, "grow the cluster by this many workers (and servers/4, rounded up) mid-run, then shrink back")
@@ -115,6 +121,19 @@ func run(args []string) error {
 		return fmt.Errorf("-decentralized cannot be combined with -scale-plan/-elastic: decentralized workers have no scheduler to commit routing changes")
 	case *decentral && *schemeName != "cherry":
 		return fmt.Errorf("-decentralized requires -scheme cherry (fixed speculation; adaptive tuning needs the central scheduler)")
+	}
+	straggling := *stragglerPlanPath != "" || *stragglerSpecs != ""
+	switch {
+	case *stragglerPlanPath != "" && *stragglerSpecs != "":
+		return fmt.Errorf("use either -straggler-plan or -stragglers, not both")
+	case straggling && faulty:
+		return fmt.Errorf("straggler plans (-straggler-plan/-stragglers) cannot be combined with fault injection (-fault-plan/-churn): restarts rebuild the workers the profile scripts (see DESIGN.md, Straggler scenarios)")
+	case straggling && scaling:
+		return fmt.Errorf("straggler plans (-straggler-plan/-stragglers) cannot be combined with -scale-plan/-elastic: the plan indexes a fixed worker set (see DESIGN.md, Straggler scenarios)")
+	case *mitigate != "" && *mitigate != "none" && !straggling:
+		return fmt.Errorf("-mitigate %s requires a straggler plan (-straggler-plan or -stragglers)", *mitigate)
+	case explicit["spares"] && *mitigate == "":
+		return fmt.Errorf("-spares is only meaningful with -mitigate clone/rebalance")
 	}
 	var scalePlan *elastic.Plan
 	if *scalePlanPath != "" {
@@ -245,6 +264,32 @@ func run(args []string) error {
 		}
 		cfg.Scale = scalePlan
 	}
+	if straggling {
+		var plan *stragglers.Plan
+		if *stragglerPlanPath != "" {
+			data, err := os.ReadFile(*stragglerPlanPath)
+			if err != nil {
+				return err
+			}
+			plan, err = stragglers.ParseJSON(data)
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			plan, err = stragglers.ParseSpecs(*stragglerSpecs)
+			if err != nil {
+				return err
+			}
+		}
+		mit, err := stragglers.ParseMitigation(*mitigate)
+		if err != nil {
+			return err
+		}
+		cfg.Stragglers = plan
+		cfg.Mitigation = mit
+		cfg.Spares = *spares
+	}
 	if *verboseTune {
 		cfg.OnTune = func(epoch int, t core.Tuning) {
 			if t.Enabled {
@@ -357,6 +402,14 @@ func run(args []string) error {
 	}
 	if res.ParamsDigest != "" {
 		fmt.Printf("params digest %s\n", res.ParamsDigest)
+	}
+	if ss := res.Stragglers; ss != nil {
+		fmt.Printf("stragglers: injected %v, detected %v (precision %.2f, recall %.2f)\n",
+			ss.Score.Truth, ss.Score.Detected, ss.Score.Precision, ss.Score.Recall)
+		if m := ss.Mitigation; m.Clones > 0 || m.Rebalances > 0 {
+			fmt.Printf("mitigation: %d clones (%d stopped, %d duplicate pushes deduped, %d dropped), %d rebalances\n",
+				m.Clones, m.CloneStops, ss.CloneDeduped, ss.CloneDropped, m.Rebalances)
+		}
 	}
 	if res.Scale != nil {
 		fmt.Printf("elastic: %d joins, %d leaves, %d migrations (%s moved", res.Scale.Joins, res.Scale.Leaves,

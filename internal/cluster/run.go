@@ -24,6 +24,7 @@ import (
 	"specsync/internal/ps"
 	"specsync/internal/replica"
 	"specsync/internal/scheme"
+	"specsync/internal/stragglers"
 	"specsync/internal/switcher"
 	"specsync/internal/tensor"
 	"specsync/internal/trace"
@@ -148,6 +149,28 @@ type Config struct {
 	// byte-identical; the scheme-switching tests use one to stage a
 	// sustained straggler that later recovers.
 	Slowdowns []worker.Slowdown
+	// Stragglers, if non-nil and non-empty, injects the straggler-scenario
+	// plan (internal/stragglers): pause/degrade/rack episodes compile into
+	// per-worker speed scripts, congest episodes into a deterministic
+	// link-penalty hook, and the detector is scored against the plan's
+	// ground truth in Result.Stragglers. An empty plan behaves exactly like
+	// nil. Mutually exclusive with Faults and Scale (both rebuild or resize
+	// the worker set the profile indexes into).
+	Stragglers *stragglers.Plan
+	// Mitigation selects the scheduler's response to detected stragglers
+	// (requires Stragglers): MitigateNone observes and scores only,
+	// MitigateClone races flagged workers against backup clones on spare
+	// slots, MitigateRebalance swaps them out through the elastic join /
+	// retire machinery.
+	Mitigation stragglers.Mitigation
+	// Spares is the number of spare worker slots reserved for mitigation;
+	// zero means 2 when a mitigation mode is set.
+	Spares int
+	// SpareSpeed is the compute speed factor of spawned spare workers
+	// (clones and rebalance replacements); zero means 1 (a healthy host).
+	// The clone-safety tests set it well below the degraded original's
+	// speed so every race resolves the same way.
+	SpareSpeed float64
 }
 
 // Replication configures scheduler standbys and parameter-shard backups.
@@ -210,6 +233,19 @@ func (c *Config) applyDefaults() {
 		// Requests racing a frozen (migrating) shard are dropped; without
 		// retries the worker would wait on the lost response forever.
 		c.RetryAfter = 2 * c.Workload.IterTime
+	}
+	if c.Mitigation != stragglers.MitigateNone {
+		if c.Spares == 0 {
+			c.Spares = 2
+		}
+		if c.SpareSpeed == 0 {
+			c.SpareSpeed = 1
+		}
+		if c.RetryAfter == 0 {
+			// Clone pushes racing their CloneNotice are dropped, and rebalance
+			// joiners race frozen routing state; both resolve via retry.
+			c.RetryAfter = 2 * c.Workload.IterTime
+		}
 	}
 	if c.Faults != nil {
 		it := c.Workload.IterTime
@@ -344,6 +380,24 @@ type Result struct {
 	// the zero-loss failover claim is checked: a replicated crash run must
 	// end at exactly the fault-free digest.
 	ParamsDigest string
+	// Stragglers is the straggler-run accounting: detector precision/recall
+	// against the plan's injected worker set, mitigation actions, and the
+	// server-side clone-dedup counters. Nil unless Config.Stragglers was
+	// set.
+	Stragglers *StragglerStats
+}
+
+// StragglerStats summarizes a straggler-profile run.
+type StragglerStats struct {
+	// Score compares the detector's ever-sustained flags against the
+	// plan's injected worker set.
+	Score stragglers.Score
+	// Mitigation counts clone starts/stops and rebalances.
+	Mitigation core.MitigationStats
+	// CloneDeduped is the number of duplicate (worker, iter) pushes the
+	// servers acknowledged without applying; CloneDropped counts unaliased
+	// spare-slot pushes dropped while a CloneNotice was in flight.
+	CloneDeduped, CloneDropped int64
 }
 
 // Run executes one simulated training job to convergence (or MaxVirtual).
@@ -425,6 +479,42 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("cluster: Replication requires a crash-only fault plan (a dropped or partitioned replication message would silently stall a backup; see DESIGN.md, Replication)")
 		}
 	}
+	if cfg.Stragglers.Empty() {
+		// An empty plan is indistinguishable from no plan: no speed scripts,
+		// no link hook, no detection timer — byte-identical to the seed path.
+		cfg.Stragglers = nil
+	}
+	if err := cfg.Mitigation.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Stragglers == nil && cfg.Mitigation != stragglers.MitigateNone {
+		return nil, fmt.Errorf("cluster: mitigation %q without a straggler plan", cfg.Mitigation)
+	}
+	if cfg.Stragglers != nil {
+		if err := cfg.Stragglers.Validate(); err != nil {
+			return nil, err
+		}
+		if mw := cfg.Stragglers.MaxWorker(); mw >= cfg.Workers {
+			return nil, fmt.Errorf("cluster: straggler plan targets worker %d but the cluster has %d", mw, cfg.Workers)
+		}
+		if cfg.Faults != nil {
+			return nil, fmt.Errorf("cluster: Stragglers cannot be combined with Faults (restarts re-anchor the profile's speed windows mid-run)")
+		}
+		if cfg.Scale != nil {
+			return nil, fmt.Errorf("cluster: Stragglers cannot be combined with Scale (the profile indexes a fixed worker set)")
+		}
+	}
+	if cfg.Mitigation != stragglers.MitigateNone {
+		if cfg.Scheme.Decentralized {
+			return nil, fmt.Errorf("cluster: straggler mitigation requires the centralized scheduler (Decentralized unsupported)")
+		}
+		if cfg.Switcher != nil {
+			return nil, fmt.Errorf("cluster: straggler mitigation cannot be combined with the meta-scheme (both act on the same detector)")
+		}
+		if cfg.Replication.Enabled() {
+			return nil, fmt.Errorf("cluster: straggler mitigation cannot be combined with Replication (clone dedup and the replicated-path dedup would fight over push watermarks)")
+		}
+	}
 	cfg.applyDefaults()
 
 	mdl := cfg.Workload.Model
@@ -445,6 +535,14 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("cluster: workload has %d data shards for the %d workers the scale plan grows to", mdl.NumShards(), maxWorkers)
 		}
 	}
+	cloneMode := cfg.Mitigation == stragglers.MitigateClone
+	rebalanceMode := cfg.Mitigation == stragglers.MitigateRebalance
+	if cloneMode || rebalanceMode {
+		// Neither mitigation needs extra data shards for its spare slots: a
+		// clone shares its target's shard, and a rebalance replacement
+		// inherits its retired predecessor's.
+		maxWorkers = cfg.Workers + cfg.Spares
+	}
 	ranges, err := ps.ShardRanges(dim, cfg.Servers)
 	if err != nil {
 		return nil, err
@@ -453,7 +551,7 @@ func Run(cfg Config) (*Result, error) {
 	// shard→slot map and is replaced by the scheduler's OnRouting callback at
 	// each migration commit, so joining workers receive the current layout.
 	var curRouting *core.RoutingTable
-	if cfg.Scale != nil {
+	if cfg.Scale != nil || rebalanceMode {
 		shards := make([]core.ShardRoute, len(ranges))
 		for i, r := range ranges {
 			shards[i] = core.ShardRoute{Lo: r.Lo, Hi: r.Hi, Server: i}
@@ -487,6 +585,19 @@ func Run(cfg Config) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Stragglers != nil {
+		if err := stragglers.AttachSim(sim, cfg.Stragglers); err != nil {
+			return nil, err
+		}
+	}
+	var stragglerScripts [][]worker.SpeedWindow
+	if cfg.Stragglers != nil {
+		stragglerScripts, err = cfg.Stragglers.Scripts(cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		o.Scheduler().SetStragglerTruth(cfg.Stragglers.Targets())
 	}
 
 	// Identical initial parameters for every scheme at the same seed.
@@ -528,6 +639,10 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Scale != nil {
 			scfg.NewOptimizer = newOptimizer
 		}
+		if cloneMode {
+			scfg.DedupPushes = true
+			scfg.CloneBase = int32(cfg.Workers)
+		}
 		return ps.New(scfg)
 	}
 	// makeJoiningServer builds an empty, frozen shard for a slot added by the
@@ -540,10 +655,15 @@ func Run(cfg Config) (*Result, error) {
 			CodecStats:   codecStats,
 		})
 	}
-	makeWorker := func(i int, joining bool) (*worker.Worker, error) {
+	// makeWorker builds the worker for slot i; shard >= 0 overrides its data
+	// shard (rebalance replacements inherit their retired predecessor's).
+	makeWorker := func(i int, joining bool, shard int) (*worker.Worker, error) {
 		speed := 1.0
 		if cfg.Speeds != nil && i < len(cfg.Speeds) {
 			speed = cfg.Speeds[i]
+		}
+		if i >= cfg.Workers && cfg.SpareSpeed > 0 {
+			speed = cfg.SpareSpeed
 		}
 		wcfg := worker.Config{
 			Index:  i,
@@ -566,16 +686,22 @@ func Run(cfg Config) (*Result, error) {
 			Faults:           faultM,
 			Codec:            cfg.Codec,
 			CodecStats:       codecStats,
-			ReportSpans:      cfg.Scheme.DynamicBase() || cfg.Switcher != nil,
+			ReportSpans:      cfg.Scheme.DynamicBase() || cfg.Switcher != nil || cfg.Stragglers != nil,
 		}
 		if i < len(cfg.Slowdowns) && cfg.Slowdowns[i].Factor >= 1 {
 			sd := cfg.Slowdowns[i]
 			wcfg.Slowdown = &sd
 		}
-		if cfg.Scale != nil {
+		if i < len(stragglerScripts) && len(stragglerScripts[i]) > 0 {
+			wcfg.Script = stragglerScripts[i]
+		}
+		if cfg.Scale != nil || rebalanceMode {
 			wcfg.Shards = nil
 			wcfg.Routing = curRouting.Clone()
 			wcfg.JoinOnInit = joining
+		}
+		if shard >= 0 {
+			wcfg.DataShard = &shard
 		}
 		return worker.New(wcfg)
 	}
@@ -638,7 +764,7 @@ func Run(cfg Config) (*Result, error) {
 
 	workers := make([]*worker.Worker, maxWorkers)
 	for i := 0; i < cfg.Workers; i++ {
-		wk, err := makeWorker(i, false)
+		wk, err := makeWorker(i, false, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -651,6 +777,81 @@ func Run(cfg Config) (*Result, error) {
 	maxAbortFrac := cfg.MaxAbortFrac
 	if maxAbortFrac == 0 {
 		maxAbortFrac = 0.125
+	}
+
+	// Straggler mitigation: the scheduler's periodic pass calls back into the
+	// harness to materialize spare nodes — a clone sharing its target's data
+	// shard, or a fresh joining replacement. Both enter the sim mid-run.
+	var mitCfg *core.MitigateConfig
+	if cfg.Stragglers != nil {
+		mode := core.MitigateObserve
+		switch cfg.Mitigation {
+		case stragglers.MitigateClone:
+			mode = core.MitigateClone
+		case stragglers.MitigateRebalance:
+			mode = core.MitigateRebalance
+		}
+		mitCfg = &core.MitigateConfig{
+			Mode:   mode,
+			Base:   cfg.Workers,
+			Spares: maxWorkers - cfg.Workers,
+		}
+		if cloneMode {
+			serverIDs := make([]node.ID, cfg.Servers)
+			for i := range serverIDs {
+				serverIDs[i] = node.ServerID(i)
+			}
+			mitCfg.Servers = serverIDs
+			mitCfg.OnClone = func(slot, target int, fromIter int64) error {
+				maxIters := cfg.MaxItersPerWorker
+				if maxIters > 0 {
+					// The clone resumes the target's absolute iteration count,
+					// but MaxIters caps per-incarnation completions.
+					if maxIters -= fromIter; maxIters <= 0 {
+						return fmt.Errorf("cluster: worker %d already spent its iteration budget", target)
+					}
+				}
+				wk, err := worker.New(worker.Config{
+					Index:  target, // the target's data shard; pushes count as its work
+					Shards: ranges,
+					Model:  mdl,
+					Scheme: cfg.Scheme,
+					Compute: worker.ComputeModel{
+						Base:        cfg.Workload.IterTime,
+						Speed:       cfg.SpareSpeed,
+						JitterSigma: cfg.Workload.JitterSigma,
+					},
+					Tracer:        collector,
+					Obs:           o.Worker(target),
+					AbortLateFrac: cfg.AbortLateFrac,
+					MaxIters:      maxIters,
+					NumWorkers:    cfg.Workers,
+					RetryAfter:    cfg.RetryAfter,
+					Faults:        faultM,
+					Codec:         cfg.Codec,
+					CodecStats:    codecStats,
+					ReportSpans:   true,
+				})
+				if err != nil {
+					return err
+				}
+				workers[slot] = wk
+				return sim.Join(node.WorkerID(slot), wk)
+			}
+		}
+		if rebalanceMode {
+			mitCfg.OnSpawn = func(slot, target int) error {
+				// The replacement takes over the retired straggler's data
+				// shard, so the swap changes who computes, not what is
+				// trained on.
+				wk, err := makeWorker(slot, true, target)
+				if err != nil {
+					return err
+				}
+				workers[slot] = wk
+				return sim.Join(node.WorkerID(slot), wk)
+			}
+		}
 	}
 
 	// makeScheduler builds a scheduler incarnation; gen 0 is the initial one,
@@ -670,6 +871,8 @@ func Run(cfg Config) (*Result, error) {
 			CheckAtExpiryOnly: cfg.CheckAtExpiryOnly,
 			LivenessTimeout:   cfg.LivenessTimeout,
 			Switcher:          cfg.Switcher,
+			TrackSpans:        cfg.Stragglers != nil,
+			Mitigate:          mitCfg,
 			Generation:        gen,
 			BeaconEvery:       cfg.BeaconEvery,
 			Faults:            faultM,
@@ -759,7 +962,7 @@ func Run(cfg Config) (*Result, error) {
 			Faults:          faultM,
 			CheckpointEvery: cfg.CheckpointEvery,
 			NewWorker: func(i int) (node.Handler, error) {
-				return makeWorker(i, false)
+				return makeWorker(i, false, -1)
 			},
 			NewServer:    makeServer,
 			NewScheduler: makeScheduler,
@@ -804,7 +1007,7 @@ func Run(cfg Config) (*Result, error) {
 			Workers: cfg.Workers,
 			Servers: cfg.Servers,
 			NewWorker: func(i int) (node.Handler, error) {
-				return makeWorker(i, true)
+				return makeWorker(i, true, -1)
 			},
 			NewServer: func(slot int) (node.Handler, error) {
 				return makeJoiningServer(slot)
@@ -902,6 +1105,24 @@ func Run(cfg Config) (*Result, error) {
 		}
 		stats := sched.ScaleStats()
 		res.Scale = &stats
+	}
+	if cfg.Stragglers != nil {
+		st := &StragglerStats{
+			Score:      stragglers.ScoreDetection(cfg.Stragglers.Targets(), o.Scheduler().StragglersDetected()),
+			Mitigation: sched.MitigationStats(),
+		}
+		for _, srv := range servers {
+			if srv != nil {
+				d, dr := srv.CloneStats()
+				st.CloneDeduped += d
+				st.CloneDropped += dr
+			}
+		}
+		res.Stragglers = st
+		if rebalanceMode {
+			stats := sched.ScaleStats()
+			res.Scale = &stats
+		}
 	}
 	res.Elapsed = sim.Elapsed()
 	res.TotalIters = totalIters()

@@ -91,6 +91,14 @@ type SchedulerConfig struct {
 	// Obs and its decisions are executed as live scheme switches. Requires
 	// a plain (non-variant, non-speculative, centralized) scheme.
 	Switcher *switcher.Config
+	// TrackSpans feeds worker-reported NotifyV2 work spans to the straggler
+	// detector even on plain static schemes (straggler-profile runs force it
+	// on: notify intervals synchronize under a barrier, so only self-measured
+	// spans can tell a straggler from the fleet it stalls).
+	TrackSpans bool
+	// Mitigate, when non-nil, arms the periodic straggler-mitigation pass
+	// (see mitigate.go). Implies TrackSpans.
+	Mitigate *MitigateConfig
 }
 
 // Scheduler is the central coordinator (paper Fig. 7): it observes notify
@@ -167,6 +175,9 @@ type Scheduler struct {
 	lastSwitchWhy string
 	policy        *switcher.Policy
 	workSpan      []time.Duration
+
+	// Straggler-mitigation state (cfg.Mitigate != nil; see mitigate.go).
+	mit *mitigateState
 
 	resyncsSent  atomic.Int64
 	tunes        int64
@@ -255,7 +266,26 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		}
 		s.policy = switcher.New(*cfg.Switcher)
 	}
-	if s.dynamic() {
+	if cfg.Mitigate != nil {
+		if err := cfg.Mitigate.validate(cfg.Workers); err != nil {
+			return nil, err
+		}
+		if cfg.Mitigate.Mode == MitigateRebalance && cfg.Routing == nil {
+			return nil, fmt.Errorf("core: rebalance mitigation requires elastic membership (Routing)")
+		}
+		cfg.TrackSpans = true
+		s.cfg = cfg
+		s.mit = &mitigateState{
+			cloneOf:  make([]int, cfg.Mitigate.Spares),
+			cloneFor: make(map[int]int),
+			selfIter: make([]int64, cfg.Workers),
+			acted:    make(map[int]bool),
+		}
+		for i := range s.mit.cloneOf {
+			s.mit.cloneOf[i] = -1
+		}
+	}
+	if s.dynamic() || cfg.TrackSpans {
 		s.workSpan = make([]time.Duration, cfg.Workers)
 	}
 	if cfg.Routing != nil {
@@ -298,6 +328,10 @@ func (s *Scheduler) Init(ctx node.Context) {
 	}
 	if s.cfg.BeaconEvery > 0 {
 		s.armBeacon()
+	}
+	if s.cfg.Mitigate != nil {
+		s.mit.start = now
+		s.armMitigate()
 	}
 	if s.cfg.Generation > 0 {
 		s.cfg.Obs.Restarted(now, s.cfg.Generation)
@@ -466,6 +500,10 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		s.ctx.Logf("scheduler: notify from non-worker %s", from)
 		return
 	}
+	if s.cloneSlot(i) {
+		s.handleCloneNotify(i, n)
+		return
+	}
 	now := s.ctx.Now()
 	s.touch(i, now)
 	if s.routing != nil && !s.alive[i] {
@@ -473,6 +511,14 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		// slot: counting it into epochs or the barrier would let a
 		// non-member drive coordination.
 		return
+	}
+	if s.mit != nil {
+		// The worker's OWN completed count (clone notifies are translated in
+		// handleCloneNotify and never reach here); stopClone compares it to
+		// the clone-driven frontier to decide when the original caught up.
+		if c := n.Iter + 1; c > s.mit.selfIter[i] {
+			s.mit.selfIter[i] = c
+		}
 	}
 
 	// Iteration-span estimate (includes abort/restart overheads, which is
@@ -535,7 +581,13 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 		if n.Iter > s.round {
 			s.round = n.Iter
 		}
-		if !s.waitingBSP[i] {
+		// Under clone mitigation a notify for an iteration older than the
+		// current round is stale — the clone raced this worker through the
+		// round and its barrier already released; counting it would advance
+		// the new barrier on a worker that has not computed in it. Without
+		// mitigation the old behavior (count every first notify per round)
+		// is kept bit-for-bit.
+		if (s.mit == nil || n.Iter >= s.round) && !s.waitingBSP[i] {
 			s.waitingBSP[i] = true
 			s.barrierN++
 			if s.barrierN >= s.barrierNeed() {
@@ -561,6 +613,12 @@ func (s *Scheduler) handleNotify(from node.ID, n *msg.Notify) {
 // discipline synchronizes the fleet — and the rest is plain notify handling.
 func (s *Scheduler) handleNotifyV2(from node.ID, n *msg.NotifyV2) {
 	i := node.WorkerIndex(from)
+	if i >= 0 && i < s.m && s.cloneSlot(i) {
+		// A clone's span is the spare host's, not the straggler's: feeding it
+		// would clear the target's flag and oscillate the clone on and off.
+		s.handleCloneNotify(i, &msg.Notify{Iter: n.Iter})
+		return
+	}
 	if i >= 0 && i < s.m && s.workSpan != nil && n.Span > 0 {
 		a := s.cfg.SpanAlpha
 		if s.workSpan[i] == 0 {

@@ -143,6 +143,7 @@ type linkKey struct {
 type Sim struct {
 	cfg      Config
 	now      time.Time
+	start    time.Time
 	queue    eventHeap
 	seq      uint64
 	nodes    map[node.ID]*simContext
@@ -152,6 +153,10 @@ type Sim struct {
 	stopped  bool
 	delivers uint64 // count of delivered messages, for stats/tests
 	fault    FaultHook
+	// linkPenalty, if non-nil, scales per-link transfer time (straggler
+	// congestion profiles). Unlike the fault hook it is a pure function —
+	// no drops, no randomness — so it composes with fault plans.
+	linkPenalty LinkPenaltyHook
 	// Fault-induced drop counts: injected by the hook vs. lost because the
 	// destination was down (or a different incarnation) at arrival.
 	faultDrops uint64
@@ -192,6 +197,7 @@ func New(cfg Config) (*Sim, error) {
 	s := &Sim{
 		cfg:         cfg,
 		now:         start,
+		start:       start,
 		nodes:       make(map[node.ID]*simContext),
 		links:       make(map[linkKey]time.Time),
 		netRand:     rand.New(rand.NewSource(cfg.Seed ^ 0x5ec5)),
@@ -211,6 +217,19 @@ func New(cfg Config) (*Sim, error) {
 // SetFault installs (or replaces) the message fault hook. Fault injectors
 // call it after the simulation is built but before (or during) the run.
 func (s *Sim) SetFault(f FaultHook) { s.fault = f }
+
+// LinkPenaltyHook scales the transfer time of one message: it returns a
+// multiplier >= 1 applied to both the link serialization time and the
+// propagation latency. elapsed is virtual time since the simulation epoch.
+// The hook must be a pure function of its arguments (no randomness, no
+// state) so runs stay bit-for-bit reproducible; internal/stragglers builds
+// hooks from declarative congestion profiles.
+type LinkPenaltyHook func(from, to node.ID, elapsed time.Duration) float64
+
+// SetLinkPenalty installs (or replaces) the link penalty hook. A nil hook
+// (the default) leaves the network model byte-identical to a build without
+// the hook point.
+func (s *Sim) SetLinkPenalty(f LinkPenaltyHook) { s.linkPenalty = f }
 
 // deferPastHiccup returns the delivery time adjusted for cluster stalls: a
 // message that would arrive during a hiccup window is held until the window
@@ -427,6 +446,12 @@ func (s *Sim) transmit(from, to node.ID, dst *simContext, kind wire.Kind, data [
 		s.cfg.Transfer.RecordTransfer(from, to, kind, len(data), s.now)
 	}
 
+	mult := 1.0
+	if s.linkPenalty != nil {
+		if m := s.linkPenalty(from, to, s.now.Sub(s.start)); m > 1 {
+			mult = m
+		}
+	}
 	arrive := s.now
 	if bps := s.cfg.Net.BytesPerSec; bps > 0 {
 		key := linkKey{from: from, to: to}
@@ -434,11 +459,11 @@ func (s *Sim) transmit(from, to node.ID, dst *simContext, kind wire.Kind, data [
 		if busy, ok := s.links[key]; ok && busy.After(start) {
 			start = busy
 		}
-		tx := time.Duration(float64(len(data)) / bps * float64(time.Second))
+		tx := time.Duration(float64(len(data)) / bps * float64(time.Second) * mult)
 		s.links[key] = start.Add(tx)
 		arrive = start.Add(tx)
 	}
-	arrive = arrive.Add(s.cfg.Net.Latency)
+	arrive = arrive.Add(time.Duration(float64(s.cfg.Net.Latency) * mult))
 	if j := s.cfg.Net.Jitter; j > 0 {
 		arrive = arrive.Add(time.Duration(s.netRand.Int63n(int64(j))))
 	}

@@ -1,0 +1,147 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"specsync/internal/msg"
+	"specsync/internal/node"
+	"specsync/internal/optimizer"
+	"specsync/internal/ps"
+	"specsync/internal/tensor"
+	"specsync/internal/wire"
+)
+
+// ackSink counts PushAcks delivered to one sender.
+type ackSink struct {
+	mu   sync.Mutex
+	acks int
+}
+
+func (a *ackSink) Init(node.Context) {}
+func (a *ackSink) Receive(_ node.ID, m wire.Message) {
+	if _, ok := m.(*msg.PushAck); ok {
+		a.mu.Lock()
+		a.acks++
+		a.mu.Unlock()
+	}
+}
+func (a *ackSink) count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acks
+}
+
+// TestLiveCloneDedupNeverDoubleApplies races an original worker and its clone
+// pushing the same logical (worker, iter) gradients at a live parameter
+// server. Whatever the interleaving, every iteration must be applied exactly
+// once (the duplicate acknowledged without applying), so the final parameters
+// equal a serial single-worker run. Run under -race this also pins the
+// thread-safety of the clone-dedup path on the live runtime.
+func TestLiveCloneDedupNeverDoubleApplies(t *testing.T) {
+	const (
+		iters = 50
+		dim   = 4
+		lr    = 0.5
+	)
+	opt, err := optimizer.NewSGD(optimizer.SGDConfig{Schedule: optimizer.Const(lr)}, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ps.New(ps.Config{
+		Range:       ps.Range{Lo: 0, Hi: dim},
+		Init:        tensor.Vec{0, 0, 0, 0},
+		Optimizer:   opt,
+		DedupPushes: true,
+		CloneBase:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(NetworkConfig{Registry: msg.Registry(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, clone, stray := &ackSink{}, &ackSink{}, &ackSink{}
+	for id, h := range map[node.ID]node.Handler{
+		node.ServerID(0): srv, node.WorkerID(1): orig, node.WorkerID(4): clone, node.WorkerID(5): stray,
+	} {
+		if err := net.AddNode(id, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Start()
+	defer net.Close()
+
+	// Bind slot 4 onto worker 1 before any clone traffic (FIFO per inbox).
+	if err := net.Inject(node.Scheduler, node.ServerID(0), &msg.CloneNotice{Slot: 4, Target: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	grad := func(k int) []float64 {
+		return []float64{1, float64(k % 7), -1, float64(k % 3)}
+	}
+	push := func(from node.ID, k int) {
+		if err := net.Inject(from, node.ServerID(0), &msg.PushReq{
+			Seq: uint64(k + 1), Iter: int64(k), PullVersion: 0, Dense: grad(k),
+		}); err != nil {
+			t.Error(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, from := range []node.ID{node.WorkerID(1), node.WorkerID(4)} {
+		from := from
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				push(from, k)
+			}
+		}()
+	}
+	wg.Wait()
+	// A push from an unaliased spare slot must be dropped, not applied.
+	push(node.WorkerID(5), 0)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, dropped := srv.CloneStats()
+		if orig.count() == iters && clone.count() == iters && dropped == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if orig.count() != iters || clone.count() != iters {
+		t.Fatalf("acks: original %d, clone %d, want %d each", orig.count(), clone.count(), iters)
+	}
+
+	// Exactly one apply per iteration, whoever won it.
+	if v := srv.Version(); v != iters {
+		t.Errorf("server version %d, want %d applies", v, iters)
+	}
+	deduped, dropped := srv.CloneStats()
+	if deduped != iters {
+		t.Errorf("deduped %d pushes, want %d (one loser per iteration)", deduped, iters)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped %d unaliased pushes, want 1", dropped)
+	}
+	if stray.count() != 0 {
+		t.Errorf("unaliased spare got %d acks, want 0 (retry resolves it)", stray.count())
+	}
+
+	// The applied sequence equals a serial single-worker run: w -= lr * g_k.
+	want := make(tensor.Vec, dim)
+	for k := 0; k < iters; k++ {
+		for d, g := range grad(k) {
+			want[d] -= lr * g
+		}
+	}
+	got := srv.Params()
+	for d := range want {
+		if diff := got[d] - want[d]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("params[%d] = %v, want %v (double-applied or skipped an iteration)", d, got[d], want[d])
+		}
+	}
+}

@@ -513,6 +513,8 @@ func Registry() *wire.Registry {
 		{Kind: KindReplApply, Name: "ReplApply", New: func() wire.Message { return &ReplApply{} }},
 		{Kind: KindSchemeSwitch, Name: "SchemeSwitch", New: func() wire.Message { return &SchemeSwitch{} }},
 		{Kind: KindNotifyV2, Name: "NotifyV2", New: func() wire.Message { return &NotifyV2{} }},
+		{Kind: KindCloneCtl, Name: "CloneCtl", New: func() wire.Message { return &CloneCtl{} }},
+		{Kind: KindCloneNotice, Name: "CloneNotice", New: func() wire.Message { return &CloneNotice{} }},
 	})
 }
 

@@ -61,6 +61,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 		&ReplApply{Version: 57, Worker: 1, Iter: 14, Body: ReplBodyCodec, Codec: 2, Payload: []byte{9, 9}},
 		&SchemeSwitch{Epoch: 3, Base: 3, Staleness: 4, Beta: 0.7, Round: 12, MinClock: 9, Reason: "sustained-straggler", At: 5 * time.Second},
 		&NotifyV2{Iter: 7, Span: 250 * time.Millisecond},
+		&CloneCtl{StartIter: 41, Round: 40, MinClock: 39},
+		&CloneNotice{Slot: 8, Target: 3},
 	}
 	for _, in := range cases {
 		out := roundtrip(t, in)
@@ -73,8 +75,8 @@ func TestAllMessagesRoundtrip(t *testing.T) {
 func TestRegistryCoversAllKinds(t *testing.T) {
 	reg := Registry()
 	kinds := reg.Kinds()
-	if len(kinds) != 34 {
-		t.Errorf("registry has %d kinds, want 34", len(kinds))
+	if len(kinds) != 36 {
+		t.Errorf("registry has %d kinds, want 36", len(kinds))
 	}
 	for _, k := range kinds {
 		m, err := reg.New(k)

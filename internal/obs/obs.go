@@ -529,6 +529,45 @@ func (s *SchedulerObs) StragglerCounts() (flagged, sustained int, median, max fl
 	return s.o.stragglers.Counts(s.job)
 }
 
+// StragglerFlag returns the detector's current score and level for one
+// worker (ok=false when the worker has never been scored) — the mitigation
+// loop's per-worker suspect signal.
+func (s *SchedulerObs) StragglerFlag(worker int) (score float64, level StragglerLevel, ok bool) {
+	if s == nil {
+		return 0, StragglerOK, false
+	}
+	return s.o.stragglers.Flag(s.job, worker)
+}
+
+// MarkStraggler force-flags a worker at sustained level: the mitigation
+// loop's escape hatch for overdue workers (a paused worker emits no spans,
+// so the scoring path cannot see it).
+func (s *SchedulerObs) MarkStraggler(at time.Time, worker int, score float64) {
+	if s == nil {
+		return
+	}
+	s.o.stragglers.MarkSustained(s.job, worker, at, score)
+}
+
+// SetStragglerTruth registers a straggler plan's injected worker set so the
+// detector can score its flags (precision/recall on /stragglerz and in run
+// results).
+func (s *SchedulerObs) SetStragglerTruth(workers []int) {
+	if s == nil {
+		return
+	}
+	s.o.stragglers.SetTruth(s.job, workers)
+}
+
+// StragglersDetected returns the sorted worker indices ever held at
+// sustained level — the detected set scored against a plan's ground truth.
+func (s *SchedulerObs) StragglersDetected() []int {
+	if s == nil {
+		return nil
+	}
+	return s.o.stragglers.EverSustained(s.job)
+}
+
 // SchemeSwitch records a live synchronization-scheme switch.
 func (s *SchedulerObs) SchemeSwitch(at time.Time, epoch int64, from, to, reason string) {
 	if s == nil {

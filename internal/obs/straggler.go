@@ -84,6 +84,11 @@ type StragglerState struct {
 	ComputeSeconds  float64 `json:"compute_seconds"`
 	PushSeconds     float64 `json:"push_seconds"`
 	Samples         int     `json:"samples"`
+	// EverSustained reports the worker reached the sustained level at any
+	// point (the detection signal scored against injected ground truth);
+	// Injected marks workers a straggler plan actually slowed (SetTruth).
+	EverSustained bool `json:"ever_sustained,omitempty"`
+	Injected      bool `json:"injected,omitempty"`
 }
 
 // StragglerSnapshot is the /stragglerz payload: every scored worker sorted
@@ -95,6 +100,12 @@ type StragglerSnapshot struct {
 	Flagged    int              `json:"flagged"` // transient + sustained
 	Sustained  int              `json:"sustained"`
 	Workers    []StragglerState `json:"workers"`
+	// Detector-validation fields, populated when a straggler plan has
+	// registered its ground truth (SetTruth): the injected worker set and
+	// the precision/recall of the ever-sustained flag against it.
+	Truth     []int   `json:"truth,omitempty"`
+	Precision float64 `json:"precision,omitempty"`
+	Recall    float64 `json:"recall,omitempty"`
 }
 
 // stragglerWorker is the detector's per-(job, worker) state. Guarded by the
@@ -111,6 +122,10 @@ type stragglerWorker struct {
 	over    int // consecutive over-threshold evaluations
 	under   int // consecutive below-threshold evaluations
 	level   StragglerLevel
+	// everSustained latches: once a worker has been held (or forced) at
+	// sustained level it counts as detected for the rest of the run, even
+	// after mitigation masks the signal and the flag clears.
+	everSustained bool
 
 	scoreG *Gauge
 	stateG *Gauge
@@ -122,6 +137,9 @@ type stragglerJob struct {
 	workers    map[int]*stragglerWorker
 	flaggedG   *Gauge
 	sustainedG *Gauge
+	// truth is the injected-straggler ground truth a plan registered for
+	// this job (nil = no plan; detector validation off).
+	truth []int
 }
 
 // StragglerDetector scores each worker's iteration span against the fleet
@@ -316,6 +334,9 @@ func (d *StragglerDetector) scoreLocked(j *stragglerJob, w *stragglerWorker, at 
 func (d *StragglerDetector) transitionLocked(j *stragglerJob, w *stragglerWorker, next StragglerLevel, at time.Time) {
 	prev := w.level
 	w.level = next
+	if next == StragglerSustained {
+		w.everSustained = true
+	}
 	w.stateG.Set(float64(next))
 	if prev == StragglerOK && next > StragglerOK {
 		w.flags.Inc()
@@ -350,6 +371,71 @@ func (d *StragglerDetector) transitionLocked(j *stragglerJob, w *stragglerWorker
 		Value:  w.score,
 		Detail: fmt.Sprintf("%s -> %s (score %.2f)", prev, next, w.score),
 	})
+}
+
+// MarkSustained force-flags a worker at sustained level. The scheduler's
+// mitigation loop uses it for overdue workers: a paused worker emits no
+// notify spans at all, so the span-scoring path is blind to exactly the
+// straggler that hurts most — the silence itself is the signal. The forced
+// flag walks the normal transition path (gauges, trace, flight recorder) and
+// clears through the normal hysteresis once spans resume.
+func (d *StragglerDetector) MarkSustained(job string, worker int, at time.Time, score float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobLocked(job)
+	w := d.workerLocked(j, worker)
+	if score > w.score {
+		w.score = score
+		w.scoreG.Set(w.score)
+	}
+	w.over = d.opts.SustainAfter
+	w.under = 0
+	if at.After(d.lastAt) {
+		d.lastAt = at
+	}
+	if w.level != StragglerSustained {
+		d.transitionLocked(j, w, StragglerSustained, at)
+	}
+}
+
+// SetTruth registers a straggler plan's ground truth for one job: the worker
+// indices the plan actually slows. Snapshot then scores the detector's
+// ever-sustained flags against it (precision/recall on /stragglerz).
+func (d *StragglerDetector) SetTruth(job string, workers []int) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobLocked(job)
+	j.truth = append([]int(nil), workers...)
+	sort.Ints(j.truth)
+}
+
+// EverSustained returns the sorted worker indices that were ever held at
+// sustained level in one job — the detected set the run result scores
+// against the plan's ground truth.
+func (d *StragglerDetector) EverSustained(job string) []int {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[job]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i, w := range j.workers {
+		if w.everSustained {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Flag returns the current score and level for one worker (ok=false when the
@@ -431,6 +517,10 @@ func (d *StragglerDetector) Snapshot() (StragglerSnapshot, bool) {
 			idxs = append(idxs, i)
 		}
 		sort.Ints(idxs)
+		injected := make(map[int]bool, len(j.truth))
+		for _, t := range j.truth {
+			injected[t] = true
+		}
 		for _, i := range idxs {
 			w := j.workers[i]
 			snap.Workers = append(snap.Workers, StragglerState{
@@ -444,12 +534,38 @@ func (d *StragglerDetector) Snapshot() (StragglerSnapshot, bool) {
 				ComputeSeconds:  w.phase[PhaseCompute],
 				PushSeconds:     w.phase[PhasePush],
 				Samples:         w.samples,
+				EverSustained:   w.everSustained,
+				Injected:        injected[i],
 			})
 			if w.level > StragglerOK {
 				snap.Flagged++
 			}
 			if w.level == StragglerSustained {
 				snap.Sustained++
+			}
+		}
+		if j.truth != nil {
+			snap.Truth = append(snap.Truth, j.truth...)
+			var tp, fp int
+			for i, w := range j.workers {
+				if !w.everSustained {
+					continue
+				}
+				if injected[i] {
+					tp++
+				} else {
+					fp++
+				}
+			}
+			if tp+fp > 0 {
+				snap.Precision = float64(tp) / float64(tp+fp)
+			} else {
+				snap.Precision = 1
+			}
+			if len(j.truth) > 0 {
+				snap.Recall = float64(tp) / float64(len(j.truth))
+			} else {
+				snap.Recall = 1
 			}
 		}
 	}

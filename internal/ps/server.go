@@ -82,6 +82,15 @@ type Config struct {
 	// Backups are the replica node IDs this primary forwards every applied
 	// push to (empty disables replication). Also settable via SetBackups.
 	Backups []node.ID
+	// DedupPushes enables clone-mitigation push dedup (see clone.go): the
+	// first push to arrive for a logical (worker, iter) is applied, later
+	// duplicates are acknowledged without touching the parameters. Off by
+	// default so unmitigated runs keep their byte-identical digests.
+	DedupPushes bool
+	// CloneBase is the first spare worker slot: pushes from slots >=
+	// CloneBase are clone traffic and resolve through CloneNotice aliases
+	// (unaliased spare pushes are dropped). Only read when DedupPushes is on.
+	CloneBase int32
 	// DeltaPull enables delta-encoded v2 pull responses: the shard caches
 	// the block it last sent each worker and answers a re-pull whose Have
 	// version matches the cache with only the changed entries. Workers on
@@ -135,6 +144,14 @@ type Server struct {
 	replForwarded atomic.Int64
 	replApplied   atomic.Int64
 	replDeduped   atomic.Int64
+
+	// Clone-dedup state (see clone.go): cloneAlias maps spare slots onto
+	// their straggling targets; lastPushIter is the per-logical-worker
+	// applied-iteration watermark.
+	cloneAlias   map[int32]int32
+	lastPushIter map[int32]int64
+	cloneDeduped atomic.Int64
+	cloneDropped atomic.Int64
 }
 
 type pullCacheEntry struct {
@@ -187,6 +204,8 @@ func (s *Server) Receive(from node.ID, m wire.Message) {
 		case *msg.PushReqV2:
 			s.applyV2(from, req)
 		}
+	case *msg.CloneNotice:
+		s.handleCloneNotice(req)
 	case *msg.ReplApply:
 		s.handleReplApply(req)
 	case *msg.ShardTransfer:
@@ -207,6 +226,9 @@ func (s *Server) apply(from node.ID, req *msg.PushReq) {
 	if s.dedupPush(from, req.Seq, req.Iter) {
 		return
 	}
+	if s.cloneCheck(from, req.Seq, req.Iter) {
+		return
+	}
 	// Key the LR schedule on this shard's total push count.
 	s.cfg.Optimizer.SetStep(s.version.Load())
 	if req.IsSparse {
@@ -219,6 +241,7 @@ func (s *Server) apply(from node.ID, req *msg.PushReq) {
 		}
 		s.cfg.Optimizer.ApplyDense(s.params, req.Dense)
 	}
+	s.cloneApplied(from, req.Iter)
 	s.acknowledge(from, req.Seq, req.PullVersion)
 	if wi := node.WorkerIndex(from); wi >= 0 && s.replicated() {
 		s.noteApplied(int32(wi), req.Iter)
@@ -265,6 +288,9 @@ func (s *Server) applyV2(from node.ID, req *msg.PushReqV2) {
 	if s.dedupPush(from, req.Seq, req.Iter) {
 		return
 	}
+	if s.cloneCheck(from, req.Seq, req.Iter) {
+		return
+	}
 	if s.scratch == nil {
 		s.scratch = tensor.NewVec(s.cfg.Range.Len())
 	}
@@ -274,6 +300,7 @@ func (s *Server) applyV2(from node.ID, req *msg.PushReqV2) {
 	}
 	s.cfg.Optimizer.SetStep(s.version.Load())
 	s.cfg.Optimizer.ApplyDense(s.params, s.scratch)
+	s.cloneApplied(from, req.Iter)
 	s.acknowledge(from, req.Seq, req.PullVersion)
 	if wi := node.WorkerIndex(from); wi >= 0 && s.replicated() {
 		s.noteApplied(int32(wi), req.Iter)

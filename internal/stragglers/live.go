@@ -1,0 +1,34 @@
+package stragglers
+
+import (
+	"time"
+
+	"specsync/internal/live"
+	"specsync/internal/node"
+	"specsync/internal/wire"
+)
+
+// LiveHook translates a plan's congest episodes into a live.FaultHook: a
+// message to or from a congested worker during an active window is held for
+// perMsg × (multiplier − 1) extra latency, approximating the simulator's
+// bandwidth-scaling penalty on a runtime with no explicit bandwidth model.
+// perMsg is the nominal per-message transfer time of the deployment (e.g.
+// the observed median push latency). start anchors the plan's offsets to
+// wall-clock run start. Returns nil when the plan has no congest episodes.
+//
+// Compute-side episodes need no hook on the live path either: worker speed
+// scripts (Plan.Scripts) measure their windows from the worker's own Init
+// time, which under the live runtime is wall clock.
+func LiveHook(p *Plan, start time.Time, perMsg time.Duration) live.FaultHook {
+	if p.Empty() || !p.HasCongest() || perMsg <= 0 {
+		return nil
+	}
+	penalty := p.LinkPenalty()
+	return func(from, to node.ID, kind wire.Kind) live.FaultAction {
+		mult := penalty(from, to, time.Since(start))
+		if mult <= 1 {
+			return live.FaultAction{}
+		}
+		return live.FaultAction{Delay: time.Duration(float64(perMsg) * (mult - 1))}
+	}
+}

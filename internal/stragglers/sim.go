@@ -1,0 +1,25 @@
+package stragglers
+
+import (
+	"specsync/internal/des"
+)
+
+// AttachSim arms a plan's network-side episodes on a simulation: congest
+// profiles install the deterministic link-penalty hook. Compute-side
+// episodes (pause, degrade, rack) do not touch the simulator at all — they
+// compile into per-worker speed scripts (Plan.Scripts) that cluster.Run
+// hands to the workers, so the same plan drives the DES and live runtimes
+// identically. An empty plan installs nothing and leaves the simulation
+// byte-identical.
+func AttachSim(sim *des.Sim, p *Plan) error {
+	if p.Empty() {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if lp := p.LinkPenalty(); lp != nil {
+		sim.SetLinkPenalty(lp)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package stragglers
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultPauseDuration is used by the spec grammar when a pause episode
+// omits its length (`pause:3@10s`).
+const DefaultPauseDuration = 10 * time.Second
+
+// ParseSpecs builds a plan from the compact CLI/sweep grammar: a comma list
+// of episode specs.
+//
+//	pause:<worker>@<at>[+<duration>]   pause:3@10s      pause:3@10s+30s
+//	degrade:<worker>x<speed>[@<at>]    degrade:2x0.4    degrade:2x0.4@30s
+//	congest:<worker>x<speed>[@<at>]    congest:1x0.25
+//	rack:<lo>-<hi>x<speed>[@<at>]      rack:0-3x0.5     rack:0-3x0.5@1m
+//
+// Speeds are relative in (0,1); times are Go durations from run start. A
+// pause without an explicit +duration lasts DefaultPauseDuration.
+func ParseSpecs(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("stragglers: spec %q: want kind:args", tok)
+		}
+		var ev Event
+		var err error
+		switch Kind(kind) {
+		case KindPause:
+			ev, err = parsePauseSpec(rest)
+		case KindDegrade, KindCongest:
+			ev, err = parseSlowSpec(Kind(kind), rest)
+		case KindRack:
+			ev, err = parseRackSpec(rest)
+		default:
+			err = fmt.Errorf("unknown kind %q", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stragglers: spec %q: %w", tok, err)
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if len(p.Events) == 0 {
+		return nil, fmt.Errorf("stragglers: empty spec")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parsePauseSpec parses "<worker>@<at>[+<duration>]".
+func parsePauseSpec(s string) (Event, error) {
+	w, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("pause wants <worker>@<at>")
+	}
+	worker, err := strconv.Atoi(w)
+	if err != nil {
+		return Event{}, fmt.Errorf("worker: %w", err)
+	}
+	atStr, durStr, hasDur := strings.Cut(rest, "+")
+	at, err := time.ParseDuration(atStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("at: %w", err)
+	}
+	dur := DefaultPauseDuration
+	if hasDur {
+		if dur, err = time.ParseDuration(durStr); err != nil {
+			return Event{}, fmt.Errorf("duration: %w", err)
+		}
+	}
+	return Event{Kind: KindPause, Worker: worker, At: at, Duration: dur}, nil
+}
+
+// parseSlowSpec parses "<worker>x<speed>[@<at>]" for degrade and congest.
+func parseSlowSpec(kind Kind, s string) (Event, error) {
+	body, at, err := splitAt(s)
+	if err != nil {
+		return Event{}, err
+	}
+	w, sp, ok := strings.Cut(body, "x")
+	if !ok {
+		return Event{}, fmt.Errorf("%s wants <worker>x<speed>", kind)
+	}
+	worker, err := strconv.Atoi(w)
+	if err != nil {
+		return Event{}, fmt.Errorf("worker: %w", err)
+	}
+	speed, err := strconv.ParseFloat(sp, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("speed: %w", err)
+	}
+	return Event{Kind: kind, Worker: worker, Speed: speed, At: at}, nil
+}
+
+// parseRackSpec parses "<lo>-<hi>x<speed>[@<at>]".
+func parseRackSpec(s string) (Event, error) {
+	body, at, err := splitAt(s)
+	if err != nil {
+		return Event{}, err
+	}
+	rng, sp, ok := strings.Cut(body, "x")
+	if !ok {
+		return Event{}, fmt.Errorf("rack wants <lo>-<hi>x<speed>")
+	}
+	loStr, hiStr, ok := strings.Cut(rng, "-")
+	if !ok {
+		return Event{}, fmt.Errorf("rack wants a <lo>-<hi> worker range")
+	}
+	lo, err := strconv.Atoi(loStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("range lo: %w", err)
+	}
+	hi, err := strconv.Atoi(hiStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("range hi: %w", err)
+	}
+	if hi < lo {
+		return Event{}, fmt.Errorf("rack range %d-%d is backwards", lo, hi)
+	}
+	speed, err := strconv.ParseFloat(sp, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("speed: %w", err)
+	}
+	ev := Event{Kind: KindRack, Speed: speed, At: at}
+	for w := lo; w <= hi; w++ {
+		ev.Workers = append(ev.Workers, w)
+	}
+	return ev, nil
+}
+
+// splitAt peels an optional trailing "@<at>" off a spec body.
+func splitAt(s string) (body string, at time.Duration, err error) {
+	body, atStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return s, 0, nil
+	}
+	at, err = time.ParseDuration(atStr)
+	if err != nil {
+		return "", 0, fmt.Errorf("at: %w", err)
+	}
+	return body, at, nil
+}

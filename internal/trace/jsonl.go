@@ -57,6 +57,8 @@ var kindNames = map[Kind]string{
 	KindStragglerFlag:  "straggler-flag",
 	KindStragglerClear: "straggler-clear",
 	KindSchemeSwitch:   "scheme-switch",
+	KindClone:          "clone",
+	KindCloneStop:      "clone-stop",
 }
 
 var kindByName = func() map[string]Kind {

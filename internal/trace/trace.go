@@ -64,6 +64,13 @@ const (
 	// meta-scheme policy); Worker is SchedulerNode, Iter holds the scheme
 	// epoch, and Value the incoming scheme.Base.
 	KindSchemeSwitch
+	// KindClone marks the scheduler cloning a straggler's iteration onto a
+	// spare worker; Worker is the straggling target, Iter the iteration the
+	// clone starts from, and Value the spare slot.
+	KindClone
+	// KindCloneStop marks a clone being retired after its target recovered;
+	// Worker is the target and Value the spare slot.
+	KindCloneStop
 )
 
 // SchedulerNode is the Event.Worker sentinel for scheduler crash/recover
@@ -107,6 +114,10 @@ func (k Kind) String() string {
 		return "straggler-clear"
 	case KindSchemeSwitch:
 		return "scheme-switch"
+	case KindClone:
+		return "clone"
+	case KindCloneStop:
+		return "clone-stop"
 	default:
 		return "unknown"
 	}

@@ -91,10 +91,51 @@ func (s Slowdown) Validate() error {
 	return nil
 }
 
+// SpeedWindow is one entry of a compute-speed script (Config.Script): the
+// generalized, multi-window form of Slowdown that straggler plans compile
+// into. Between From and Until (measured from the worker's Init; Until <= 0
+// means the rest of the run) either every sampled compute duration is
+// multiplied by Factor, or — when Pause is set — a compute that would begin
+// inside the window is deferred until the window closes (the worker is
+// frozen, not slow). Like Slowdown it draws no randomness, so an empty
+// script leaves runs byte-identical. Overlapping factor windows compose
+// multiplicatively.
+type SpeedWindow struct {
+	From, Until time.Duration
+	Factor      float64
+	Pause       bool
+}
+
+// Validate reports configuration errors.
+func (s SpeedWindow) Validate() error {
+	if s.From < 0 {
+		return fmt.Errorf("worker: speed window starts at negative %v", s.From)
+	}
+	if s.Until > 0 && s.Until <= s.From {
+		return fmt.Errorf("worker: speed window [%v, %v) is empty", s.From, s.Until)
+	}
+	if s.Pause {
+		if s.Until <= 0 {
+			return fmt.Errorf("worker: pause window needs an end (a never-ending pause is a crash, not a straggle)")
+		}
+		return nil
+	}
+	if s.Factor < 1 {
+		return fmt.Errorf("worker: speed window factor %v must be >= 1", s.Factor)
+	}
+	return nil
+}
+
 // Config configures one worker.
 type Config struct {
-	// Index is this worker's index (also its data shard).
+	// Index is this worker's index (also its data shard unless DataShard
+	// overrides it).
 	Index int
+	// DataShard, when non-nil, is the data shard this worker trains instead
+	// of shard Index. A rebalance replacement spawned into a spare slot
+	// inherits its retired predecessor's shard this way, so the swap does
+	// not orphan part of the training set.
+	DataShard *int
 	// Shards lists the parameter ranges owned by server/0..server/n-1.
 	// Ignored when Routing is set.
 	Shards []ps.Range
@@ -172,6 +213,10 @@ type Config struct {
 	ReportSpans bool
 	// Slowdown, if non-nil, scripts a transient compute slowdown window.
 	Slowdown *Slowdown
+	// Script is the multi-window compute-speed script straggler plans
+	// compile into (pauses, sustained degradation, rack slowdowns). It
+	// composes with Slowdown; an empty script changes nothing.
+	Script []SpeedWindow
 	// Codec selects the push/pull wire codecs. The zero value (raw) keeps
 	// the legacy v1 messages and is byte-identical to a worker without the
 	// codec layer; topk/q8 compress pushes with error-feedback residuals,
@@ -201,6 +246,9 @@ type Worker struct {
 	st      state
 	iter    int64
 	started bool
+	// shard is the data shard this worker trains (cfg.Index unless
+	// cfg.DataShard overrides it).
+	shard int
 
 	// Routing view: the parameter ranges this worker pulls/pushes and the
 	// server slot owning each. Legacy runs use the identity mapping over
@@ -307,8 +355,12 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("worker: nil model")
 	}
-	if cfg.Index >= cfg.Model.NumShards() {
-		return nil, fmt.Errorf("worker: index %d exceeds %d data shards", cfg.Index, cfg.Model.NumShards())
+	shard := cfg.Index
+	if cfg.DataShard != nil {
+		shard = *cfg.DataShard
+	}
+	if shard < 0 || shard >= cfg.Model.NumShards() {
+		return nil, fmt.Errorf("worker: data shard %d outside the model's %d shards", shard, cfg.Model.NumShards())
 	}
 	if err := cfg.Scheme.Validate(); err != nil {
 		return nil, err
@@ -319,6 +371,11 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.Slowdown != nil {
 		if err := cfg.Slowdown.Validate(); err != nil {
 			return nil, err
+		}
+	}
+	for i, sw := range cfg.Script {
+		if err := sw.Validate(); err != nil {
+			return nil, fmt.Errorf("worker: script window %d: %w", i, err)
 		}
 	}
 	if cfg.AbortLateFrac == 0 {
@@ -395,6 +452,7 @@ func New(cfg Config) (*Worker, error) {
 	}
 	wk := &Worker{
 		cfg:          cfg,
+		shard:        shard,
 		schedID:      node.Scheduler,
 		pullVersions: make([]int64, len(shards)),
 		pushAcked:    make([]bool, len(shards)),
@@ -531,6 +589,8 @@ func (wk *Worker) Receive(from node.ID, m wire.Message) {
 		wk.handleJoinAck(mm)
 	case *msg.RoutingUpdate:
 		wk.handleRoutingUpdate(mm)
+	case *msg.CloneCtl:
+		wk.handleCloneCtl(mm)
 	default:
 		wk.ctx.Logf("worker: unexpected message %T from %s", m, from)
 	}
@@ -543,6 +603,28 @@ func (wk *Worker) stop() {
 		wk.computeCancel()
 		wk.computeCancel = nil
 	}
+}
+
+// handleCloneCtl starts a backup (clone) worker mirroring a straggler's
+// iteration stream. The clone was built with Index = the straggler's index —
+// same data shard, same push attribution — but idles at Init (it never
+// receives a Start); the scheduler's CloneCtl seeds it with the straggler's
+// current iteration and the cluster clocks so it neither re-runs history nor
+// parks forever behind a barrier it never saw released.
+func (wk *Worker) handleCloneCtl(cc *msg.CloneCtl) {
+	if wk.started {
+		return // duplicate ctl
+	}
+	wk.started = true
+	wk.iter = cc.StartIter
+	if cc.Round > wk.releasedRound {
+		wk.releasedRound = cc.Round
+	}
+	if cc.MinClock > wk.minClock {
+		wk.minClock = cc.MinClock
+	}
+	wk.ctx.Logf("worker: cloning worker %d from iteration %d", wk.cfg.Index, cc.StartIter)
+	wk.beginIteration()
 }
 
 // beginIteration applies the scheme's start-of-iteration gating and then
@@ -683,6 +765,19 @@ func (wk *Worker) startCompute() {
 			wk.computeDur = time.Duration(float64(wk.computeDur) * s.Factor)
 		}
 	}
+	for _, sw := range wk.cfg.Script {
+		at := wk.computeStart.Sub(wk.initAt)
+		if at < sw.From || (sw.Until > 0 && at >= sw.Until) {
+			continue
+		}
+		if sw.Pause {
+			// Frozen until the window closes; the deferred compute then
+			// runs at full speed.
+			wk.computeDur += sw.Until - at
+		} else {
+			wk.computeDur = time.Duration(float64(wk.computeDur) * sw.Factor)
+		}
+	}
 	wk.computeCancel = wk.ctx.After(wk.computeDur, wk.finishCompute)
 	if wk.cfg.Scheme.Decentralized || (wk.degraded.Load() && wk.canBroadcastFailover()) {
 		wk.armLocalSpeculation()
@@ -718,7 +813,7 @@ func (wk *Worker) finishCompute() {
 	}
 	wk.computeCancel = nil
 
-	batch := wk.cfg.Model.SampleBatch(wk.cfg.Index, wk.ctx.Rand())
+	batch := wk.cfg.Model.SampleBatch(wk.shard, wk.ctx.Rand())
 	wk.pushUpdate = wk.cfg.Model.Grad(wk.w, batch)
 	if wk.pushCodec != nil {
 		wk.encodePush()
